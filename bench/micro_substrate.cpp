@@ -1,0 +1,163 @@
+/// Google-benchmark micro-benchmarks of the replication substrate:
+/// pairwise sync cost vs store size, knowledge operations, filter
+/// evaluation and wire-format round trips. These are not paper
+/// figures; they quantify the substrate costs the figures rest on.
+
+#include <benchmark/benchmark.h>
+
+#include "dtn/epidemic.hpp"
+#include "repl/sync.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pfrdtn;
+using namespace pfrdtn::repl;
+
+std::map<std::string, std::string> to(std::uint64_t dest) {
+  return {{meta::kDest, std::to_string(dest)}};
+}
+
+/// Source with n items; fresh empty target per iteration.
+void BM_SyncColdTarget(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Replica source(ReplicaId(1), Filter::addresses({HostId(1)}));
+  for (std::uint64_t i = 0; i < n; ++i)
+    source.create(to(2), std::vector<std::uint8_t>(64, 'x'));
+  for (auto _ : state) {
+    Replica target(ReplicaId(2), Filter::addresses({HostId(2)}));
+    const auto result =
+        run_sync(source, target, nullptr, nullptr, SimTime(0));
+    benchmark::DoNotOptimize(result.stats.items_sent);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SyncColdTarget)->Arg(16)->Arg(128)->Arg(512);
+
+/// Steady-state no-op sync: everything already known at the target.
+void BM_SyncNothingNew(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Replica source(ReplicaId(1), Filter::addresses({HostId(1)}));
+  Replica target(ReplicaId(2), Filter::addresses({HostId(2)}));
+  for (std::uint64_t i = 0; i < n; ++i)
+    source.create(to(2), std::vector<std::uint8_t>(64, 'x'));
+  run_sync(source, target, nullptr, nullptr, SimTime(0));
+  for (auto _ : state) {
+    const auto result =
+        run_sync(source, target, nullptr, nullptr, SimTime(1));
+    benchmark::DoNotOptimize(result.stats.items_sent);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SyncNothingNew)->Arg(16)->Arg(128)->Arg(512);
+
+/// Sync with a flooding policy forwarding out-of-filter items.
+void BM_SyncEpidemicRelay(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Replica source(ReplicaId(1), Filter::addresses({HostId(1)}));
+  for (std::uint64_t i = 0; i < n; ++i)
+    source.create(to(99), std::vector<std::uint8_t>(64, 'x'));
+  dtn::EpidemicPolicy policy;
+  for (auto _ : state) {
+    Replica target(ReplicaId(2), Filter::addresses({HostId(2)}));
+    const auto result =
+        run_sync(source, target, &policy, &policy, SimTime(0));
+    benchmark::DoNotOptimize(result.stats.items_sent);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SyncEpidemicRelay)->Arg(16)->Arg(128);
+
+void BM_KnowledgeAddAndQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Item probe(ItemId(1), Version{ReplicaId(1), 1, 1}, to(1), {});
+  for (auto _ : state) {
+    Knowledge knowledge;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      knowledge.add_exact(Version{ReplicaId(1 + i % 7), i, 1});
+    bool known = false;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      known ^= knowledge.knows(probe, Version{ReplicaId(1 + i % 7), i, 1});
+    }
+    benchmark::DoNotOptimize(known);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_KnowledgeAddAndQuery)->Arg(64)->Arg(1024);
+
+void BM_KnowledgeSerialize(benchmark::State& state) {
+  Knowledge knowledge;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    knowledge.add_exact(
+        Version{ReplicaId(1 + rng.below(40)), 1 + rng.below(400), 1});
+  }
+  for (auto _ : state) {
+    ByteWriter writer;
+    knowledge.serialize(writer);
+    ByteReader reader(writer.bytes());
+    const auto copy = Knowledge::deserialize(reader);
+    benchmark::DoNotOptimize(copy.weight());
+  }
+}
+BENCHMARK(BM_KnowledgeSerialize);
+
+void BM_FilterMatch(benchmark::State& state) {
+  std::set<HostId> addrs;
+  for (std::uint64_t i = 0; i < 32; ++i) addrs.insert(HostId(i * 3));
+  const Filter filter = Filter::addresses(std::move(addrs));
+  std::vector<Item> items;
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    items.emplace_back(ItemId(i), Version{ReplicaId(1), i + 1, 1},
+                       to(rng.below(96)), std::vector<std::uint8_t>{});
+  }
+  for (auto _ : state) {
+    int matches = 0;
+    for (const Item& item : items) {
+      matches += filter.matches(item) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(256 * state.iterations());
+}
+BENCHMARK(BM_FilterMatch);
+
+void BM_ItemWireRoundTrip(benchmark::State& state) {
+  Item item(ItemId(7), Version{ReplicaId(3), 9, 1}, to(5),
+            std::vector<std::uint8_t>(static_cast<std::size_t>(
+                                          state.range(0)),
+                                      'b'));
+  item.set_transient_int("ttl", 9);
+  for (auto _ : state) {
+    ByteWriter writer;
+    item.serialize(writer);
+    ByteReader reader(writer.bytes());
+    const Item copy = Item::deserialize(reader);
+    benchmark::DoNotOptimize(copy.id());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ItemWireRoundTrip)->Arg(64)->Arg(1024);
+
+void BM_VersionSetCompaction(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    VersionSet vs;
+    // Worst case: insert in reverse so everything sits in extras until
+    // the final insert folds the whole prefix.
+    for (std::uint64_t c = n; c >= 1; --c) vs.add(ReplicaId(1), c);
+    benchmark::DoNotOptimize(vs.extras_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_VersionSetCompaction)->Arg(128)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/// Writing your own routing policy against the paper's three-method
+/// interface (generateReq / processReq / toSend, plus this library's
+/// on_forward refinement for bandwidth-safe per-copy accounting).
+///
+/// The example implements "FreshnessFirst": forward every message, but
+/// order younger messages first and stop forwarding messages older
+/// than a configurable lifetime — a simple policy the paper's
+/// framework makes a ~40-line class.
+///
+/// Usage:  ./custom_policy
+
+#include <charconv>
+#include <cstdio>
+
+#include "dtn/messaging.hpp"
+#include "dtn/policy.hpp"
+
+namespace {
+
+using namespace pfrdtn;
+
+class FreshnessFirstPolicy : public dtn::DtnPolicy {
+ public:
+  explicit FreshnessFirstPolicy(std::int64_t lifetime_s)
+      : lifetime_s_(lifetime_s) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "freshness-first";
+  }
+  [[nodiscard]] std::string summary() const override {
+    return "state: (none); request: (none); forward: all messages "
+           "younger than the lifetime, youngest first";
+  }
+
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override {
+    const auto created = stored.item().meta(repl::meta::kCreated);
+    if (!created) return repl::Priority::skip();
+    std::int64_t created_s = 0;
+    std::from_chars(created->data(), created->data() + created->size(),
+                    created_s);
+    const std::int64_t age = ctx.now.seconds() - created_s;
+    if (age > lifetime_s_) return repl::Priority::skip();
+    // Lower cost sorts earlier: youngest first.
+    return repl::Priority::at(repl::PriorityClass::Normal,
+                              static_cast<double>(age));
+  }
+
+ private:
+  std::int64_t lifetime_s_;
+};
+
+}  // namespace
+
+int main() {
+  // Sender, relay, destination — the relay runs the custom policy
+  // with a 2-hour message lifetime.
+  dtn::DtnNode sender(ReplicaId(1));
+  sender.set_addresses({HostId(1)}, {}, SimTime(0));
+  dtn::DtnNode relay(ReplicaId(2));
+  relay.set_addresses({}, {}, SimTime(0));
+  dtn::DtnNode dest(ReplicaId(3));
+  dest.set_addresses({HostId(9)}, {}, SimTime(0));
+  for (dtn::DtnNode* node : {&sender, &relay, &dest}) {
+    node->set_policy(
+        std::make_shared<FreshnessFirstPolicy>(2 * kSecondsPerHour));
+  }
+
+  // Two messages: one fresh, one stale by the time the relay passes.
+  const auto fresh =
+      sender.send(HostId(1), {HostId(9)}, "fresh news", at(0, 9, 30));
+  const auto stale =
+      sender.send(HostId(1), {HostId(9)}, "old news", at(0, 6));
+
+  // 10:00 — relay meets the sender: only the fresh message is young
+  // enough to be picked up.
+  dtn::run_encounter(sender, relay, at(0, 10));
+  std::printf("relay carries fresh=%s stale=%s\n",
+              relay.replica().store().contains(fresh) ? "yes" : "no",
+              relay.replica().store().contains(stale) ? "yes" : "no");
+
+  // 11:00 — relay meets the destination: the fresh message arrives.
+  auto outcome = dtn::run_encounter(relay, dest, at(0, 11));
+  for (const auto& message : outcome.delivered_b) {
+    std::printf("delivered: \"%s\"\n", message.body.c_str());
+  }
+
+  // The stale message is *not* lost — eventual filter consistency
+  // still delivers it when sender and destination meet directly.
+  dtn::run_encounter(sender, dest, at(0, 18));
+  std::printf("stale message finally delivered directly: %s\n",
+              dest.has_delivered(stale) ? "yes" : "no");
+
+  return dest.has_delivered(fresh) && dest.has_delivered(stale) ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/// A different world, same library: a sparse field of mobile sensor
+/// carriers (random-waypoint motion — think the paper's intro
+/// scenarios: animal-tracking collars, patrols, rural data mules)
+/// reporting readings back to two collection points, with the routing
+/// policy chosen on the command line.
+///
+/// Demonstrates that the emulation harness is trace-agnostic: the
+/// random-waypoint generator produces the same MobilityTrace the bus
+/// model does.
+///
+/// Usage:  ./sensor_field [policy] [nodes] [range_m]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dtn/registry.hpp"
+#include "sim/emulator.hpp"
+#include "trace/random_waypoint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfrdtn;
+
+  const std::string policy = argc > 1 ? argv[1] : "spray";
+  const std::size_t node_count =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
+  const double range =
+      argc > 3 ? std::atof(argv[3]) : 120.0;
+
+  trace::RandomWaypointConfig field;
+  field.nodes = node_count;
+  field.days = 3;
+  field.field_width_m = 4000;
+  field.field_height_m = 4000;
+  field.radio_range_m = range;
+  auto mobility = trace::generate_random_waypoint(field);
+
+  trace::EmailConfig workload_config;
+  workload_config.users = node_count * 2;
+  workload_config.total_messages = 120;
+  workload_config.inject_days = 2;
+  auto workload = trace::generate_email(workload_config);
+
+  sim::EmulationConfig config;
+  config.policy = policy;
+  sim::Emulation emulation(config, std::move(mobility),
+                           std::move(workload));
+  const auto result = emulation.run();
+
+  const auto& metrics = result.metrics;
+  const auto delays = metrics.delay_distribution();
+  std::printf("sensor field: %zu nodes, %.0f m radio range, policy=%s\n",
+              node_count, range, policy.c_str());
+  std::printf("contacts: %zu   readings: %zu   delivered: %zu (%.0f%%)\n",
+              metrics.encounter_count(), metrics.injected_count(),
+              metrics.delivered_count(),
+              100.0 * static_cast<double>(metrics.delivered_count()) /
+                  static_cast<double>(metrics.injected_count()));
+  if (delays.count() > 0) {
+    std::printf("latency: mean %.1f h   p50 %.1f h   p90 %.1f h\n",
+                delays.mean(), delays.quantile(0.5),
+                delays.quantile(0.9));
+  }
+  std::printf("copies per reading: %.2f at delivery, %.2f at end\n",
+              metrics.mean_copies_at_delivery(),
+              metrics.mean_copies_at_end());
+  return 0;
+}

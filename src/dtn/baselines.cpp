@@ -1,0 +1,114 @@
+#include "dtn/baselines.hpp"
+
+namespace pfrdtn::dtn {
+
+// ---------------------------------------------------------------- //
+//  FirstContact
+
+std::string FirstContactPolicy::summary() const {
+  return "state: custody flag per copy; request: (none); forward: the "
+         "single custodial copy to the first peer encountered, "
+         "relinquishing custody locally";
+}
+
+repl::Priority FirstContactPolicy::to_send(
+    const repl::SyncContext& ctx, repl::TransientView stored) {
+  (void)ctx;
+  auto custody = stored.get_int(kCustodyKey);
+  if (!custody) {
+    // A copy without the flag is fresh (authored here, or handed over
+    // by a pre-policy sender): it carries custody.
+    stored.set_int(kCustodyKey, 1);
+    custody = 1;
+  }
+  if (*custody == 0) return repl::Priority::skip();
+  if (params_.max_transfers > 0) {
+    const auto transfers = stored.get_int(kTransfersKey).value_or(0);
+    if (transfers >= params_.max_transfers)
+      return repl::Priority::skip();
+  }
+  return repl::Priority::at(repl::PriorityClass::Normal);
+}
+
+void FirstContactPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                                    repl::TransientView stored,
+                                    repl::TransientView outgoing) {
+  // Custody moves with the outgoing copy.
+  stored.set_int(kCustodyKey, 0);
+  outgoing.set_int(kCustodyKey, 1);
+  const auto transfers = stored.get_int(kTransfersKey).value_or(0);
+  outgoing.set_int(kTransfersKey, transfers + 1);
+  // Classical FirstContact keeps a single copy in the network: drop
+  // the local one after the handover. discard_relay refuses in-filter
+  // and locally authored copies, so destinations keep deliveries and
+  // the author's copy backstops eventual delivery if the custody chain
+  // is ever lost. NOTE: this must be the last access to `stored` — the
+  // entry is gone afterwards (the sync engine makes no further use of
+  // it either).
+  if (replica() != nullptr) {
+    replica()->discard_relay(stored.item().id());
+  }
+}
+
+// ---------------------------------------------------------------- //
+//  TwoHopRelay
+
+std::string TwoHopRelayPolicy::summary() const {
+  return "state: handout count per source copy; request: (none); "
+         "forward: the author hands copies to up to " +
+         std::to_string(params_.relay_budget) +
+         " relays, which never forward (source-relay-destination "
+         "paths only)";
+}
+
+repl::Priority TwoHopRelayPolicy::to_send(const repl::SyncContext& ctx,
+                                          repl::TransientView stored) {
+  // Relays keep their copy silently; only the author sprays.
+  if (stored.item().version().author != ctx.self)
+    return repl::Priority::skip();
+  if (params_.relay_budget > 0) {
+    const auto handouts = stored.get_int(kHandoutsKey).value_or(0);
+    if (handouts >= params_.relay_budget)
+      return repl::Priority::skip();
+  }
+  return repl::Priority::at(repl::PriorityClass::Normal);
+}
+
+void TwoHopRelayPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                                   repl::TransientView stored,
+                                   repl::TransientView /*outgoing*/) {
+  const auto handouts = stored.get_int(kHandoutsKey).value_or(0);
+  stored.set_int(kHandoutsKey, handouts + 1);
+}
+
+// ---------------------------------------------------------------- //
+//  RandomizedEpidemic
+
+std::string RandomizedEpidemicPolicy::summary() const {
+  return "state: TTL per copy; request: (none); forward: every "
+         "message with probability " +
+         std::to_string(params_.forward_probability) +
+         " per encounter while TTL > 0";
+}
+
+repl::Priority RandomizedEpidemicPolicy::to_send(
+    const repl::SyncContext& /*ctx*/, repl::TransientView stored) {
+  auto ttl = stored.get_int(kTtlKey);
+  if (!ttl) {
+    stored.set_int(kTtlKey, params_.initial_ttl);
+    ttl = params_.initial_ttl;
+  }
+  if (*ttl <= 0) return repl::Priority::skip();
+  if (!rng_.chance(params_.forward_probability))
+    return repl::Priority::skip();
+  return repl::Priority::at(repl::PriorityClass::Normal);
+}
+
+void RandomizedEpidemicPolicy::on_forward(
+    const repl::SyncContext& /*ctx*/, repl::TransientView /*stored*/,
+    repl::TransientView outgoing) {
+  const auto ttl = outgoing.get_int(kTtlKey);
+  outgoing.set_int(kTtlKey, (ttl ? *ttl : params_.initial_ttl) - 1);
+}
+
+}  // namespace pfrdtn::dtn

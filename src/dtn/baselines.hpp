@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file baselines.hpp
+/// Additional classic DTN baselines beyond the paper's four case
+/// studies, implemented against the same policy interface. They are
+/// useful reference points in experiments and demonstrate that the
+/// interface covers the design space:
+///
+///  - FirstContact [Jain, Fall, Patra 2004]: a single custodial copy
+///    is handed to the first encountered node (the previous carrier
+///    stops forwarding). One copy in flight; no flooding at all.
+///  - TwoHopRelay [Grossglauser & Tse 2001]: the source hands copies
+///    to relays it meets, but relays never forward — delivery is
+///    source->dest, source->relay->dest, never longer.
+///  - RandomizedEpidemic (p-flooding): epidemic with per-item coin
+///    flips, the standard knob between single-copy and full flooding.
+
+#include "dtn/policy.hpp"
+#include "util/rng.hpp"
+
+namespace pfrdtn::dtn {
+
+struct FirstContactParams {
+  /// Maximum custody transfers before the copy stops moving (guards
+  /// against endless ping-ponging in dense meshes). 0 = unlimited.
+  std::int64_t max_transfers = 0;
+};
+
+/// Single-copy custody transfer: forward to the first peer met, then
+/// drop the local willingness to forward (the copy itself stays, as
+/// the substrate owns storage; it simply stops being offered).
+class FirstContactPolicy : public DtnPolicy {
+ public:
+  explicit FirstContactPolicy(FirstContactParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "first-contact";
+  }
+  [[nodiscard]] std::string summary() const override;
+
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  [[nodiscard]] const FirstContactParams& params() const {
+    return params_;
+  }
+
+  /// Transient key: whether this copy still carries custody ("1"/"0").
+  static constexpr const char* kCustodyKey = "fc_custody";
+  /// Transient key: custody transfers performed so far.
+  static constexpr const char* kTransfersKey = "fc_transfers";
+
+ private:
+  FirstContactParams params_;
+};
+
+struct TwoHopParams {
+  /// Copies the source may hand out to distinct relays. 0 = unlimited.
+  std::int64_t relay_budget = 8;
+};
+
+/// Source-relays-destination: only the *author* of a message hands out
+/// copies; a relay holds its copy silently until it meets a
+/// destination (which the substrate's filter matching handles).
+class TwoHopRelayPolicy : public DtnPolicy {
+ public:
+  explicit TwoHopRelayPolicy(TwoHopParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "two-hop"; }
+  [[nodiscard]] std::string summary() const override;
+
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  [[nodiscard]] const TwoHopParams& params() const { return params_; }
+
+  /// Transient key: relays this source-held copy has been handed to.
+  static constexpr const char* kHandoutsKey = "th_handouts";
+
+ private:
+  TwoHopParams params_;
+};
+
+struct RandomizedEpidemicParams {
+  double forward_probability = 0.5;
+  std::int64_t initial_ttl = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Epidemic flooding gated by a per-(item, encounter) coin flip.
+class RandomizedEpidemicPolicy : public DtnPolicy {
+ public:
+  explicit RandomizedEpidemicPolicy(RandomizedEpidemicParams params = {})
+      : params_(params), rng_(params.seed) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "p-epidemic";
+  }
+  [[nodiscard]] std::string summary() const override;
+
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  [[nodiscard]] const RandomizedEpidemicParams& params() const {
+    return params_;
+  }
+
+  static constexpr const char* kTtlKey = "ttl";
+
+ private:
+  RandomizedEpidemicParams params_;
+  Rng rng_;
+};
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file direct.hpp
+/// The null policy: no out-of-filter forwarding at all. A node running
+/// this policy behaves exactly like the unmodified replication
+/// substrate ("basic Cimbiosys" in the evaluation): messages travel
+/// only on direct encounters between a replica storing the message and
+/// one whose filter selects it.
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+class DirectPolicy : public DtnPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "cimbiosys"; }
+  [[nodiscard]] std::string summary() const override {
+    return "state: (none); request: (none); forward: nothing beyond "
+           "the target's filter (unmodified substrate)";
+  }
+  // All ForwardingPolicy defaults (skip everything) apply.
+};
+
+}  // namespace pfrdtn::dtn

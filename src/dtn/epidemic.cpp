@@ -1,0 +1,35 @@
+#include "dtn/epidemic.hpp"
+
+namespace pfrdtn::dtn {
+
+std::string EpidemicPolicy::summary() const {
+  return "state: TTL per message copy; request: (none); forward: "
+         "every message while TTL > 0, decrementing the forwarded "
+         "copy's TTL (initial TTL " +
+         std::to_string(params_.initial_ttl) + ")";
+}
+
+repl::Priority EpidemicPolicy::to_send(const repl::SyncContext& /*ctx*/,
+                                       repl::TransientView stored) {
+  auto ttl = stored.get_int(kTtlKey);
+  if (!ttl) {
+    // First time this policy touches a locally inserted message:
+    // initialize the stored copy's budget (the paper's toSend does
+    // exactly this).
+    stored.set_int(kTtlKey, params_.initial_ttl);
+    ttl = params_.initial_ttl;
+  }
+  if (*ttl <= 0) return repl::Priority::skip();
+  return repl::Priority::at(repl::PriorityClass::Normal);
+}
+
+void EpidemicPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                                repl::TransientView /*stored*/,
+                                repl::TransientView outgoing) {
+  // "This TTL update only affects the in-memory copy of items being
+  // sent" — the stored copy keeps its budget.
+  const auto ttl = outgoing.get_int(kTtlKey);
+  outgoing.set_int(kTtlKey, (ttl ? *ttl : params_.initial_ttl) - 1);
+}
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file epidemic.hpp
+/// Epidemic routing [Vahdat & Becker 2000] as a forwarding policy:
+/// flood every message, limited by a per-copy TTL (hop count). The
+/// protocol's summary-vector duplicate suppression is unnecessary here
+/// — the substrate's knowledge exchange already guarantees at-most-once
+/// delivery (the paper's point in Section V-C1).
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+struct EpidemicParams {
+  /// Initial hop-count budget for new messages (Table II: TTL = 10).
+  std::int64_t initial_ttl = 10;
+};
+
+class EpidemicPolicy : public DtnPolicy {
+ public:
+  explicit EpidemicPolicy(EpidemicParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "epidemic"; }
+  [[nodiscard]] std::string summary() const override;
+
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  [[nodiscard]] const EpidemicParams& params() const { return params_; }
+
+  /// Transient key holding the remaining hop budget of a copy.
+  static constexpr const char* kTtlKey = "ttl";
+
+ private:
+  EpidemicParams params_;
+};
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,72 @@
+#include "dtn/filter_strategy.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::dtn {
+
+const char* filter_strategy_name(FilterStrategy strategy) {
+  switch (strategy) {
+    case FilterStrategy::SelfOnly:
+      return "self";
+    case FilterStrategy::Random:
+      return "random";
+    case FilterStrategy::Selected:
+      return "selected";
+  }
+  return "?";
+}
+
+FilterPlan FilterPlan::build(FilterStrategy strategy, std::size_t k,
+                             const std::vector<HostId>& users,
+                             const EncounterCounts& counts, Rng& rng) {
+  FilterPlan plan;
+  if (strategy == FilterStrategy::SelfOnly || k == 0) return plan;
+  PFRDTN_REQUIRE(users.size() > 1);
+  const std::size_t effective_k = std::min(k, users.size() - 1);
+
+  for (const HostId user : users) {
+    std::set<HostId>& extras = plan.extras_[user];
+    if (strategy == FilterStrategy::Random) {
+      std::vector<HostId> others;
+      others.reserve(users.size() - 1);
+      for (const HostId other : users) {
+        if (other != user) others.push_back(other);
+      }
+      for (const std::size_t index :
+           rng.sample_without_replacement(others.size(), effective_k)) {
+        extras.insert(others[index]);
+      }
+      continue;
+    }
+    // Selected: rank others by encounter count, deterministic
+    // tie-break on id.
+    std::vector<std::pair<std::uint64_t, HostId>> ranked;
+    const auto row_it = counts.find(user);
+    for (const HostId other : users) {
+      if (other == user) continue;
+      std::uint64_t count = 0;
+      if (row_it != counts.end()) {
+        const auto cell = row_it->second.find(other);
+        if (cell != row_it->second.end()) count = cell->second;
+      }
+      ranked.emplace_back(count, other);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (std::size_t i = 0; i < effective_k && i < ranked.size(); ++i)
+      extras.insert(ranked[i].second);
+  }
+  return plan;
+}
+
+const std::set<HostId>& FilterPlan::extras_for(HostId user) const {
+  const auto it = extras_.find(user);
+  return it == extras_.end() ? empty_ : it->second;
+}
+
+}  // namespace pfrdtn::dtn

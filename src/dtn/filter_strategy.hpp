@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file filter_strategy.hpp
+/// Multi-address filter strategies (Section IV-B): each host's filter
+/// may include addresses of `k` other hosts so it relays their
+/// messages. `Random` picks k uniformly; `Selected` picks the k other
+/// hosts this host will encounter most in the trace (an oracle over
+/// the schedule, as in the paper).
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace pfrdtn::dtn {
+
+enum class FilterStrategy {
+  SelfOnly,  ///< k = 0: basic substrate
+  Random,    ///< k random other hosts
+  Selected,  ///< k most-encountered other hosts
+};
+
+const char* filter_strategy_name(FilterStrategy strategy);
+
+/// Pairwise encounter counts between hosts (symmetric).
+using EncounterCounts = std::map<HostId, std::map<HostId, std::uint64_t>>;
+
+/// Immutable per-host assignment of extra filter addresses.
+class FilterPlan {
+ public:
+  /// Build a plan for `users` with `k` extra addresses per host.
+  /// `counts` is consulted only by Selected; `rng` only by Random.
+  static FilterPlan build(FilterStrategy strategy, std::size_t k,
+                          const std::vector<HostId>& users,
+                          const EncounterCounts& counts, Rng& rng);
+
+  [[nodiscard]] const std::set<HostId>& extras_for(HostId user) const;
+
+ private:
+  std::map<HostId, std::set<HostId>> extras_;
+  std::set<HostId> empty_;
+};
+
+}  // namespace pfrdtn::dtn

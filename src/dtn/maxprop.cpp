@@ -1,0 +1,146 @@
+#include "dtn/maxprop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/byte_buffer.hpp"
+
+namespace pfrdtn::dtn {
+
+std::string MaxPropPolicy::summary() const {
+  return "state: estimated meeting probabilities for all pairs; "
+         "request: target's meeting probabilities and hosted "
+         "addresses; forward: all messages, ordered by priority "
+         "(hop count below " +
+         std::to_string(params_.hop_threshold) +
+         " first, then modified-Dijkstra path cost)";
+}
+
+double MaxPropPolicy::meeting_probability(ReplicaId peer) const {
+  const auto it = own_p_.find(peer);
+  return it == own_p_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::uint8_t> MaxPropPolicy::generate_request(
+    const repl::SyncContext& /*ctx*/) {
+  ByteWriter w;
+  w.uvarint(hosted().size());
+  for (const HostId addr : hosted()) w.uvarint(addr.value());
+  w.uvarint(own_p_.size());
+  for (const auto& [peer, p] : own_p_) {
+    w.uvarint(peer.value());
+    w.f64(p);
+  }
+  w.uvarint(params_.ack_flooding ? acked_.size() : 0);
+  if (params_.ack_flooding) {
+    for (const ItemId id : acked_) w.uvarint(id.value());
+  }
+  return w.take();
+}
+
+void MaxPropPolicy::process_request(
+    const repl::SyncContext& ctx,
+    const std::vector<std::uint8_t>& routing_state) {
+  if (routing_state.empty()) return;
+  ByteReader r(routing_state);
+  const std::uint64_t hosted_count = r.uvarint();
+  for (std::uint64_t i = 0; i < hosted_count; ++i)
+    last_host_[HostId(r.uvarint())] = ctx.peer;
+  auto& peer_vector = learned_[ctx.peer];
+  peer_vector.clear();
+  const std::uint64_t p_count = r.uvarint();
+  for (std::uint64_t i = 0; i < p_count; ++i) {
+    const ReplicaId node(r.uvarint());
+    peer_vector[node] = r.f64();
+  }
+  const std::uint64_t ack_count = r.uvarint();
+  for (std::uint64_t i = 0; i < ack_count; ++i) {
+    const ItemId id(r.uvarint());
+    if (!acked_.insert(id).second) continue;
+    // Clear our relay buffer of the delivered message; in-filter and
+    // locally authored copies are kept (multi-destination safety).
+    if (replica() != nullptr) replica()->discard_relay(id);
+  }
+}
+
+void MaxPropPolicy::encounter_complete(ReplicaId peer, SimTime /*now*/) {
+  // "When another node is encountered the associated probability is
+  // increased and the distribution is normalized."
+  own_p_[peer] += 1.0;
+  double total = 0.0;
+  for (const auto& [node, p] : own_p_) total += p;
+  for (auto& [node, p] : own_p_) p /= total;
+}
+
+void MaxPropPolicy::note_delivered(ItemId id, SimTime /*now*/) {
+  if (params_.ack_flooding) acked_.insert(id);
+}
+
+double MaxPropPolicy::path_cost(HostId dest) const {
+  const auto host_it = last_host_.find(dest);
+  if (host_it == last_host_.end())
+    return std::numeric_limits<double>::infinity();
+  const ReplicaId goal = host_it->second;
+
+  // Modified Dijkstra over the replica graph; edge i->j costs
+  // 1 - P_i(j), using our own vector for the first hop and learned
+  // vectors beyond. Unknown vectors contribute no outgoing edges.
+  using Entry = std::pair<double, ReplicaId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::map<ReplicaId, double> dist;
+  const ReplicaId start{};  // sentinel for "self"
+  dist[start] = 0.0;
+  queue.emplace(0.0, start);
+  while (!queue.empty()) {
+    const auto [cost, node] = queue.top();
+    queue.pop();
+    if (cost > dist[node]) continue;
+    if (node == goal) return cost;
+    const std::map<ReplicaId, double>* vector = nullptr;
+    if (node == start) {
+      vector = &own_p_;
+    } else {
+      const auto it = learned_.find(node);
+      if (it != learned_.end()) vector = &it->second;
+    }
+    if (vector == nullptr) continue;
+    for (const auto& [next, p] : *vector) {
+      const double edge = 1.0 - std::min(1.0, std::max(0.0, p));
+      const double next_cost = cost + edge;
+      const auto it = dist.find(next);
+      if (it == dist.end() || next_cost < it->second) {
+        dist[next] = next_cost;
+        queue.emplace(next_cost, next);
+      }
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+repl::Priority MaxPropPolicy::to_send(const repl::SyncContext& /*ctx*/,
+                                      repl::TransientView stored) {
+  if (params_.ack_flooding && acked_.count(stored.item().id()))
+    return repl::Priority::skip();
+  const std::int64_t hops = stored.get_int(kHopsKey).value_or(0);
+  if (hops < params_.hop_threshold) {
+    // "New" messages: sorted by hop count, lowest first.
+    return repl::Priority::at(repl::PriorityClass::High,
+                              static_cast<double>(hops));
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const HostId dest : stored.item().dest_addresses())
+    best = std::min(best, path_cost(dest));
+  // Still forwarded even when the destination is unknown — MaxProp
+  // floods; the score only orders the batch.
+  return repl::Priority::at(repl::PriorityClass::Normal, best);
+}
+
+void MaxPropPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                               repl::TransientView stored,
+                               repl::TransientView outgoing) {
+  const std::int64_t hops = stored.get_int(kHopsKey).value_or(0);
+  outgoing.set_int(kHopsKey, hops + 1);
+}
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file maxprop.hpp
+/// MaxProp [Burgess et al. 2006]: every node maintains a probability
+/// distribution over which node it will meet next (incremented and
+/// renormalized on each encounter); nodes exchange these vectors, and
+/// each message is scored by the cost of the cheapest path to its
+/// destination, where an edge i→j costs 1 - P_i(j) (a modified
+/// Dijkstra). Transmission order during an encounter: messages
+/// addressed to the neighbour first (the substrate's filter-matching
+/// class), then "new" messages below a hop-count threshold ordered by
+/// hop count, then the rest ordered by path cost. Like Epidemic it
+/// forwards everything — the ordering only matters under bandwidth
+/// constraints, which is exactly what the paper observes.
+///
+/// MaxProp's acknowledgement flooding (clearing buffers of delivered
+/// messages) is implemented as an optional extension, off by default to
+/// match the paper's experimental setup ("messages are never deleted").
+
+#include <map>
+#include <set>
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+struct MaxPropParams {
+  /// Messages with fewer hops than this are "new" and get priority
+  /// (Table II: hopcount priority threshold = 3).
+  std::int64_t hop_threshold = 3;
+  /// Flood acknowledgements of delivered messages and clear relay
+  /// buffers (extension; the paper's runs never delete messages).
+  bool ack_flooding = false;
+};
+
+class MaxPropPolicy : public DtnPolicy {
+ public:
+  explicit MaxPropPolicy(MaxPropParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "maxprop"; }
+  [[nodiscard]] std::string summary() const override;
+
+  std::vector<std::uint8_t> generate_request(
+      const repl::SyncContext& ctx) override;
+  void process_request(
+      const repl::SyncContext& ctx,
+      const std::vector<std::uint8_t>& routing_state) override;
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+  void encounter_complete(ReplicaId peer, SimTime now) override;
+  void note_delivered(ItemId id, SimTime now) override;
+
+  /// Own meeting-probability estimate P_self(peer).
+  [[nodiscard]] double meeting_probability(ReplicaId peer) const;
+  /// Cheapest-path cost from this node to the replica last known to
+  /// host `dest` (modified Dijkstra); +inf when unknown.
+  [[nodiscard]] double path_cost(HostId dest) const;
+
+  [[nodiscard]] const MaxPropParams& params() const { return params_; }
+
+  /// Transient key: hops traversed by this copy.
+  static constexpr const char* kHopsKey = "hops";
+
+ private:
+  MaxPropParams params_;
+
+  /// Own next-encounter distribution (sums to ~1 once non-empty).
+  std::map<ReplicaId, double> own_p_;
+  /// Vectors learned from peers' sync requests.
+  std::map<ReplicaId, std::map<ReplicaId, double>> learned_;
+  /// Last replica observed hosting each address.
+  std::map<HostId, ReplicaId> last_host_;
+  /// Delivered-message ids (ack flooding extension).
+  std::set<ItemId> acked_;
+};
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,42 @@
+#include "dtn/message.hpp"
+
+#include <charconv>
+
+namespace pfrdtn::dtn {
+
+std::optional<Message> Message::from_item(const repl::Item& item) {
+  if (!is_message(item)) return std::nullopt;
+  Message message;
+  message.id = item.id();
+  if (const auto src = item.meta(repl::meta::kSource)) {
+    const auto hosts = repl::decode_hosts(*src);
+    if (!hosts.empty()) message.source = hosts.front();
+  }
+  message.destinations = item.dest_addresses();
+  if (const auto created = item.meta(repl::meta::kCreated)) {
+    std::int64_t seconds = 0;
+    std::from_chars(created->data(), created->data() + created->size(),
+                    seconds);
+    message.created = SimTime(seconds);
+  }
+  message.body.assign(item.body().begin(), item.body().end());
+  return message;
+}
+
+std::map<std::string, std::string> message_metadata(
+    HostId source, const std::vector<HostId>& destinations,
+    SimTime created) {
+  return {
+      {repl::meta::kType, kMessageType},
+      {repl::meta::kSource, repl::encode_hosts({source})},
+      {repl::meta::kDest, repl::encode_hosts(destinations)},
+      {repl::meta::kCreated, std::to_string(created.seconds())},
+  };
+}
+
+bool is_message(const repl::Item& item) {
+  const auto type = item.meta(repl::meta::kType);
+  return type && *type == kMessageType;
+}
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file message.hpp
+/// The DTN messaging schema layered on replicated items: "messages are
+/// the data items that are replicated between nodes" with a destination
+/// address attribute, plus source, type and creation-time metadata.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "repl/item.hpp"
+#include "util/ids.hpp"
+#include "util/sim_time.hpp"
+
+namespace pfrdtn::dtn {
+
+/// Message ids are the underlying item ids.
+using MessageId = ItemId;
+
+/// Parsed view of a message item.
+struct Message {
+  MessageId id{};
+  HostId source{};
+  std::vector<HostId> destinations;
+  SimTime created;
+  std::string body;
+
+  /// Parse an item; returns nullopt for non-message items.
+  static std::optional<Message> from_item(const repl::Item& item);
+};
+
+/// The metadata type tag identifying message items.
+inline constexpr const char* kMessageType = "msg";
+
+/// Build the replicated metadata map for a new message.
+std::map<std::string, std::string> message_metadata(
+    HostId source, const std::vector<HostId>& destinations,
+    SimTime created);
+
+/// True if the item is a (possibly deleted) message.
+bool is_message(const repl::Item& item);
+
+}  // namespace pfrdtn::dtn

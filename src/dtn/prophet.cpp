@@ -1,0 +1,127 @@
+#include "dtn/prophet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/byte_buffer.hpp"
+
+namespace pfrdtn::dtn {
+
+std::string ProphetPolicy::summary() const {
+  return "state: vector of delivery predictabilities P[d] per "
+         "destination; request: target's P vector and hosted "
+         "addresses; forward: messages addressed to d when the "
+         "target's P[d] exceeds the source's (Pinit=" +
+         std::to_string(params_.p_init) +
+         ", beta=" + std::to_string(params_.beta) +
+         ", gamma=" + std::to_string(params_.gamma) + ")";
+}
+
+void ProphetPolicy::age(SimTime now) {
+  if (!ever_aged_) {
+    last_aged_ = now;
+    ever_aged_ = true;
+    return;
+  }
+  const std::int64_t elapsed = now - last_aged_;
+  if (elapsed <= 0) return;
+  const double units = static_cast<double>(elapsed) /
+                       static_cast<double>(params_.aging_unit_s);
+  const double factor = std::pow(params_.gamma, units);
+  for (auto& [dest, p] : p_) p *= factor;
+  last_aged_ = now;
+}
+
+double ProphetPolicy::predictability(HostId dest) const {
+  const auto it = p_.find(dest);
+  return it == p_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::uint8_t> ProphetPolicy::generate_request(
+    const repl::SyncContext& ctx) {
+  age(ctx.now);
+  ByteWriter w;
+  w.uvarint(hosted().size());
+  for (const HostId addr : hosted()) w.uvarint(addr.value());
+  w.uvarint(p_.size());
+  for (const auto& [dest, p] : p_) {
+    w.uvarint(dest.value());
+    w.f64(p);
+  }
+  return w.take();
+}
+
+void ProphetPolicy::process_request(
+    const repl::SyncContext& ctx,
+    const std::vector<std::uint8_t>& routing_state) {
+  last_peer_ = ctx.peer;
+  peer_p_.clear();
+  if (routing_state.empty()) return;
+  ByteReader r(routing_state);
+  std::vector<HostId> peer_hosted;
+  const std::uint64_t hosted_count = r.uvarint();
+  peer_hosted.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(hosted_count, r.remaining())));
+  for (std::uint64_t i = 0; i < hosted_count; ++i)
+    peer_hosted.emplace_back(r.uvarint());
+  const std::uint64_t p_count = r.uvarint();
+  for (std::uint64_t i = 0; i < p_count; ++i) {
+    const HostId dest(r.uvarint());
+    peer_p_[dest] = r.f64();
+  }
+
+  // Each host acts as source exactly once per encounter (the paper
+  // performs two syncs with swapped roles), so updating here updates
+  // the vector "only once for each pair of synchronizations".
+  age(ctx.now);
+  double p_to_peer = 0.0;
+  for (const HostId addr : peer_hosted) {
+    double& p = p_[addr];
+    p += (1.0 - p) * params_.p_init;
+    p_to_peer = std::max(p_to_peer, p);
+  }
+  if (peer_hosted.empty()) p_to_peer = params_.p_init;
+  // Transitivity: P(a,c) = max(P(a,c), P(a,b) * P(b,c) * beta).
+  for (const auto& [dest, peer_p] : peer_p_) {
+    if (hosted().count(dest)) continue;  // we host it ourselves
+    double& p = p_[dest];
+    p = std::max(p, p_to_peer * peer_p * params_.beta);
+  }
+}
+
+repl::Priority ProphetPolicy::to_send(const repl::SyncContext& ctx,
+                                      repl::TransientView stored) {
+  if (ctx.peer != last_peer_) return repl::Priority::skip();
+  double best_gain = -1.0;
+  for (const HostId dest : stored.item().dest_addresses()) {
+    const double own = predictability(dest);
+    const auto it = peer_p_.find(dest);
+    const double peer = it == peer_p_.end() ? 0.0 : it->second;
+    if (peer <= own) continue;
+    if (params_.grtr_plus) {
+      const auto best_seen = stored.get(kBestPKey);
+      if (best_seen && peer <= std::stod(*best_seen)) continue;
+    }
+    best_gain = std::max(best_gain, peer);
+  }
+  if (best_gain < 0) return repl::Priority::skip();
+  // Higher peer predictability -> earlier in the batch.
+  return repl::Priority::at(repl::PriorityClass::Normal, -best_gain);
+}
+
+void ProphetPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                               repl::TransientView stored,
+                               repl::TransientView outgoing) {
+  if (!params_.grtr_plus) return;
+  double best = 0.0;
+  if (const auto seen = stored.get(kBestPKey)) best = std::stod(*seen);
+  for (const HostId dest : stored.item().dest_addresses()) {
+    const auto it = peer_p_.find(dest);
+    if (it != peer_p_.end()) best = std::max(best, it->second);
+  }
+  const std::string encoded = std::to_string(best);
+  stored.set(kBestPKey, encoded);
+  outgoing.set(kBestPKey, encoded);
+}
+
+}  // namespace pfrdtn::dtn

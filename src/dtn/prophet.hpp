@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file prophet.hpp
+/// PROPHET [Lindgren et al. 2004]: probabilistic routing using
+/// *delivery predictabilities* P[d] ∈ [0,1] per destination address.
+/// On an encounter the predictability for the peer's addresses is
+/// reinforced; predictabilities age down over time and propagate
+/// transitively through exchanged vectors. A message is forwarded only
+/// to a peer whose predictability for the destination exceeds the
+/// sender's (GRTR); the GRTR+ extension additionally requires beating
+/// the best predictability any previous carrier of this copy had.
+
+#include <map>
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+struct ProphetParams {
+  double p_init = 0.75;  ///< Table II: Pinit = 0.75
+  double beta = 0.25;    ///< Table II: β = 0.25 (transitivity damping)
+  double gamma = 0.98;   ///< Table II: γ = 0.98 (aging per time unit)
+  /// Length of one aging time unit in seconds.
+  std::int64_t aging_unit_s = 3600;
+  /// Forward only when the peer also beats the best predictability a
+  /// previous carrier of this copy had (GRTR+).
+  bool grtr_plus = false;
+};
+
+class ProphetPolicy : public DtnPolicy {
+ public:
+  explicit ProphetPolicy(ProphetParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "prophet"; }
+  [[nodiscard]] std::string summary() const override;
+
+  std::vector<std::uint8_t> generate_request(
+      const repl::SyncContext& ctx) override;
+  void process_request(
+      const repl::SyncContext& ctx,
+      const std::vector<std::uint8_t>& routing_state) override;
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  /// Current (aged) delivery predictability for an address.
+  [[nodiscard]] double predictability(HostId dest) const;
+
+  [[nodiscard]] const ProphetParams& params() const { return params_; }
+
+  /// Transient key: best predictability seen by any carrier (GRTR+).
+  static constexpr const char* kBestPKey = "prophet_pmax";
+
+ private:
+  void age(SimTime now);
+
+  ProphetParams params_;
+  std::map<HostId, double> p_;
+  SimTime last_aged_;
+  bool ever_aged_ = false;
+
+  // Peer state captured by process_request, valid for the current sync.
+  ReplicaId last_peer_{};
+  std::map<HostId, double> peer_p_;
+};
+
+}  // namespace pfrdtn::dtn

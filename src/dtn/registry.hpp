@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name-based policy construction, used by the experiment harness,
+/// benches and examples. Parameters default to the paper's Table II
+/// and can be overridden individually.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+/// Construct a policy by name: "cimbiosys" (null policy), "epidemic",
+/// "spray", "prophet", "maxprop", plus the extra baselines
+/// "first-contact", "two-hop", "p-epidemic" and "spray-focus". `overrides` maps
+/// parameter names (e.g. "ttl", "copies", "p_init", "beta", "gamma",
+/// "aging_unit_s", "grtr_plus", "binary", "hop_threshold",
+/// "ack_flooding", "max_transfers", "relay_budget", "p", "seed",
+/// "utility_margin_s") to
+/// values. Throws ContractViolation for unknown names or parameters.
+PolicyPtr make_policy(const std::string& name,
+                      const std::map<std::string, double>& overrides = {});
+
+/// The policies the paper evaluates, in the paper's order.
+std::vector<std::string> known_policies();
+
+/// Additional literature baselines implemented beyond the paper's four.
+std::vector<std::string> baseline_policies();
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,107 @@
+#include "dtn/spray_focus.hpp"
+
+#include "util/byte_buffer.hpp"
+
+namespace pfrdtn::dtn {
+
+std::string SprayFocusPolicy::summary() const {
+  return "state: copy budget per copy + last-encounter timers per "
+         "address; request: target's timers and hosted addresses; "
+         "forward: binary spraying while budget >= 2, then focus — "
+         "hand the single copy to peers that met the destination's "
+         "host more recently (margin " +
+         std::to_string(params_.utility_margin_s) + "s)";
+}
+
+SimTime SprayFocusPolicy::last_seen(HostId address) const {
+  const auto it = last_seen_.find(address);
+  return it == last_seen_.end() ? SimTime(-1) : it->second;
+}
+
+std::vector<std::uint8_t> SprayFocusPolicy::generate_request(
+    const repl::SyncContext& /*ctx*/) {
+  ByteWriter w;
+  w.uvarint(hosted().size());
+  for (const HostId addr : hosted()) w.uvarint(addr.value());
+  w.uvarint(last_seen_.size());
+  for (const auto& [addr, when] : last_seen_) {
+    w.uvarint(addr.value());
+    w.svarint(when.seconds());
+  }
+  return w.take();
+}
+
+void SprayFocusPolicy::process_request(
+    const repl::SyncContext& ctx,
+    const std::vector<std::uint8_t>& routing_state) {
+  last_peer_ = ctx.peer;
+  peer_last_seen_.clear();
+  if (routing_state.empty()) return;
+  ByteReader r(routing_state);
+  const std::uint64_t hosted_count = r.uvarint();
+  for (std::uint64_t i = 0; i < hosted_count; ++i) {
+    // Meeting the peer now means meeting its hosted addresses now.
+    last_seen_[HostId(r.uvarint())] = ctx.now;
+  }
+  const std::uint64_t timer_count = r.uvarint();
+  for (std::uint64_t i = 0; i < timer_count; ++i) {
+    const HostId addr(r.uvarint());
+    peer_last_seen_[addr] = SimTime(r.svarint());
+  }
+}
+
+repl::Priority SprayFocusPolicy::to_send(const repl::SyncContext& ctx,
+                                         repl::TransientView stored) {
+  auto copies = stored.get_int(kCopiesKey);
+  if (!copies) {
+    stored.set_int(kCopiesKey, params_.copies);
+    copies = params_.copies;
+  }
+  if (*copies >= 2) {
+    // Spray phase: identical to Spray and Wait.
+    return repl::Priority::at(repl::PriorityClass::Normal);
+  }
+  if (*copies <= 0) return repl::Priority::skip();  // handed over
+
+  // Focus phase: forward the single copy only toward higher utility.
+  if (ctx.peer != last_peer_) return repl::Priority::skip();
+  for (const HostId dest : stored.item().dest_addresses()) {
+    const SimTime mine = last_seen(dest);
+    const auto it = peer_last_seen_.find(dest);
+    const SimTime theirs =
+        it == peer_last_seen_.end() ? SimTime(-1) : it->second;
+    if (theirs.seconds() >=
+        mine.seconds() + params_.utility_margin_s) {
+      // Peer's information is fresher: hand the copy over, earliest
+      // for the freshest peers.
+      return repl::Priority::at(
+          repl::PriorityClass::Low,
+          -static_cast<double>(theirs.seconds()));
+    }
+  }
+  return repl::Priority::skip();
+}
+
+void SprayFocusPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                                  repl::TransientView stored,
+                                  repl::TransientView outgoing) {
+  const std::int64_t copies =
+      stored.get_int(kCopiesKey).value_or(params_.copies);
+  if (copies >= 2) {
+    const std::int64_t handed = copies / 2;
+    stored.set_int(kCopiesKey, copies - handed);
+    outgoing.set_int(kCopiesKey, handed);
+  } else {
+    // Focus handover: the copy migrates. Drop the local relay copy so
+    // the network keeps a single focus-phase copy (the author's and
+    // destinations' copies are never discarded). Must stay the final
+    // access to `stored` (see ForwardingPolicy::on_forward).
+    stored.set_int(kCopiesKey, 0);
+    outgoing.set_int(kCopiesKey, 1);
+    if (replica() != nullptr) {
+      replica()->discard_relay(stored.item().id());
+    }
+  }
+}
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file spray_focus.hpp
+/// Spray and Focus [Spyropoulos et al. 2007]: the spray phase is
+/// identical to Spray and Wait (binary copy splitting), but a node
+/// left with a single copy enters the *focus* phase instead of
+/// waiting: it hands its copy (custody-style, no duplication) to any
+/// peer whose utility for the destination is higher. Utility here is
+/// last-encounter recency — "I met the destination's host more
+/// recently than you" — exchanged in sync requests like PROPHET's
+/// predictabilities.
+
+#include <map>
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+struct SprayFocusParams {
+  /// Copies injected per message (spray phase).
+  std::int64_t copies = 8;
+  /// Minimum utility improvement (seconds of recency) a peer must
+  /// offer before a focus handover happens.
+  std::int64_t utility_margin_s = 600;
+};
+
+class SprayFocusPolicy : public DtnPolicy {
+ public:
+  explicit SprayFocusPolicy(SprayFocusParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "spray-focus";
+  }
+  [[nodiscard]] std::string summary() const override;
+
+  std::vector<std::uint8_t> generate_request(
+      const repl::SyncContext& ctx) override;
+  void process_request(
+      const repl::SyncContext& ctx,
+      const std::vector<std::uint8_t>& routing_state) override;
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  /// Seconds since this node last saw the address hosted nearby;
+  /// SimTime::never() when never seen.
+  [[nodiscard]] SimTime last_seen(HostId address) const;
+
+  [[nodiscard]] const SprayFocusParams& params() const { return params_; }
+
+  static constexpr const char* kCopiesKey = "copies";
+
+ private:
+  SprayFocusParams params_;
+  /// When we last encountered a node hosting each address.
+  std::map<HostId, SimTime> last_seen_;
+  /// Peer timers captured by process_request for the current sync.
+  ReplicaId last_peer_{};
+  std::map<HostId, SimTime> peer_last_seen_;
+};
+
+}  // namespace pfrdtn::dtn

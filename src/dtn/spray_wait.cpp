@@ -1,0 +1,39 @@
+#include "dtn/spray_wait.hpp"
+
+namespace pfrdtn::dtn {
+
+std::string SprayWaitPolicy::summary() const {
+  return std::string("state: copy budget per message copy; request: "
+                     "(none); forward: while budget >= 2, handing the "
+                     "peer ") +
+         (params_.binary ? "half of" : "one of") +
+         " the copies (injected budget " +
+         std::to_string(params_.copies) + ")";
+}
+
+repl::Priority SprayWaitPolicy::to_send(const repl::SyncContext& /*ctx*/,
+                                        repl::TransientView stored) {
+  auto copies = stored.get_int(kCopiesKey);
+  if (!copies) {
+    stored.set_int(kCopiesKey, params_.copies);
+    copies = params_.copies;
+  }
+  if (*copies < 2) return repl::Priority::skip();  // Wait phase
+  return repl::Priority::at(repl::PriorityClass::Normal);
+}
+
+void SprayWaitPolicy::on_forward(const repl::SyncContext& /*ctx*/,
+                                 repl::TransientView stored,
+                                 repl::TransientView outgoing) {
+  const std::int64_t copies =
+      stored.get_int(kCopiesKey).value_or(params_.copies);
+  // The adjustment happens here, after bandwidth truncation, so copies
+  // are only charged for messages actually handed over. Uses the
+  // substrate's transient-metadata path, which "avoids generating a
+  // new version number for the item".
+  const std::int64_t handed = params_.binary ? copies / 2 : 1;
+  stored.set_int(kCopiesKey, copies - handed);
+  outgoing.set_int(kCopiesKey, handed);
+}
+
+}  // namespace pfrdtn::dtn

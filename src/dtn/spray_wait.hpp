@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file spray_wait.hpp
+/// Spray and Wait [Spyropoulos et al. 2005]: inject a fixed number of
+/// logical copies per message; a node forwards only while it holds at
+/// least two copies. In *binary* mode (the paper's default, "a binary
+/// tree pattern rooted at the message source") half of the copies are
+/// handed over per forward; in *vanilla* (source-spray) mode a single
+/// copy is handed over. A node holding one copy is in the Wait phase:
+/// it delivers only on a direct encounter with the destination, which
+/// the substrate's filter matching performs without policy involvement.
+
+#include "dtn/policy.hpp"
+
+namespace pfrdtn::dtn {
+
+struct SprayWaitParams {
+  /// Copies injected per message (Table II: copies per message = 8).
+  std::int64_t copies = 8;
+  /// Binary spraying (halving) vs vanilla (one copy per forward).
+  bool binary = true;
+};
+
+class SprayWaitPolicy : public DtnPolicy {
+ public:
+  explicit SprayWaitPolicy(SprayWaitParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "spray"; }
+  [[nodiscard]] std::string summary() const override;
+
+  repl::Priority to_send(const repl::SyncContext& ctx,
+                         repl::TransientView stored) override;
+  void on_forward(const repl::SyncContext& ctx,
+                  repl::TransientView stored,
+                  repl::TransientView outgoing) override;
+
+  [[nodiscard]] const SprayWaitParams& params() const { return params_; }
+
+  /// Transient key holding the copy budget of a stored message copy.
+  static constexpr const char* kCopiesKey = "copies";
+
+ private:
+  SprayWaitParams params_;
+};
+
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file filter.hpp
+/// Content-based filters: query-like predicates over item metadata that
+/// define which items a replica stores (peer-to-peer *filtered*
+/// replication). Filters are immutable values with structural equality,
+/// conservative subsumption, and a sound under-approximating
+/// intersection — the three operations the scoped-knowledge algebra in
+/// knowledge.hpp requires.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "repl/item.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/ids.hpp"
+
+namespace pfrdtn::repl {
+
+class Filter {
+ public:
+  /// Matches every item.
+  static Filter all();
+  /// Matches no item.
+  static Filter none();
+  /// Matches items whose `dest` metadata lists at least one of the
+  /// given addresses (the DTN application's per-host filter).
+  static Filter addresses(std::set<HostId> addrs);
+  /// Matches items carrying at least one of the given tags in their
+  /// `tags` metadata (comma-separated).
+  static Filter tags(std::set<std::string> tags);
+  /// Matches items whose metadata value for `key` equals `value`.
+  static Filter meta_equals(std::string key, std::string value);
+  /// Conjunction / disjunction / negation.
+  static Filter conj(Filter a, Filter b);
+  static Filter disj(Filter a, Filter b);
+  static Filter negate(Filter a);
+
+  /// Default-constructed filter matches nothing.
+  Filter() : Filter(none()) {}
+
+  [[nodiscard]] bool matches(const Item& item) const;
+
+  /// A filter that matches a subset of items matched by *both* `this`
+  /// and `other`. Exact for True/False and same-kind set filters;
+  /// conservative (structural conjunction) otherwise. Soundness
+  /// (result ⊆ this ∩ other) is all the knowledge algebra needs.
+  [[nodiscard]] Filter intersect(const Filter& other) const;
+
+  /// Conservative subsumption: returns true only if every item matched
+  /// by `other` is matched by `this`. May return false negatives.
+  [[nodiscard]] bool subsumes(const Filter& other) const;
+
+  /// True if the filter provably matches nothing (empty address/tag
+  /// sets, the False filter). May return false negatives for
+  /// composites.
+  [[nodiscard]] bool provably_empty() const;
+
+  /// Structural equality after canonicalization.
+  [[nodiscard]] bool equals(const Filter& other) const;
+  friend bool operator==(const Filter& a, const Filter& b) {
+    return a.equals(b);
+  }
+
+  /// For address filters, the address set; empty otherwise. Used by
+  /// the DTN layer to discover a peer's hosted addresses.
+  [[nodiscard]] std::set<HostId> address_set() const;
+  /// True if this filter is exactly an address-set filter.
+  [[nodiscard]] bool is_address_filter() const;
+
+  [[nodiscard]] std::string str() const;
+
+  void serialize(ByteWriter& w) const;
+  static Filter deserialize(ByteReader& r);
+
+ private:
+  enum class Kind : std::uint8_t {
+    True = 0,
+    False = 1,
+    AddressSet = 2,
+    TagSet = 3,
+    MetaEquals = 4,
+    And = 5,
+    Or = 6,
+    Not = 7,
+  };
+
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  explicit Filter(NodePtr node) : node_(std::move(node)) {}
+
+  static bool node_matches(const Node& node, const Item& item);
+  static bool node_equals(const Node& a, const Node& b);
+  static void node_serialize(const Node& node, ByteWriter& w);
+  static NodePtr node_deserialize(ByteReader& r, int depth);
+  static std::string node_str(const Node& node);
+
+  NodePtr node_;
+};
+
+}  // namespace pfrdtn::repl

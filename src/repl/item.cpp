@@ -1,0 +1,117 @@
+#include "repl/item.hpp"
+
+#include <charconv>
+
+namespace pfrdtn::repl {
+
+std::string encode_hosts(const std::vector<HostId>& hosts) {
+  std::string out;
+  for (const HostId host : hosts) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(host.value());
+  }
+  return out;
+}
+
+std::vector<HostId> decode_hosts(std::string_view value) {
+  std::vector<HostId> hosts;
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    std::size_t end = value.find(',', pos);
+    if (end == std::string_view::npos) end = value.size();
+    std::uint64_t id = 0;
+    const auto* first = value.data() + pos;
+    const auto* last = value.data() + end;
+    const auto [ptr, ec] = std::from_chars(first, last, id);
+    if (ec == std::errc() && ptr == last) hosts.emplace_back(id);
+    pos = end + 1;
+  }
+  return hosts;
+}
+
+std::optional<std::string> Item::meta(std::string_view key) const {
+  const auto it = metadata_.find(std::string(key));
+  if (it == metadata_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<HostId>& Item::dest_addresses() const {
+  if (!dest_cache_) {
+    const auto value = meta(meta::kDest);
+    dest_cache_ = value ? decode_hosts(*value) : std::vector<HostId>{};
+  }
+  return *dest_cache_;
+}
+
+std::optional<std::string> Item::transient(std::string_view key) const {
+  const auto it = transient_.find(std::string(key));
+  if (it == transient_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> Item::transient_int(
+    std::string_view key) const {
+  const auto value = transient(key);
+  if (!value) return std::nullopt;
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(
+      value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || ptr != value->data() + value->size())
+    return std::nullopt;
+  return parsed;
+}
+
+void Item::supersede(Version v, std::map<std::string, std::string> md,
+                     std::vector<std::uint8_t> body, bool deleted) {
+  PFRDTN_REQUIRE(v.dominates(version_) || !version_.valid());
+  version_ = v;
+  metadata_ = std::move(md);
+  body_ = std::move(body);
+  deleted_ = deleted;
+  transient_.clear();
+  dest_cache_.reset();
+}
+
+std::size_t Item::wire_size() const {
+  ByteWriter w;
+  serialize(w);
+  return w.size();
+}
+
+void Item::serialize(ByteWriter& w) const {
+  w.uvarint(id_.value());
+  version_.serialize(w);
+  w.u8(deleted_ ? 1 : 0);
+  w.uvarint(metadata_.size());
+  for (const auto& [key, value] : metadata_) {
+    w.str(key);
+    w.str(value);
+  }
+  w.raw(body_);
+  w.uvarint(transient_.size());
+  for (const auto& [key, value] : transient_) {
+    w.str(key);
+    w.str(value);
+  }
+}
+
+Item Item::deserialize(ByteReader& r) {
+  Item item;
+  item.id_ = ItemId(r.uvarint());
+  item.version_ = Version::deserialize(r);
+  item.deleted_ = r.u8() != 0;
+  const std::uint64_t md_count = r.uvarint();
+  for (std::uint64_t i = 0; i < md_count; ++i) {
+    std::string key = r.str();
+    item.metadata_[std::move(key)] = r.str();
+  }
+  item.body_ = r.raw();
+  const std::uint64_t tr_count = r.uvarint();
+  for (std::uint64_t i = 0; i < tr_count; ++i) {
+    std::string key = r.str();
+    item.transient_[std::move(key)] = r.str();
+  }
+  return item;
+}
+
+}  // namespace pfrdtn::repl

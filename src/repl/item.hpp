@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file item.hpp
+/// Replicated data items. An item carries replicated state (metadata
+/// map + opaque body, both covered by the item's version) and
+/// *transient* per-copy state that is never replicated and never bumps
+/// the version — the substrate feature the paper's DTN policies rely on
+/// for TTLs, copy budgets and hop counts ("host-specific metadata
+/// fields must be treated differently by the PFR system: updates to
+/// these fields should not be replicated").
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "repl/version.hpp"
+#include "util/ids.hpp"
+
+namespace pfrdtn::repl {
+
+/// Well-known metadata keys shared between the substrate's address
+/// filters and the DTN messaging application.
+namespace meta {
+inline constexpr const char* kSource = "src";
+inline constexpr const char* kDest = "dest";
+inline constexpr const char* kType = "type";
+inline constexpr const char* kCreated = "created";
+inline constexpr const char* kTags = "tags";
+}  // namespace meta
+
+/// Encode / decode a set of host ids as a metadata value ("3,17,42").
+std::string encode_hosts(const std::vector<HostId>& hosts);
+std::vector<HostId> decode_hosts(std::string_view value);
+
+class Item {
+ public:
+  Item() = default;
+  Item(ItemId id, Version version, std::map<std::string, std::string> md,
+       std::vector<std::uint8_t> body, bool deleted = false)
+      : id_(id),
+        version_(version),
+        metadata_(std::move(md)),
+        body_(std::move(body)),
+        deleted_(deleted) {}
+
+  [[nodiscard]] ItemId id() const { return id_; }
+  [[nodiscard]] const Version& version() const { return version_; }
+  [[nodiscard]] bool deleted() const { return deleted_; }
+
+  [[nodiscard]] const std::map<std::string, std::string>& metadata()
+      const {
+    return metadata_;
+  }
+  [[nodiscard]] std::optional<std::string> meta(
+      std::string_view key) const;
+  [[nodiscard]] const std::vector<std::uint8_t>& body() const {
+    return body_;
+  }
+
+  /// Destination addresses parsed from the `dest` metadata attribute
+  /// (empty for non-message items). Parsed lazily and cached — filters
+  /// consult this on every sync candidate scan.
+  [[nodiscard]] const std::vector<HostId>& dest_addresses() const;
+
+  // --- transient, per-copy state (not versioned, not replicated as an
+  // update; it is carried on the wire with the copy being transferred
+  // so that, e.g., a forwarded copy arrives with a decremented TTL) ---
+
+  [[nodiscard]] std::optional<std::string> transient(
+      std::string_view key) const;
+  void set_transient(std::string key, std::string value) {
+    transient_[std::move(key)] = std::move(value);
+  }
+  void clear_transient(std::string_view key) {
+    transient_.erase(std::string(key));
+  }
+  [[nodiscard]] const std::map<std::string, std::string>&
+  transient_all() const {
+    return transient_;
+  }
+
+  /// Convenience accessors for integer-valued transient fields.
+  [[nodiscard]] std::optional<std::int64_t> transient_int(
+      std::string_view key) const;
+  void set_transient_int(std::string key, std::int64_t value) {
+    set_transient(std::move(key), std::to_string(value));
+  }
+
+  /// Replace replicated content, producing the given new version.
+  /// Transient state is dropped: it belonged to the old copy.
+  void supersede(Version v, std::map<std::string, std::string> md,
+                 std::vector<std::uint8_t> body, bool deleted);
+
+  /// Approximate wire size of the replicated part, for traffic
+  /// accounting.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  void serialize(ByteWriter& w) const;
+  static Item deserialize(ByteReader& r);
+
+ private:
+  ItemId id_{};
+  Version version_{};
+  std::map<std::string, std::string> metadata_;
+  std::vector<std::uint8_t> body_;
+  bool deleted_ = false;
+  std::map<std::string, std::string> transient_;
+  mutable std::optional<std::vector<HostId>> dest_cache_;
+};
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file knowledge.hpp
+/// Per-replica knowledge: which update events this replica has seen.
+///
+/// Knowledge answers "does this replica already know update (author,
+/// counter) of this item?" — the question the sync protocol asks to
+/// guarantee at-most-once delivery. It is kept compact the way
+/// Cimbiosys keeps it compact: a *universal* version set (exact update
+/// events this replica received or authored, compacting into a version
+/// vector) plus *scoped fragments* — claims of the form "I know every
+/// event in version-set V that applies to items matching filter S",
+/// learned by merging a sync partner's knowledge after a complete sync,
+/// scoped to our own filter.
+///
+/// Soundness invariant (checked by the emulator's oracle in debug
+/// runs): whenever knows(i, v) holds at replica R, R stores item i at a
+/// version that is v or dominates v, or R stores a tombstone for i, or
+/// i does not match R's filter and R's copy was never required. The
+/// operations below each preserve it; see DESIGN.md §2 for the
+/// eviction/filter-change discipline that keeps it true.
+
+#include <vector>
+
+#include "repl/filter.hpp"
+#include "repl/item.hpp"
+#include "repl/version.hpp"
+
+namespace pfrdtn::repl {
+
+class Knowledge {
+ public:
+  /// One scoped claim: every event in `versions` that applies to an
+  /// item matching `scope` is known.
+  struct Fragment {
+    Filter scope;
+    VersionSet versions;
+  };
+
+  /// Maximum number of scoped fragments retained; excess fragments are
+  /// discarded smallest-first (forgetting knowledge is always safe —
+  /// the worst case is receiving an item copy twice).
+  static constexpr std::size_t kMaxFragments = 32;
+
+  /// Does this replica know the update (v.author, v.counter) as it
+  /// applies to `item`?
+  [[nodiscard]] bool knows(const Item& item, const Version& v) const;
+
+  /// Record receipt or authorship of an exact update event.
+  void add_exact(const Version& v) { universal_.add(v); }
+
+  /// Record receipt of a relay (out-of-filter) copy's event: pinned, so
+  /// a later eviction can forget it (see VersionSet).
+  void add_exact_pinned(const Version& v) {
+    universal_.add(v, /*pinned=*/true);
+  }
+
+  /// Record that every event authored by `author` up to `max_counter`
+  /// is known (a replica knows its own authored prefix by
+  /// construction).
+  void add_authored_prefix(ReplicaId author, std::uint64_t max_counter) {
+    universal_.add_prefix(author, max_counter);
+  }
+
+  /// Forget an exact event (relay eviction), so the copy can be
+  /// re-received later. Returns false if the event has already been
+  /// folded into the universal vector prefix and cannot be forgotten.
+  bool forget_exact(const Version& v) {
+    return universal_.remove_extra(v.author, v.counter);
+  }
+
+  /// Drop every scoped fragment whose scope matches `item` — required
+  /// when evicting a stored copy of `item`, because fragments may claim
+  /// knowledge of events for it (see DESIGN.md).
+  void drop_fragments_matching(const Item& item);
+
+  /// Merge a sync partner's knowledge, restricted to `scope` (the
+  /// receiving replica's filter intersected with what the partner can
+  /// vouch for). Only sound after a *complete* sync.
+  void merge_scoped(const Knowledge& other, const Filter& scope);
+
+  /// The universal (scope-free) part.
+  [[nodiscard]] const VersionSet& universal() const { return universal_; }
+  [[nodiscard]] const std::vector<Fragment>& fragments() const {
+    return fragments_;
+  }
+
+  /// Metadata footprint in serialized bytes.
+  [[nodiscard]] std::size_t size_bytes() const;
+  /// Abstract weight (vector entries + extras across all parts) for
+  /// compaction benchmarks.
+  [[nodiscard]] std::size_t weight() const;
+
+  void serialize(ByteWriter& w) const;
+  static Knowledge deserialize(ByteReader& r);
+
+ private:
+  void add_fragment(Fragment fragment);
+  void enforce_fragment_cap();
+
+  VersionSet universal_;
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace pfrdtn::repl

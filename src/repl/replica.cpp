@@ -1,0 +1,160 @@
+#include "repl/replica.hpp"
+
+#include "util/logging.hpp"
+
+namespace pfrdtn::repl {
+
+const Item& Replica::create(std::map<std::string, std::string> metadata,
+                            std::vector<std::uint8_t> body) {
+  PFRDTN_REQUIRE(next_item_seq_ < (std::uint64_t{1} << 32));
+  const ItemId id((id_.value() << 32) | next_item_seq_++);
+  const Version version{id_, ++next_counter_, /*revision=*/1};
+  Item item(id, version, std::move(metadata), std::move(body));
+  knowledge_.add_exact(version);
+  const bool in_filter = filter_.matches(item);
+  auto evicted = store_.put(std::move(item), in_filter,
+                            /*local_origin=*/true);
+  PFRDTN_ENSURE(evicted.empty());  // local items are never evictable
+  return store_.find(id)->item;
+}
+
+const Item& Replica::update(ItemId id,
+                            std::map<std::string, std::string> metadata,
+                            std::vector<std::uint8_t> body) {
+  auto* entry = store_.find_mutable(id);
+  PFRDTN_REQUIRE(entry != nullptr);
+  PFRDTN_REQUIRE(!entry->item.deleted());
+  const Version version{id_, ++next_counter_,
+                        entry->item.version().revision + 1};
+  knowledge_.add_exact(version);
+  entry->item.supersede(version, std::move(metadata), std::move(body),
+                        /*deleted=*/false);
+  entry->in_filter = filter_.matches(entry->item);
+  // An update authored here pins the copy against eviction, exactly
+  // like a creation would.
+  entry->local_origin = true;
+  return entry->item;
+}
+
+const Item& Replica::erase(ItemId id) {
+  auto* entry = store_.find_mutable(id);
+  PFRDTN_REQUIRE(entry != nullptr);
+  const Version version{id_, ++next_counter_,
+                        entry->item.version().revision + 1};
+  knowledge_.add_exact(version);
+  // Tombstones keep the metadata so filters still select them and the
+  // deletion propagates to every interested replica.
+  entry->item.supersede(version, entry->item.metadata(), {},
+                        /*deleted=*/true);
+  entry->local_origin = true;
+  return entry->item;
+}
+
+std::vector<Item> Replica::set_filter(Filter filter) {
+  filter_ = std::move(filter);
+  std::vector<Item> evicted;
+  auto newly_matching = store_.refilter(
+      [this](const Item& item) { return filter_.matches(item); },
+      evicted);
+  // A filter change invalidates scoped claims: fragments were learned
+  // under the old filter, and pinned/folded status of stored events no
+  // longer reflects evictability. Rebuild knowledge from what is
+  // actually stored — forgetting is always safe (worst case the same
+  // copy is transmitted again), while a stale claim would break
+  // eventual filter consistency (this is the substrate's analogue of
+  // Cimbiosys's move-in handling).
+  rebuild_knowledge();
+  return newly_matching;
+}
+
+void Replica::rebuild_knowledge() {
+  Knowledge fresh;
+  fresh.add_authored_prefix(id_, next_counter_);
+  store_.for_each([&](const ItemStore::Entry& entry) {
+    if (entry.item.version().author == id_) return;  // in the prefix
+    if (entry.evictable()) {
+      fresh.add_exact_pinned(entry.item.version());
+    } else {
+      fresh.add_exact(entry.item.version());
+    }
+  });
+  knowledge_ = std::move(fresh);
+}
+
+ApplyOutcome Replica::apply_remote(const Item& incoming,
+                                   std::vector<Item>& evicted) {
+  PFRDTN_REQUIRE(incoming.version().valid());
+  auto* existing = store_.find_mutable(incoming.id());
+  const bool in_filter = filter_.matches(incoming);
+
+  if (existing != nullptr) {
+    // Either an update to a stored item or a duplicate/stale copy.
+    knowledge_.add_exact(incoming.version());
+    if (!incoming.version().dominates(existing->item.version())) {
+      return ApplyOutcome::Stale;
+    }
+    existing->item.supersede(incoming.version(), incoming.metadata(),
+                             incoming.body(), incoming.deleted());
+    // Forwarded transient state (TTL, copy counts) travels with the
+    // new copy.
+    for (const auto& [key, value] : incoming.transient_all())
+      existing->item.set_transient(key, value);
+    existing->in_filter = filter_.matches(existing->item);
+    return ApplyOutcome::UpdatedExisting;
+  }
+
+  // New item. Relay (out-of-filter) receipts are pinned in knowledge so
+  // a later eviction can forget them.
+  if (in_filter) {
+    knowledge_.add_exact(incoming.version());
+  } else {
+    knowledge_.add_exact_pinned(incoming.version());
+  }
+  auto victims =
+      store_.put(incoming, in_filter, /*local_origin=*/false);
+  forget_evicted(victims);
+  evicted.insert(evicted.end(), victims.begin(), victims.end());
+  return ApplyOutcome::StoredNew;
+}
+
+bool Replica::discard_relay(ItemId id) {
+  const auto* entry = store_.find(id);
+  if (entry == nullptr || entry->in_filter || entry->local_origin)
+    return false;
+  const Item item = entry->item;
+  store_.remove(id);
+  forget_evicted({item});
+  return true;
+}
+
+void Replica::forget_evicted(const std::vector<Item>& evicted) {
+  for (const Item& item : evicted) {
+    if (!knowledge_.forget_exact(item.version())) {
+      PFRDTN_LOG(Debug) << "replica " << id_.str()
+                        << ": evicted item " << item.id().str()
+                        << " whose event was already folded; copy "
+                           "cannot be re-received";
+    }
+    knowledge_.drop_fragments_matching(item);
+  }
+}
+
+std::string Replica::check_invariants() const {
+  std::string violation;
+  store_.for_each([&](const ItemStore::Entry& entry) {
+    if (!violation.empty()) return;
+    // Every stored item's current version must be known.
+    if (!knowledge_.knows(entry.item, entry.item.version())) {
+      violation = "stored item " + entry.item.id().str() +
+                  " version not covered by knowledge at " + id_.str();
+    }
+    // The in_filter flag must agree with the filter.
+    if (entry.in_filter != filter_.matches(entry.item)) {
+      violation = "in_filter flag inconsistent for " +
+                  entry.item.id().str() + " at " + id_.str();
+    }
+  });
+  return violation;
+}
+
+}  // namespace pfrdtn::repl

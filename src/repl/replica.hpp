@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file replica.hpp
+/// A replica of the shared collection: item store + knowledge + filter,
+/// with the local-update and remote-apply operations that preserve the
+/// substrate's guarantees (eventual filter consistency, at-most-once
+/// delivery). All mutation paths that touch both the store and the
+/// knowledge go through this class so the two cannot diverge.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repl/filter.hpp"
+#include "repl/item.hpp"
+#include "repl/knowledge.hpp"
+#include "repl/store.hpp"
+
+namespace pfrdtn::repl {
+
+/// Outcome of applying one remote item copy.
+enum class ApplyOutcome {
+  StoredNew,        ///< previously unseen item stored
+  UpdatedExisting,  ///< dominated version replaced
+  Stale,            ///< we already store this or a dominating version
+};
+
+class Replica {
+ public:
+  Replica(ReplicaId id, Filter filter, ItemStore::Config store_config = {})
+      : id_(id), filter_(std::move(filter)), store_(store_config) {}
+
+  [[nodiscard]] ReplicaId id() const { return id_; }
+  [[nodiscard]] const Filter& filter() const { return filter_; }
+  [[nodiscard]] const Knowledge& knowledge() const { return knowledge_; }
+  [[nodiscard]] Knowledge& knowledge_mutable() { return knowledge_; }
+  [[nodiscard]] const ItemStore& store() const { return store_; }
+  [[nodiscard]] ItemStore& store_mutable() { return store_; }
+
+  // ---- local operations (always available; disconnected operation) ----
+
+  /// Create a new item authored here. The item is stored regardless of
+  /// whether it matches the local filter (out-of-filter creations go to
+  /// the relay/push-out store and are exempt from eviction).
+  const Item& create(std::map<std::string, std::string> metadata,
+                     std::vector<std::uint8_t> body);
+
+  /// Replace an existing item's replicated content with a new version.
+  const Item& update(ItemId id,
+                     std::map<std::string, std::string> metadata,
+                     std::vector<std::uint8_t> body);
+
+  /// Delete an item: stores a tombstone that propagates like any other
+  /// update, clearing copies at other replicas.
+  const Item& erase(ItemId id);
+
+  /// Change this replica's filter. Items that newly match are returned
+  /// (they were already stored as relay items and are now locally
+  /// "delivered"); items that no longer match become evictable relay
+  /// items.
+  std::vector<Item> set_filter(Filter filter);
+
+  // ---- remote application (called by the sync engine) ----
+
+  /// Apply one item copy received from a sync partner. Updates the
+  /// store and knowledge consistently; any evicted relay items are
+  /// appended to `evicted` (their knowledge entries are forgotten so
+  /// the copies can be re-received).
+  ApplyOutcome apply_remote(const Item& incoming,
+                            std::vector<Item>& evicted);
+
+  /// Discard a relay copy (out-of-filter, not locally authored) and
+  /// forget its knowledge entries, exactly as an eviction would — used
+  /// by acknowledgement-flooding policies to clear buffers of delivered
+  /// messages. Returns whether a copy was discarded.
+  bool discard_relay(ItemId id);
+
+  /// Record knowledge learned from a sync partner after a *complete*
+  /// sync, scoped to this replica's filter.
+  void learn(const Knowledge& source_knowledge) {
+    knowledge_.merge_scoped(source_knowledge, filter_);
+  }
+
+  /// Check the store/knowledge soundness invariant for every stored
+  /// item and, via `latest` (a map from item id to the globally newest
+  /// version, supplied by the test oracle), for completeness claims.
+  /// Returns a human-readable violation description, or empty string.
+  [[nodiscard]] std::string check_invariants() const;
+
+ private:
+  /// Fix knowledge after relay evictions so copies can be re-received.
+  void forget_evicted(const std::vector<Item>& evicted);
+
+  /// Re-derive knowledge from the authored counter and the current
+  /// store contents; called on filter changes (see set_filter).
+  void rebuild_knowledge();
+
+  ReplicaId id_;
+  Filter filter_;
+  Knowledge knowledge_;
+  ItemStore store_;
+  std::uint64_t next_counter_ = 0;
+  std::uint64_t next_item_seq_ = 0;
+};
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,106 @@
+#include "repl/store.hpp"
+
+namespace pfrdtn::repl {
+
+std::vector<Item> ItemStore::put(Item item, bool in_filter,
+                                 bool local_origin) {
+  const ItemId id = item.id();
+  auto& entry = entries_[id];
+  if (entry.item.id().valid()) order_.erase(entry.arrival_seq);
+  entry.item = std::move(item);
+  entry.in_filter = in_filter;
+  entry.local_origin = entry.local_origin || local_origin;
+  entry.arrival_seq = next_seq_++;
+  order_.emplace(entry.arrival_seq, id);
+  return enforce_capacity();
+}
+
+const ItemStore::Entry* ItemStore::find(ItemId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ItemStore::Entry* ItemStore::find_mutable(ItemId id) {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ItemStore::remove(ItemId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  order_.erase(it->second.arrival_seq);
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<Item> ItemStore::refilter(
+    const std::function<bool(const Item&)>& matches,
+    std::vector<Item>& evicted) {
+  std::vector<Item> newly_matching;
+  for (auto& [id, entry] : entries_) {
+    const bool now = matches(entry.item);
+    if (now && !entry.in_filter) newly_matching.push_back(entry.item);
+    entry.in_filter = now;
+  }
+  auto victims = enforce_capacity();
+  evicted.insert(evicted.end(), victims.begin(), victims.end());
+  return newly_matching;
+}
+
+std::vector<Item> ItemStore::enforce_capacity() {
+  std::vector<Item> victims;
+  if (!config_.relay_capacity) return victims;
+  std::size_t evictable = evictable_count();
+  if (evictable <= *config_.relay_capacity) return victims;
+
+  const auto pick_victim = [&]() -> const Entry* {
+    if (config_.eviction == EvictionOrder::Fifo) {
+      for (const auto& [seq, id] : order_) {
+        const Entry& entry = entries_.at(id);
+        if (entry.evictable()) return &entry;
+      }
+    } else {
+      for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+        const Entry& entry = entries_.at(it->second);
+        if (entry.evictable()) return &entry;
+      }
+    }
+    return nullptr;
+  };
+
+  while (evictable > *config_.relay_capacity) {
+    const Entry* victim = pick_victim();
+    PFRDTN_ENSURE(victim != nullptr);
+    victims.push_back(victim->item);
+    remove(victim->item.id());
+    --evictable;
+  }
+  return victims;
+}
+
+void ItemStore::for_each(
+    const std::function<void(const Entry&)>& fn) const {
+  for (const auto& [seq, id] : order_) fn(entries_.at(id));
+}
+
+void ItemStore::for_each_mutable(const std::function<void(Entry&)>& fn) {
+  for (const auto& [seq, id] : order_) fn(entries_.at(id));
+}
+
+std::size_t ItemStore::relay_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (!entry.in_filter) ++n;
+  }
+  return n;
+}
+
+std::size_t ItemStore::evictable_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.evictable()) ++n;
+  }
+  return n;
+}
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file store.hpp
+/// Per-replica item storage. Two logical stores, as in Cimbiosys:
+/// the *filter store* (items matching the replica's filter — never
+/// evicted, required for eventual filter consistency) and the
+/// *relay store* (out-of-filter items held for forwarding; the paper's
+/// push-out store generalized to DTN relaying). Relay items are
+/// evictable, except copies this replica authored ("excluding messages
+/// for which the node itself is the sender"), which must survive until
+/// delivered.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "repl/item.hpp"
+#include "util/require.hpp"
+
+namespace pfrdtn::repl {
+
+/// How the relay store picks a victim when over capacity.
+enum class EvictionOrder {
+  Fifo,  ///< oldest arrival first (the paper's strategy)
+  Lifo,  ///< newest arrival first
+};
+
+class ItemStore {
+ public:
+  struct Config {
+    /// Maximum number of evictable (relay, non-locally-authored) items;
+    /// nullopt = unbounded (the paper's unconstrained experiments).
+    std::optional<std::size_t> relay_capacity;
+    EvictionOrder eviction = EvictionOrder::Fifo;
+  };
+
+  struct Entry {
+    Item item;
+    bool in_filter = false;     ///< matches the replica's filter
+    bool local_origin = false;  ///< authored by this replica
+    std::uint64_t arrival_seq = 0;
+
+    [[nodiscard]] bool evictable() const {
+      return !in_filter && !local_origin;
+    }
+  };
+
+  ItemStore() = default;
+  explicit ItemStore(Config config) : config_(config) {}
+
+  /// Insert or replace an entry. If the relay store exceeds capacity
+  /// afterwards, victims are evicted and returned (never the
+  /// just-inserted entry under FIFO unless capacity is zero).
+  std::vector<Item> put(Item item, bool in_filter, bool local_origin);
+
+  [[nodiscard]] const Entry* find(ItemId id) const;
+  /// Mutable access for transient metadata and versioned supersede
+  /// (callers go through Replica, which maintains knowledge).
+  Entry* find_mutable(ItemId id);
+
+  [[nodiscard]] bool contains(ItemId id) const {
+    return entries_.count(id) > 0;
+  }
+
+  /// Remove an item outright (used by tests and by garbage collection
+  /// extensions; normal deletion is a tombstone supersede).
+  bool remove(ItemId id);
+
+  /// Re-evaluate in_filter flags after a filter change.
+  /// `matches` is the new filter predicate. Returns the items that
+  /// changed from relay to filter store (newly "delivered" locally);
+  /// items moving the other way become evictable, which may trigger
+  /// evictions returned via `evicted`.
+  std::vector<Item> refilter(
+      const std::function<bool(const Item&)>& matches,
+      std::vector<Item>& evicted);
+
+  /// Iterate all entries in arrival order (deterministic).
+  void for_each(const std::function<void(const Entry&)>& fn) const;
+  void for_each_mutable(const std::function<void(Entry&)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t relay_count() const;
+  [[nodiscard]] std::size_t evictable_count() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+  void set_relay_capacity(std::optional<std::size_t> capacity) {
+    config_.relay_capacity = capacity;
+  }
+
+ private:
+  std::vector<Item> enforce_capacity();
+
+  Config config_;
+  std::unordered_map<ItemId, Entry> entries_;
+  /// Arrival-ordered index over entries_ (FIFO order, deterministic
+  /// iteration without per-call sorting).
+  std::map<std::uint64_t, ItemId> order_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,177 @@
+#include "repl/sync.hpp"
+
+#include <algorithm>
+
+namespace pfrdtn::repl {
+
+void SyncRequest::serialize(ByteWriter& w) const {
+  w.uvarint(target.value());
+  filter.serialize(w);
+  knowledge.serialize(w);
+  w.raw(routing_state);
+}
+
+SyncRequest SyncRequest::deserialize(ByteReader& r) {
+  SyncRequest req;
+  req.target = ReplicaId(r.uvarint());
+  req.filter = Filter::deserialize(r);
+  req.knowledge = Knowledge::deserialize(r);
+  req.routing_state = r.raw();
+  return req;
+}
+
+void SyncBatch::serialize(ByteWriter& w) const {
+  w.uvarint(source.value());
+  w.u8(complete ? 1 : 0);
+  w.uvarint(items.size());
+  for (const Item& item : items) item.serialize(w);
+  source_knowledge.serialize(w);
+}
+
+SyncBatch SyncBatch::deserialize(ByteReader& r) {
+  SyncBatch batch;
+  batch.source = ReplicaId(r.uvarint());
+  batch.complete = r.u8() != 0;
+  const std::uint64_t n = r.uvarint();
+  // Never trust a wire count for allocation: each item occupies at
+  // least one byte, so remaining() bounds the plausible count.
+  batch.items.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, r.remaining())));
+  for (std::uint64_t i = 0; i < n; ++i)
+    batch.items.push_back(Item::deserialize(r));
+  batch.source_knowledge = Knowledge::deserialize(r);
+  return batch;
+}
+
+void SyncStats::accumulate(const SyncStats& other) {
+  items_sent += other.items_sent;
+  items_new += other.items_new;
+  items_stale += other.items_stale;
+  evictions += other.evictions;
+  request_bytes += other.request_bytes;
+  batch_bytes += other.batch_bytes;
+  complete = complete && other.complete;
+}
+
+namespace {
+
+struct Candidate {
+  ItemId id{};
+  Priority priority;
+  bool matches_filter = false;
+  std::uint64_t arrival_seq = 0;  ///< deterministic tie-break
+};
+
+}  // namespace
+
+SyncResult run_sync(Replica& source, Replica& target,
+                    ForwardingPolicy* source_policy,
+                    ForwardingPolicy* target_policy, SimTime now,
+                    const SyncOptions& options) {
+  SyncResult result;
+
+  // ---- target builds and "sends" the request ----
+  const SyncContext target_ctx{target.id(), source.id(), now};
+  SyncRequest request{
+      target.id(), target.filter(), target.knowledge(),
+      target_policy ? target_policy->generate_request(target_ctx)
+                    : std::vector<std::uint8_t>{}};
+  ByteWriter request_writer;
+  request.serialize(request_writer);
+  result.stats.request_bytes = request_writer.size();
+  ByteReader request_reader(request_writer.bytes());
+  const SyncRequest received = SyncRequest::deserialize(request_reader);
+  PFRDTN_ENSURE(request_reader.done());
+
+  // ---- source side ----
+  const SyncContext source_ctx{source.id(), target.id(), now};
+  if (source_policy)
+    source_policy->process_request(source_ctx, received.routing_state);
+
+  std::vector<Candidate> candidates;
+  source.store_mutable().for_each_mutable([&](ItemStore::Entry& entry) {
+    if (received.knowledge.knows(entry.item, entry.item.version()))
+      return;
+    if (received.filter.matches(entry.item)) {
+      candidates.push_back(
+          {entry.item.id(), Priority::at(PriorityClass::Highest),
+           /*matches_filter=*/true, entry.arrival_seq});
+      return;
+    }
+    if (source_policy == nullptr) return;
+    const Priority priority =
+        source_policy->to_send(source_ctx, TransientView(entry.item));
+    if (priority.send()) {
+      PFRDTN_REQUIRE(priority.cls != PriorityClass::Highest);
+      candidates.push_back({entry.item.id(), priority,
+                            /*matches_filter=*/false,
+                            entry.arrival_seq});
+    }
+  });
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.priority.cls != b.priority.cls ||
+                  a.priority.cost != b.priority.cost) {
+                return a.priority.before(b.priority);
+              }
+              return a.arrival_seq < b.arrival_seq;
+            });
+
+  bool complete = true;
+  if (options.max_items && candidates.size() > *options.max_items) {
+    for (std::size_t i = *options.max_items; i < candidates.size(); ++i) {
+      if (candidates[i].matches_filter) complete = false;
+    }
+    candidates.resize(*options.max_items);
+  }
+
+  SyncBatch batch;
+  batch.source = source.id();
+  batch.complete = complete;
+  batch.source_knowledge = source.knowledge();
+  batch.items.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    auto* entry = source.store_mutable().find_mutable(candidate.id);
+    PFRDTN_ENSURE(entry != nullptr);
+    Item outgoing = entry->item;  // copies transient state too
+    if (source_policy && !candidate.matches_filter) {
+      source_policy->on_forward(source_ctx, TransientView(entry->item),
+                                TransientView(outgoing));
+    }
+    batch.items.push_back(std::move(outgoing));
+  }
+
+  ByteWriter batch_writer;
+  batch.serialize(batch_writer);
+  result.stats.batch_bytes = batch_writer.size();
+  ByteReader batch_reader(batch_writer.bytes());
+  const SyncBatch arrived = SyncBatch::deserialize(batch_reader);
+  PFRDTN_ENSURE(batch_reader.done());
+
+  // ---- target applies the batch ----
+  result.stats.items_sent = arrived.items.size();
+  result.stats.complete = arrived.complete;
+  for (const Item& item : arrived.items) {
+    const ApplyOutcome outcome =
+        target.apply_remote(item, result.evicted);
+    switch (outcome) {
+      case ApplyOutcome::StoredNew:
+      case ApplyOutcome::UpdatedExisting:
+        ++result.stats.items_new;
+        if (target.filter().matches(item)) result.delivered.push_back(item);
+        break;
+      case ApplyOutcome::Stale:
+        ++result.stats.items_stale;
+        break;
+    }
+  }
+  result.stats.evictions = result.evicted.size();
+
+  if (arrived.complete && options.learn_knowledge) {
+    target.learn(arrived.source_knowledge);
+  }
+  return result;
+}
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file sync.hpp
+/// The pairwise synchronization protocol (the paper's Figure 4):
+///
+///   Target:  routingState = policy.generateReq()
+///            send knowledge, filter, routingState to source
+///   Source:  policy.processReq(routingState)
+///            for each stored item unknown to the target:
+///              if it matches the target's filter -> batch (highest)
+///              else if policy.toSend(item)       -> batch (policy prio)
+///            sort batch by priority, apply bandwidth cap
+///            send batch + own knowledge
+///   Target:  apply items, update knowledge;
+///            merge source knowledge scoped to own filter iff the batch
+///            was complete (no filter-matching item truncated).
+///
+/// Requests and batches make a full serialize/deserialize round trip
+/// through the wire format on every sync, so byte counts are honest and
+/// the format is exercised continuously.
+
+#include <optional>
+
+#include "repl/forwarding_policy.hpp"
+#include "repl/replica.hpp"
+
+namespace pfrdtn::repl {
+
+/// What the target sends to the source.
+struct SyncRequest {
+  ReplicaId target{};
+  Filter filter;
+  Knowledge knowledge;
+  std::vector<std::uint8_t> routing_state;
+
+  void serialize(ByteWriter& w) const;
+  static SyncRequest deserialize(ByteReader& r);
+};
+
+/// What the source returns.
+struct SyncBatch {
+  ReplicaId source{};
+  std::vector<Item> items;  ///< priority order
+  Knowledge source_knowledge;
+  /// True iff every filter-matching unknown item was included (policy
+  /// extras may still have been truncated). Gates knowledge learning.
+  bool complete = true;
+
+  void serialize(ByteWriter& w) const;
+  static SyncBatch deserialize(ByteReader& r);
+};
+
+struct SyncOptions {
+  /// Bandwidth cap for this sync: maximum number of items transferred.
+  std::optional<std::size_t> max_items;
+  /// When false, skip knowledge learning even on complete syncs (for
+  /// the knowledge-ablation benchmark).
+  bool learn_knowledge = true;
+};
+
+struct SyncStats {
+  std::size_t items_sent = 0;
+  std::size_t items_new = 0;      ///< StoredNew or UpdatedExisting
+  std::size_t items_stale = 0;    ///< duplicates suppressed at target
+  std::size_t evictions = 0;
+  std::size_t request_bytes = 0;
+  std::size_t batch_bytes = 0;
+  bool complete = true;
+
+  void accumulate(const SyncStats& other);
+};
+
+struct SyncResult {
+  SyncStats stats;
+  /// Items newly present in the target's filter store (candidate
+  /// message deliveries, in the DTN application).
+  std::vector<Item> delivered;
+  /// Relay items the target evicted while applying the batch.
+  std::vector<Item> evicted;
+};
+
+/// Run one one-way synchronization in which `target` pulls from
+/// `source`. Policies may be null (unmodified substrate).
+SyncResult run_sync(Replica& source, Replica& target,
+                    ForwardingPolicy* source_policy,
+                    ForwardingPolicy* target_policy, SimTime now,
+                    const SyncOptions& options = {});
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,236 @@
+#include "repl/version.hpp"
+
+namespace pfrdtn::repl {
+
+void Version::serialize(ByteWriter& w) const {
+  w.uvarint(author.value());
+  w.uvarint(counter);
+  w.uvarint(revision);
+}
+
+Version Version::deserialize(ByteReader& r) {
+  Version v;
+  v.author = ReplicaId(r.uvarint());
+  v.counter = r.uvarint();
+  v.revision = r.uvarint();
+  return v;
+}
+
+bool VersionVector::covers(const VersionVector& other) const {
+  for (const auto& [author, counter] : other.max_) {
+    if (max_counter(author) < counter) return false;
+  }
+  return true;
+}
+
+void VersionVector::serialize(ByteWriter& w) const {
+  w.uvarint(max_.size());
+  for (const auto& [author, counter] : max_) {
+    w.uvarint(author.value());
+    w.uvarint(counter);
+  }
+}
+
+VersionVector VersionVector::deserialize(ByteReader& r) {
+  VersionVector vv;
+  const std::uint64_t n = r.uvarint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ReplicaId author(r.uvarint());
+    vv.extend(author, r.uvarint());
+  }
+  return vv;
+}
+
+void VersionSet::add(ReplicaId author, std::uint64_t counter,
+                     bool pinned) {
+  PFRDTN_REQUIRE(counter >= 1);
+  if (contains(author, counter)) return;
+  if (pinned) {
+    pinned_[author].insert(counter);
+  } else {
+    extras_[author].insert(counter);
+    compact(author);
+  }
+}
+
+void VersionSet::unpin(ReplicaId author, std::uint64_t counter) {
+  const auto it = pinned_.find(author);
+  if (it == pinned_.end() || it->second.erase(counter) == 0) return;
+  if (it->second.empty()) pinned_.erase(it);
+  if (!vv_.includes(author, counter)) extras_[author].insert(counter);
+  compact(author);
+}
+
+void VersionSet::add_prefix(ReplicaId author, std::uint64_t max_counter) {
+  if (max_counter == 0) return;
+  vv_.extend(author, max_counter);
+  // Absorb extras (and release pinned ones) now inside the prefix.
+  if (const auto it = pinned_.find(author); it != pinned_.end()) {
+    std::erase_if(it->second, [&](std::uint64_t c) {
+      return c <= max_counter;
+    });
+    if (it->second.empty()) pinned_.erase(it);
+  }
+  compact(author);
+}
+
+bool VersionSet::pin(ReplicaId author, std::uint64_t counter) {
+  if (const auto it = pinned_.find(author);
+      it != pinned_.end() && it->second.count(counter) > 0) {
+    return true;  // already pinned
+  }
+  const auto it = extras_.find(author);
+  if (it == extras_.end() || it->second.erase(counter) == 0)
+    return false;  // folded into the prefix (or absent): cannot pin
+  if (it->second.empty()) extras_.erase(it);
+  pinned_[author].insert(counter);
+  return true;
+}
+
+void VersionSet::compact(ReplicaId author) {
+  const auto it = extras_.find(author);
+  if (it == extras_.end()) return;
+  auto& pending = it->second;
+  const auto pinned_it = pinned_.find(author);
+  const auto* pinned =
+      pinned_it == pinned_.end() ? nullptr : &pinned_it->second;
+  std::uint64_t next = vv_.max_counter(author) + 1;
+  // Fold the contiguous run; a pinned event blocks folding past it so
+  // it stays removable.
+  while (!pending.empty() && *pending.begin() == next &&
+         !(pinned && pinned->count(next))) {
+    pending.erase(pending.begin());
+    vv_.extend(author, next);
+    ++next;
+  }
+  // Drop extras that fell inside the prefix (possible after merge()).
+  while (!pending.empty() &&
+         *pending.begin() <= vv_.max_counter(author)) {
+    pending.erase(pending.begin());
+  }
+  if (pending.empty()) extras_.erase(it);
+}
+
+bool VersionSet::contains(ReplicaId author, std::uint64_t counter) const {
+  if (vv_.includes(author, counter)) return true;
+  if (const auto it = extras_.find(author);
+      it != extras_.end() && it->second.count(counter) > 0) {
+    return true;
+  }
+  const auto it = pinned_.find(author);
+  return it != pinned_.end() && it->second.count(counter) > 0;
+}
+
+bool VersionSet::remove_extra(ReplicaId author, std::uint64_t counter) {
+  for (auto* group : {&pinned_, &extras_}) {
+    const auto it = group->find(author);
+    if (it != group->end() && it->second.erase(counter) > 0) {
+      if (it->second.empty()) group->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void VersionSet::merge(const VersionSet& other) {
+  vv_.merge(other.vv_);
+  for (const auto* group : {&other.extras_, &other.pinned_}) {
+    // Claims merged from a peer are unpinned: pinning is a local
+    // storage concern of the replica that holds the evictable copy.
+    for (const auto& [author, counters] : *group) {
+      for (const std::uint64_t counter : counters) {
+        if (!contains(author, counter)) extras_[author].insert(counter);
+      }
+    }
+  }
+  // Merging the vectors may have absorbed or unblocked pre-existing
+  // extras.
+  std::vector<ReplicaId> authors;
+  authors.reserve(extras_.size());
+  for (const auto& [author, counters] : extras_) authors.push_back(author);
+  for (const ReplicaId author : authors) compact(author);
+}
+
+bool VersionSet::contains_all(const VersionSet& other) const {
+  if (!vv_.covers(other.vv_)) {
+    // The vector part of `other` might still be covered via extras;
+    // check entry by entry (counters are dense from 1).
+    for (const auto& [author, counter] : other.vv_.entries()) {
+      for (std::uint64_t c = vv_.max_counter(author) + 1; c <= counter;
+           ++c) {
+        if (!contains(author, c)) return false;
+      }
+    }
+  }
+  for (const auto* group : {&other.extras_, &other.pinned_}) {
+    for (const auto& [author, counters] : *group) {
+      for (const std::uint64_t counter : counters) {
+        if (!contains(author, counter)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t VersionSet::count_of(
+    const std::map<ReplicaId, std::set<std::uint64_t>>& extras) {
+  std::size_t n = 0;
+  for (const auto& [author, counters] : extras) n += counters.size();
+  return n;
+}
+
+std::size_t VersionSet::extras_count() const {
+  return count_of(extras_) + count_of(pinned_);
+}
+
+bool VersionSet::empty() const {
+  return vv_.entry_count() == 0 && extras_.empty() && pinned_.empty();
+}
+
+namespace {
+
+void serialize_extras(
+    ByteWriter& w,
+    const std::map<ReplicaId, std::set<std::uint64_t>>& extras) {
+  w.uvarint(extras.size());
+  for (const auto& [author, counters] : extras) {
+    w.uvarint(author.value());
+    w.uvarint(counters.size());
+    std::uint64_t prev = 0;
+    for (const std::uint64_t counter : counters) {
+      w.uvarint(counter - prev);  // delta-encoded, counters ascending
+      prev = counter;
+    }
+  }
+}
+
+}  // namespace
+
+void VersionSet::serialize(ByteWriter& w) const {
+  // Pinned-ness is local; on the wire both groups are plain extras.
+  vv_.serialize(w);
+  auto combined = extras_;
+  for (const auto& [author, counters] : pinned_)
+    combined[author].insert(counters.begin(), counters.end());
+  serialize_extras(w, combined);
+}
+
+VersionSet VersionSet::deserialize(ByteReader& r) {
+  VersionSet vs;
+  vs.vv_ = VersionVector::deserialize(r);
+  const std::uint64_t groups = r.uvarint();
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const ReplicaId author(r.uvarint());
+    const std::uint64_t n = r.uvarint();
+    std::uint64_t counter = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      counter += r.uvarint();
+      if (!vs.vv_.includes(author, counter))
+        vs.extras_[author].insert(counter);
+    }
+    vs.compact(author);
+  }
+  return vs;
+}
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file version.hpp
+/// Versioning primitives for the replication substrate.
+///
+/// Every local create/update/delete at a replica consumes the next value
+/// of that replica's update counter, so the pair (author, counter)
+/// uniquely identifies one update event in the whole system. Knowledge
+/// (see knowledge.hpp) is a set of such pairs, stored compactly as a
+/// version vector plus per-replica "extras" that compact into the vector
+/// as they become contiguous — the paper's "knowledge represented in a
+/// compact form, as a version vector".
+///
+/// A Version additionally carries a per-item revision used only for
+/// deterministic last-writer-wins dominance between versions of the
+/// same item (the DTN workload never updates items concurrently, so
+/// this never influences the reproduced experiments; see DESIGN.md).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/ids.hpp"
+
+namespace pfrdtn::repl {
+
+/// One update event: the `counter`-th update authored by `author`, and
+/// the `revision`-th revision of its item.
+struct Version {
+  ReplicaId author{};
+  std::uint64_t counter = 0;  ///< >= 1 for real versions
+  std::uint64_t revision = 1; ///< per-item, starts at 1
+
+  [[nodiscard]] bool valid() const {
+    return author.valid() && counter >= 1;
+  }
+
+  /// True if this version supersedes `other` for the same item
+  /// (deterministic last-writer-wins: higher revision wins, author id
+  /// breaks ties).
+  [[nodiscard]] bool dominates(const Version& other) const {
+    if (revision != other.revision) return revision > other.revision;
+    return author > other.author;
+  }
+
+  [[nodiscard]] bool same_event(const Version& other) const {
+    return author == other.author && counter == other.counter;
+  }
+
+  friend auto operator<=>(const Version&, const Version&) = default;
+
+  void serialize(ByteWriter& w) const;
+  static Version deserialize(ByteReader& r);
+};
+
+/// Classic version vector: maps each replica to the highest contiguous
+/// counter known for it ("knows (r, c) for every 1 <= c <= vv[r]").
+class VersionVector {
+ public:
+  [[nodiscard]] bool includes(ReplicaId author,
+                              std::uint64_t counter) const {
+    const auto it = max_.find(author);
+    return it != max_.end() && counter <= it->second;
+  }
+
+  [[nodiscard]] std::uint64_t max_counter(ReplicaId author) const {
+    const auto it = max_.find(author);
+    return it == max_.end() ? 0 : it->second;
+  }
+
+  /// Raise this vector's entry for `author` to at least `counter`.
+  void extend(ReplicaId author, std::uint64_t counter) {
+    auto& entry = max_[author];
+    if (counter > entry) entry = counter;
+  }
+
+  /// Pointwise maximum.
+  void merge(const VersionVector& other) {
+    for (const auto& [author, counter] : other.max_)
+      extend(author, counter);
+  }
+
+  /// True if every entry of `other` is covered by this vector.
+  [[nodiscard]] bool covers(const VersionVector& other) const;
+
+  [[nodiscard]] std::size_t entry_count() const { return max_.size(); }
+  [[nodiscard]] const std::map<ReplicaId, std::uint64_t>& entries() const {
+    return max_;
+  }
+
+  friend bool operator==(const VersionVector&,
+                         const VersionVector&) = default;
+
+  void serialize(ByteWriter& w) const;
+  static VersionVector deserialize(ByteReader& r);
+
+ private:
+  std::map<ReplicaId, std::uint64_t> max_;
+};
+
+/// A set of update events (author, counter), stored as a version vector
+/// plus sparse extras. Extras compact into the vector prefix as gaps
+/// fill (counters are per-replica and gap-free at the author, so a
+/// contiguous prefix is exactly "every update authored so far").
+///
+/// An extra may be added *pinned*: pinned extras are full members of
+/// the set but never fold into the vector prefix and block folding past
+/// them, so they remain individually removable. Replicas pin the events
+/// of relay (out-of-filter) item copies, which may be evicted later and
+/// must then become re-receivable (see knowledge.hpp / DESIGN.md).
+class VersionSet {
+ public:
+  /// Record that the update event of `v` is a member. Pinned events
+  /// stay removable (never compacted into the vector prefix).
+  void add(ReplicaId author, std::uint64_t counter, bool pinned = false);
+  void add(const Version& v, bool pinned = false) {
+    add(v.author, v.counter, pinned);
+  }
+
+  /// Convert a pinned event into a normal one (e.g. a relay copy that
+  /// now matches the replica's filter and can no longer be evicted).
+  void unpin(ReplicaId author, std::uint64_t counter);
+
+  /// Convert a normal extra back into a pinned one. No effect — and
+  /// false returned — if the event was already folded into the vector
+  /// prefix.
+  bool pin(ReplicaId author, std::uint64_t counter);
+
+  /// Record the complete prefix 1..max_counter for `author` (used for
+  /// a replica's own authored events, which are known by construction).
+  void add_prefix(ReplicaId author, std::uint64_t max_counter);
+
+  [[nodiscard]] bool contains(ReplicaId author,
+                              std::uint64_t counter) const;
+  [[nodiscard]] bool contains(const Version& v) const {
+    return contains(v.author, v.counter);
+  }
+
+  /// Remove an event, possible only while it is still an extra —
+  /// pinned or not — and not yet folded into the vector prefix.
+  /// Returns whether it was removed. Used when a relay copy is evicted
+  /// so the copy can be re-received.
+  bool remove_extra(ReplicaId author, std::uint64_t counter);
+
+  /// Union with another set.
+  void merge(const VersionSet& other);
+
+  /// True if every event in `other` is contained in this set.
+  [[nodiscard]] bool contains_all(const VersionSet& other) const;
+
+  [[nodiscard]] const VersionVector& vector_part() const { return vv_; }
+  [[nodiscard]] std::size_t extras_count() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Number of events representable only approximately: vector entries
+  /// plus extras — the metadata footprint measured in benchmarks.
+  [[nodiscard]] std::size_t weight() const {
+    return vv_.entry_count() + extras_count();
+  }
+
+  friend bool operator==(const VersionSet&, const VersionSet&) = default;
+
+  void serialize(ByteWriter& w) const;
+  static VersionSet deserialize(ByteReader& r);
+
+ private:
+  void compact(ReplicaId author);
+  static std::size_t count_of(
+      const std::map<ReplicaId, std::set<std::uint64_t>>& extras);
+
+  VersionVector vv_;
+  std::map<ReplicaId, std::set<std::uint64_t>> extras_;
+  std::map<ReplicaId, std::set<std::uint64_t>> pinned_;
+};
+
+}  // namespace pfrdtn::repl

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// A deterministic discrete-event queue: events fire in time order,
+/// with FIFO ordering among events scheduled for the same instant
+/// (stable by insertion sequence), so emulation runs are exactly
+/// reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/sim_time.hpp"
+
+namespace pfrdtn::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void(SimTime)>;
+
+  /// Schedule an action; `when` must not precede the current time.
+  void schedule(SimTime when, Action action) {
+    PFRDTN_REQUIRE(when >= now_);
+    heap_.push(Entry{when, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Fire the earliest event. Returns false if the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move out of the const top via a copy of the handle; the action
+    // is shared_ptr-like via std::function copy.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    entry.action(now_);
+    return true;
+  }
+
+  /// Run until the queue drains (events may schedule more events).
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run while events fire no later than `until` (inclusive).
+  void run_until(SimTime until) {
+    while (!heap_.empty() && heap_.top().when <= until) step();
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq = 0;
+    Action action;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  SimTime now_{std::numeric_limits<std::int64_t>::min()};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pfrdtn::sim

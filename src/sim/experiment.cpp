@@ -1,0 +1,54 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pfrdtn::sim {
+
+EmulationConfig paper_config(std::uint64_t seed) {
+  EmulationConfig config;
+  config.mobility.days = 17;
+  config.mobility.buses_per_day = 23;
+  config.mobility.seed = seed;
+  config.email.users = 100;
+  config.email.total_messages = 490;
+  config.email.inject_days = 8;
+  config.email.seed = seed ^ 0xE17;
+  config.assignment_seed = seed ^ 0xA55;
+  return config;
+}
+
+EmulationConfig small_config(double scale, std::uint64_t seed) {
+  EmulationConfig config = paper_config(seed);
+  scale = std::clamp(scale, 0.05, 1.0);
+  const auto scaled = [scale](std::size_t value, std::size_t floor_v) {
+    return std::max(floor_v,
+                    static_cast<std::size_t>(
+                        static_cast<double>(value) * scale));
+  };
+  config.mobility.days = scaled(17, 3);
+  config.mobility.fleet_size = scaled(40, 6);
+  config.mobility.buses_per_day = scaled(23, 4);
+  config.email.users = scaled(100, 8);
+  config.email.total_messages = scaled(490, 20);
+  config.email.inject_days =
+      std::min(config.mobility.days, scaled(8, 2));
+  return config;
+}
+
+EmulationResult run_experiment(const EmulationConfig& config) {
+  Emulation emulation(config);
+  return emulation.run();
+}
+
+void print_delay_cdf(const std::string& series, const Metrics& metrics,
+                     double limit_hours, std::size_t points) {
+  for (std::size_t i = 0; i < points; ++i) {
+    const double hours = limit_hours * static_cast<double>(i) /
+                         static_cast<double>(points - 1);
+    std::printf("%-12s %8.2f %8.2f\n", series.c_str(), hours,
+                metrics.delivered_within_hours(hours));
+  }
+}
+
+}  // namespace pfrdtn::sim

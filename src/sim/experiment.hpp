@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Canned experiment configurations matching the paper's Section VI
+/// setup, plus small helpers the benches share for printing figure
+/// series. Every figure bench builds on these so the setup is
+/// identical across figures, exactly as in the paper.
+
+#include <string>
+
+#include "sim/emulator.hpp"
+
+namespace pfrdtn::sim {
+
+/// The paper-scale configuration: 17 days, ~23 buses/day from a 30-bus
+/// fleet, ~12k encounters, 100 users, 490 messages injected 8:00-10:00
+/// on days 1-8, unconstrained resources, basic Cimbiosys policy.
+EmulationConfig paper_config(std::uint64_t seed = 4);
+
+/// A reduced configuration for unit/integration tests: `scale` in
+/// (0, 1] shrinks days, fleet and message count proportionally.
+EmulationConfig small_config(double scale = 0.25,
+                             std::uint64_t seed = 4);
+
+/// Run one experiment variant and return its results.
+EmulationResult run_experiment(const EmulationConfig& config);
+
+/// Print "x y" CDF rows of delivery percentage vs delay for the given
+/// grid (hours), prefixed by the series name — the format every
+/// figure bench emits.
+void print_delay_cdf(const std::string& series, const Metrics& metrics,
+                     double limit_hours, std::size_t points);
+
+}  // namespace pfrdtn::sim

@@ -1,0 +1,84 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace pfrdtn::sim {
+
+void Metrics::on_injected(dtn::MessageId id, HostId sender,
+                          HostId recipient, SimTime now) {
+  MessageRecord record;
+  record.id = id;
+  record.sender = sender;
+  record.recipient = recipient;
+  record.injected = now;
+  records_.emplace(id, record);
+}
+
+bool Metrics::on_delivered(dtn::MessageId id, SimTime now,
+                           std::size_t copies) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  if (it->second.delivered) return false;
+  it->second.delivered = now;
+  it->second.copies_at_delivery = copies;
+  return true;
+}
+
+void Metrics::set_copies_at_end(dtn::MessageId id, std::size_t copies) {
+  const auto it = records_.find(id);
+  if (it != records_.end()) it->second.copies_at_end = copies;
+}
+
+std::size_t Metrics::delivered_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.delivered) ++n;
+  }
+  return n;
+}
+
+Distribution Metrics::delay_distribution() const {
+  Distribution delays;
+  for (const auto& [id, record] : records_) {
+    if (record.delivered) delays.add(record.delay_hours());
+  }
+  return delays;
+}
+
+double Metrics::delivered_within_hours(double hours) const {
+  if (records_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.delivered && record.delay_hours() <= hours) ++n;
+  }
+  return 100.0 * static_cast<double>(n) /
+         static_cast<double>(records_.size());
+}
+
+double Metrics::mean_copies_at_delivery() const {
+  Summary summary;
+  for (const auto& [id, record] : records_) {
+    if (record.delivered)
+      summary.add(static_cast<double>(record.copies_at_delivery));
+  }
+  return summary.mean();
+}
+
+double Metrics::mean_copies_at_end() const {
+  Summary summary;
+  for (const auto& [id, record] : records_) {
+    summary.add(static_cast<double>(record.copies_at_end));
+  }
+  return summary.mean();
+}
+
+double Metrics::max_delay_hours() const {
+  double max_delay = 0.0;
+  for (const auto& [id, record] : records_) {
+    if (record.delivered)
+      max_delay = std::max(max_delay, record.delay_hours());
+  }
+  return max_delay;
+}
+
+}  // namespace pfrdtn::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Per-message and aggregate measurements collected during an
+/// emulation: delivery delays, copy counts at delivery time and at the
+/// end of the experiment, sync traffic, and knowledge metadata sizes —
+/// everything the paper's figures report.
+
+#include <map>
+#include <optional>
+
+#include "dtn/message.hpp"
+#include "repl/sync.hpp"
+#include "util/stats.hpp"
+
+namespace pfrdtn::sim {
+
+struct MessageRecord {
+  dtn::MessageId id{};
+  HostId sender{};
+  HostId recipient{};
+  SimTime injected;
+  std::optional<SimTime> delivered;
+  /// Replicas storing a copy when the message was first delivered.
+  std::size_t copies_at_delivery = 0;
+  /// Replicas storing a copy when the experiment ended.
+  std::size_t copies_at_end = 0;
+
+  [[nodiscard]] double delay_hours() const {
+    PFRDTN_REQUIRE(delivered.has_value());
+    return static_cast<double>(*delivered - injected) / 3600.0;
+  }
+};
+
+class Metrics {
+ public:
+  void on_injected(dtn::MessageId id, HostId sender, HostId recipient,
+                   SimTime now);
+  /// Record first delivery; later deliveries of the same message (to
+  /// other replicas' users) are ignored. Returns true on first
+  /// delivery.
+  bool on_delivered(dtn::MessageId id, SimTime now, std::size_t copies);
+  void set_copies_at_end(dtn::MessageId id, std::size_t copies);
+
+  void on_sync(const repl::SyncStats& stats) {
+    traffic_.accumulate(stats);
+    ++sync_count_;
+  }
+  void on_encounter() { ++encounter_count_; }
+  void sample_knowledge_bytes(double bytes) { knowledge_bytes_.add(bytes); }
+
+  [[nodiscard]] const std::map<dtn::MessageId, MessageRecord>& records()
+      const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t injected_count() const {
+    return records_.size();
+  }
+  [[nodiscard]] std::size_t delivered_count() const;
+
+  /// Delays of delivered messages, in hours.
+  [[nodiscard]] Distribution delay_distribution() const;
+  /// Fraction of *injected* messages delivered within `hours` of their
+  /// injection (the paper's CDFs are normalized by injected count).
+  [[nodiscard]] double delivered_within_hours(double hours) const;
+  /// Mean copies stored at delivery time (over delivered messages).
+  [[nodiscard]] double mean_copies_at_delivery() const;
+  /// Mean copies stored at the end (over all injected messages).
+  [[nodiscard]] double mean_copies_at_end() const;
+  /// Longest delivery delay, in hours (0 when nothing delivered).
+  [[nodiscard]] double max_delay_hours() const;
+
+  [[nodiscard]] const repl::SyncStats& traffic() const { return traffic_; }
+  [[nodiscard]] std::size_t sync_count() const { return sync_count_; }
+  [[nodiscard]] std::size_t encounter_count() const {
+    return encounter_count_;
+  }
+  [[nodiscard]] const Summary& knowledge_bytes() const {
+    return knowledge_bytes_;
+  }
+
+ private:
+  std::map<dtn::MessageId, MessageRecord> records_;
+  repl::SyncStats traffic_;
+  std::size_t sync_count_ = 0;
+  std::size_t encounter_count_ = 0;
+  Summary knowledge_bytes_;
+};
+
+}  // namespace pfrdtn::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file encounter.hpp
+/// Trace records shared by the generators, the trace file format and
+/// the emulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace pfrdtn::trace {
+
+/// Buses are identified by dense indices into the fleet pool.
+using BusIndex = std::uint32_t;
+
+/// One opportunistic contact between two buses.
+struct Encounter {
+  SimTime time;
+  BusIndex bus_a = 0;
+  BusIndex bus_b = 0;
+  std::int64_t duration_s = 0;
+
+  friend bool operator==(const Encounter&, const Encounter&) = default;
+};
+
+/// A full vehicular trace: per-day active fleets and a time-sorted
+/// encounter schedule.
+struct MobilityTrace {
+  std::size_t fleet_size = 0;
+  /// active_buses[d] lists the buses scheduled on day d.
+  std::vector<std::vector<BusIndex>> active_buses;
+  /// All encounters, sorted by time.
+  std::vector<Encounter> encounters;
+
+  [[nodiscard]] std::size_t days() const { return active_buses.size(); }
+
+  /// Encounters that fall on the given day.
+  [[nodiscard]] std::size_t encounters_on_day(std::size_t day) const;
+};
+
+}  // namespace pfrdtn::trace

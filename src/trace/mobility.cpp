@@ -1,0 +1,174 @@
+#include "trace/mobility.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::trace {
+
+std::size_t MobilityTrace::encounters_on_day(std::size_t day) const {
+  std::size_t n = 0;
+  for (const Encounter& encounter : encounters) {
+    if (static_cast<std::size_t>(encounter.time.day_index()) == day) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+struct HubVisit {
+  SimTime arrive;
+  SimTime depart;
+  BusIndex bus = 0;
+};
+
+}  // namespace
+
+MobilityTrace generate_mobility(const MobilityConfig& config) {
+  PFRDTN_REQUIRE(config.fleet_size >= config.buses_per_day);
+  PFRDTN_REQUIRE(config.routes >= 1);
+  PFRDTN_REQUIRE(config.route_length >= 2);
+  PFRDTN_REQUIRE(config.interchange_hubs >= 1);
+  PFRDTN_REQUIRE(config.day_start_s < config.day_end_s);
+  Rng rng(config.seed);
+
+  // Route r owns private hubs [r*L, (r+1)*L); interchange hubs follow,
+  // then depot hubs.
+  const std::size_t private_hubs =
+      config.routes * config.route_length;
+  const std::size_t total_hubs =
+      private_hubs + config.interchange_hubs + config.depots;
+
+  // Per-bus home route.
+  std::vector<std::size_t> home_route(config.fleet_size);
+  for (std::size_t bus = 0; bus < config.fleet_size; ++bus)
+    home_route[bus] = rng.below(config.routes);
+
+  MobilityTrace trace;
+  trace.fleet_size = config.fleet_size;
+  trace.active_buses.resize(config.days);
+
+  // Depots rotate vehicles: scheduling favours buses that have sat in
+  // the shed longest, so every bus serves regularly while daily
+  // membership still churns.
+  std::vector<double> rest_days(config.fleet_size, 0.0);
+
+  for (std::size_t day = 0; day < config.days; ++day) {
+    if (config.route_rotation_days != 0 && day != 0 &&
+        day % config.route_rotation_days == 0) {
+      for (auto& route : home_route) route = rng.below(config.routes);
+    }
+    // Fleet churn: the scheduled count jitters around the mean.
+    const std::int64_t jitter = rng.range(-2, 2);
+    const std::size_t scheduled = std::min(
+        config.fleet_size,
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            2, static_cast<std::int64_t>(config.buses_per_day) +
+                   jitter)));
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(config.fleet_size);
+    for (std::size_t bus = 0; bus < config.fleet_size; ++bus)
+      ranked.emplace_back(rest_days[bus] + rng.uniform() * 1.5, bus);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                return a.first > b.first;
+              });
+    std::vector<std::size_t> picks;
+    picks.reserve(scheduled);
+    for (std::size_t i = 0; i < scheduled; ++i)
+      picks.push_back(ranked[i].second);
+    std::sort(picks.begin(), picks.end());
+    for (std::size_t bus = 0; bus < config.fleet_size; ++bus)
+      rest_days[bus] += 1.0;
+    for (const std::size_t bus : picks) {
+      rest_days[bus] = 0.0;
+      trace.active_buses[day].push_back(static_cast<BusIndex>(bus));
+    }
+
+    // Drive each scheduled bus through its day; collect hub visits.
+    std::vector<std::vector<HubVisit>> visits(total_hubs);
+    const std::int64_t day_base =
+        static_cast<std::int64_t>(day) * kSecondsPerDay;
+    for (const BusIndex bus : trace.active_buses[day]) {
+      const std::size_t route_index =
+          rng.chance(config.route_affinity) ? home_route[bus]
+                                            : rng.below(config.routes);
+      const bool on_duty = rng.chance(config.duty_prob);
+      std::size_t position = rng.below(config.route_length);
+      std::int64_t clock = day_base + config.day_start_s +
+                           rng.range(0, 30 * 60);  // staggered rollout
+      std::int64_t day_end = day_base + config.day_end_s;
+      if (config.depots > 0 && rng.chance(config.depot_attendance)) {
+        // Reserve the end of the day for the depot: the bus drives
+        // until its depot arrival time, then parks there.
+        const std::int64_t depot_dwell = rng.range(
+            config.depot_dwell_min_s, config.depot_dwell_max_s);
+        const std::int64_t depot_arrive =
+            day_base + config.day_end_s - depot_dwell;
+        // Depot choice is independent per bus-day: garages fill by
+        // arrival, not by route, so any pair of buses regularly shares
+        // a depot night.
+        const std::size_t depot_hub = private_hubs +
+                                      config.interchange_hubs +
+                                      rng.below(config.depots);
+        visits[depot_hub].push_back({SimTime(depot_arrive),
+                                     SimTime(day_base + config.day_end_s),
+                                     bus});
+        day_end = depot_arrive;
+      }
+      while (clock < day_end) {
+        // Interchange-duty buses occasionally detour to a shared
+        // interchange hub; everyone else stays on private route hubs.
+        const bool at_interchange =
+            on_duty && rng.chance(config.detour_prob);
+        const std::size_t hub =
+            at_interchange
+                ? private_hubs + rng.below(config.interchange_hubs)
+                : route_index * config.route_length + position;
+        const std::int64_t dwell =
+            at_interchange
+                ? rng.range(config.interchange_dwell_min_s,
+                            config.interchange_dwell_max_s)
+                : rng.range(config.dwell_min_s, config.dwell_max_s);
+        const std::int64_t depart = std::min(clock + dwell, day_end);
+        visits[hub].push_back({SimTime(clock), SimTime(depart), bus});
+        clock = depart + rng.range(config.leg_min_s, config.leg_max_s);
+        position = (position + 1) % config.route_length;
+      }
+    }
+
+    // Sweep each hub for overlapping dwells.
+    for (auto& hub_visits : visits) {
+      std::sort(hub_visits.begin(), hub_visits.end(),
+                [](const HubVisit& a, const HubVisit& b) {
+                  if (a.arrive != b.arrive) return a.arrive < b.arrive;
+                  return a.bus < b.bus;
+                });
+      for (std::size_t i = 0; i < hub_visits.size(); ++i) {
+        for (std::size_t j = i + 1; j < hub_visits.size(); ++j) {
+          if (hub_visits[j].arrive >= hub_visits[i].depart) break;
+          if (hub_visits[i].bus == hub_visits[j].bus) continue;
+          const SimTime start = hub_visits[j].arrive;
+          const SimTime end =
+              std::min(hub_visits[i].depart, hub_visits[j].depart);
+          Encounter encounter;
+          encounter.time = start;
+          encounter.bus_a = std::min(hub_visits[i].bus, hub_visits[j].bus);
+          encounter.bus_b = std::max(hub_visits[i].bus, hub_visits[j].bus);
+          encounter.duration_s = end - start;
+          trace.encounters.push_back(encounter);
+        }
+      }
+    }
+  }
+
+  std::sort(trace.encounters.begin(), trace.encounters.end(),
+            [](const Encounter& a, const Encounter& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.bus_a != b.bus_a) return a.bus_a < b.bus_a;
+              return a.bus_b < b.bus_b;
+            });
+  return trace;
+}
+
+}  // namespace pfrdtn::trace

@@ -1,0 +1,140 @@
+#include "trace/random_waypoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::trace {
+
+namespace {
+
+struct NodeState {
+  double x = 0;
+  double y = 0;
+  double target_x = 0;
+  double target_y = 0;
+  double speed = 0;          ///< m/s toward the target
+  std::int64_t pause_until = 0;
+};
+
+}  // namespace
+
+MobilityTrace generate_random_waypoint(
+    const RandomWaypointConfig& config) {
+  PFRDTN_REQUIRE(config.nodes >= 2);
+  PFRDTN_REQUIRE(config.field_width_m > 0 && config.field_height_m > 0);
+  PFRDTN_REQUIRE(config.radio_range_m > 0);
+  PFRDTN_REQUIRE(config.speed_min_mps > 0 &&
+                 config.speed_max_mps >= config.speed_min_mps);
+  PFRDTN_REQUIRE(config.tick_s > 0);
+  PFRDTN_REQUIRE(config.day_start_s < config.day_end_s);
+  Rng rng(config.seed);
+
+  MobilityTrace trace;
+  trace.fleet_size = config.nodes;
+  trace.active_buses.resize(config.days);
+  for (auto& day : trace.active_buses) {
+    for (std::size_t node = 0; node < config.nodes; ++node)
+      day.push_back(static_cast<BusIndex>(node));
+  }
+
+  const auto uniform_between = [&rng](double lo, double hi) {
+    return lo + rng.uniform() * (hi - lo);
+  };
+
+  std::vector<NodeState> nodes(config.nodes);
+  const auto pick_waypoint = [&](NodeState& node) {
+    node.target_x = uniform_between(0, config.field_width_m);
+    node.target_y = uniform_between(0, config.field_height_m);
+    node.speed =
+        uniform_between(config.speed_min_mps, config.speed_max_mps);
+  };
+  for (auto& node : nodes) {
+    node.x = uniform_between(0, config.field_width_m);
+    node.y = uniform_between(0, config.field_height_m);
+    pick_waypoint(node);
+  }
+
+  // Pairwise contact state: start time of the current contact, or -1.
+  const std::size_t pair_count = config.nodes * config.nodes;
+  std::vector<std::int64_t> contact_since(pair_count, -1);
+  const auto pair_index = [&](std::size_t a, std::size_t b) {
+    return a * config.nodes + b;
+  };
+  const double range_sq = config.radio_range_m * config.radio_range_m;
+
+  const auto close_contact = [&](std::size_t a, std::size_t b,
+                                 std::int64_t now) {
+    auto& since = contact_since[pair_index(a, b)];
+    if (since < 0) return;
+    Encounter encounter;
+    encounter.time = SimTime(since);
+    encounter.bus_a = static_cast<BusIndex>(a);
+    encounter.bus_b = static_cast<BusIndex>(b);
+    encounter.duration_s = std::max<std::int64_t>(now - since, 1);
+    trace.encounters.push_back(encounter);
+    since = -1;
+  };
+
+  for (std::size_t day = 0; day < config.days; ++day) {
+    const std::int64_t day_base =
+        static_cast<std::int64_t>(day) * kSecondsPerDay;
+    for (std::int64_t t = config.day_start_s; t < config.day_end_s;
+         t += config.tick_s) {
+      const std::int64_t now = day_base + t;
+      // Advance every node by one tick.
+      for (auto& node : nodes) {
+        if (now < node.pause_until) continue;
+        const double dx = node.target_x - node.x;
+        const double dy = node.target_y - node.y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        const double step =
+            node.speed * static_cast<double>(config.tick_s);
+        if (dist <= step) {
+          node.x = node.target_x;
+          node.y = node.target_y;
+          node.pause_until =
+              now + rng.range(config.pause_min_s, config.pause_max_s);
+          pick_waypoint(node);
+        } else {
+          node.x += dx / dist * step;
+          node.y += dy / dist * step;
+        }
+      }
+      // Contact detection.
+      for (std::size_t a = 0; a < config.nodes; ++a) {
+        for (std::size_t b = a + 1; b < config.nodes; ++b) {
+          const double dx = nodes[a].x - nodes[b].x;
+          const double dy = nodes[a].y - nodes[b].y;
+          const bool in_range = dx * dx + dy * dy <= range_sq;
+          auto& since = contact_since[pair_index(a, b)];
+          if (in_range && since < 0) {
+            since = now;
+          } else if (!in_range && since >= 0) {
+            close_contact(a, b, now);
+          }
+        }
+      }
+    }
+    // Day boundary: close any contact still open (the emulator's
+    // encounter model is instantaneous at contact start, so splitting
+    // a midnight-spanning contact is harmless).
+    const std::int64_t day_close = day_base + config.day_end_s;
+    for (std::size_t a = 0; a < config.nodes; ++a) {
+      for (std::size_t b = a + 1; b < config.nodes; ++b)
+        close_contact(a, b, day_close);
+    }
+  }
+
+  std::sort(trace.encounters.begin(), trace.encounters.end(),
+            [](const Encounter& lhs, const Encounter& rhs) {
+              if (lhs.time != rhs.time) return lhs.time < rhs.time;
+              if (lhs.bus_a != rhs.bus_a) return lhs.bus_a < rhs.bus_a;
+              return lhs.bus_b < rhs.bus_b;
+            });
+  return trace;
+}
+
+}  // namespace pfrdtn::trace

@@ -1,0 +1,131 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::trace {
+
+void write_mobility(std::ostream& out, const MobilityTrace& trace) {
+  out << "# pfr-dtn mobility trace\n";
+  out << "fleet " << trace.fleet_size << "\n";
+  for (std::size_t day = 0; day < trace.active_buses.size(); ++day) {
+    out << "day " << day;
+    for (const BusIndex bus : trace.active_buses[day]) out << ' ' << bus;
+    out << "\n";
+  }
+  for (const Encounter& encounter : trace.encounters) {
+    out << "enc " << encounter.time.seconds() << ' ' << encounter.bus_a
+        << ' ' << encounter.bus_b << ' ' << encounter.duration_s << "\n";
+  }
+}
+
+MobilityTrace read_mobility(std::istream& in) {
+  MobilityTrace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "fleet") {
+      fields >> trace.fleet_size;
+    } else if (kind == "day") {
+      std::size_t day = 0;
+      fields >> day;
+      if (trace.active_buses.size() <= day)
+        trace.active_buses.resize(day + 1);
+      BusIndex bus = 0;
+      while (fields >> bus) trace.active_buses[day].push_back(bus);
+    } else if (kind == "enc") {
+      Encounter encounter;
+      std::int64_t seconds = 0;
+      fields >> seconds >> encounter.bus_a >> encounter.bus_b >>
+          encounter.duration_s;
+      PFRDTN_REQUIRE(!fields.fail());
+      encounter.time = SimTime(seconds);
+      trace.encounters.push_back(encounter);
+    } else {
+      throw ContractViolation("unknown mobility record: " + kind);
+    }
+  }
+  return trace;
+}
+
+void write_email(std::ostream& out, const EmailWorkload& workload) {
+  out << "# pfr-dtn email workload\n";
+  out << "users " << workload.users.size() << "\n";
+  for (const MessageEvent& event : workload.messages) {
+    out << "msg " << event.time.seconds() << ' '
+        << event.sender.value() << ' ' << event.recipient.value()
+        << "\n";
+  }
+}
+
+EmailWorkload read_email(std::istream& in) {
+  EmailWorkload workload;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "users") {
+      std::size_t count = 0;
+      fields >> count;
+      for (std::size_t i = 0; i < count; ++i)
+        workload.users.emplace_back(i + 1);
+    } else if (kind == "msg") {
+      std::int64_t seconds = 0;
+      std::uint64_t sender = 0;
+      std::uint64_t recipient = 0;
+      fields >> seconds >> sender >> recipient;
+      PFRDTN_REQUIRE(!fields.fail());
+      workload.messages.push_back(
+          {SimTime(seconds), HostId(sender), HostId(recipient)});
+    } else {
+      throw ContractViolation("unknown email record: " + kind);
+    }
+  }
+  return workload;
+}
+
+namespace {
+
+template <class Writer, class Value>
+void save_file(const std::string& path, const Value& value,
+               Writer writer) {
+  std::ofstream out(path);
+  if (!out) throw ContractViolation("cannot open for write: " + path);
+  writer(out, value);
+  if (!out) throw ContractViolation("write failed: " + path);
+}
+
+}  // namespace
+
+void save_mobility(const std::string& path, const MobilityTrace& trace) {
+  save_file(path, trace, [](std::ostream& out, const MobilityTrace& t) {
+    write_mobility(out, t);
+  });
+}
+
+MobilityTrace load_mobility(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ContractViolation("cannot open for read: " + path);
+  return read_mobility(in);
+}
+
+void save_email(const std::string& path, const EmailWorkload& workload) {
+  save_file(path, workload, [](std::ostream& out, const EmailWorkload& w) {
+    write_email(out, w);
+  });
+}
+
+EmailWorkload load_email(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ContractViolation("cannot open for read: " + path);
+  return read_email(in);
+}
+
+}  // namespace pfrdtn::trace

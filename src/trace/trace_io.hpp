@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// Plain-text trace round-trip, so generated traces can be inspected,
+/// archived, or replaced by real CRAWDAD/Enron data converted to the
+/// same format.
+///
+/// Mobility format:
+///   fleet <N>
+///   day <d> <bus> <bus> ...
+///   enc <seconds> <bus_a> <bus_b> <duration_s>
+/// Email format:
+///   users <N>
+///   msg <seconds> <sender> <recipient>
+/// Lines starting with '#' are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/email.hpp"
+#include "trace/encounter.hpp"
+
+namespace pfrdtn::trace {
+
+void write_mobility(std::ostream& out, const MobilityTrace& trace);
+MobilityTrace read_mobility(std::istream& in);
+
+void write_email(std::ostream& out, const EmailWorkload& workload);
+EmailWorkload read_email(std::istream& in);
+
+/// File-based convenience wrappers; throw ContractViolation on I/O
+/// failure.
+void save_mobility(const std::string& path, const MobilityTrace& trace);
+MobilityTrace load_mobility(const std::string& path);
+void save_email(const std::string& path, const EmailWorkload& workload);
+EmailWorkload load_email(const std::string& path);
+
+}  // namespace pfrdtn::trace

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file byte_buffer.hpp
+/// Wire-format serialization. The emulation runs in one process, but
+/// sync requests, batches and knowledge are serialized to bytes anyway
+/// so that metadata overhead (a headline Cimbiosys property) can be
+/// measured honestly, and so the substrate has a real wire format.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace pfrdtn {
+
+/// Append-only byte sink with varint and fixed-width encoders.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  /// LEB128 unsigned varint.
+  void uvarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zig-zag signed varint.
+  void svarint(std::int64_t v) {
+    uvarint((static_cast<std::uint64_t>(v) << 1) ^
+            static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+
+  void str(std::string_view s) {
+    uvarint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  void raw(const std::vector<std::uint8_t>& data) {
+    uvarint(data.size());
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over bytes produced by ByteWriter. Throws
+/// ContractViolation on malformed input (truncation, overlong varints).
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    PFRDTN_REQUIRE(pos_ < size_);
+    return data_[pos_++];
+  }
+
+  std::uint64_t uvarint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      PFRDTN_REQUIRE(shift < 64);
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if (!(byte & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t svarint() {
+    const std::uint64_t z = uvarint();
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+  }
+
+  double f64() {
+    PFRDTN_REQUIRE(pos_ + 8 <= size_);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = uvarint();
+    PFRDTN_REQUIRE(pos_ + n <= size_);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::vector<std::uint8_t> raw() {
+    const std::uint64_t n = uvarint();
+    PFRDTN_REQUIRE(pos_ + n <= size_);
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pfrdtn

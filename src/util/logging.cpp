@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace pfrdtn {
+
+std::function<void(LogLevel, const std::string&)>& Log::sink() {
+  static std::function<void(LogLevel, const std::string&)> fn =
+      [](LogLevel level, const std::string& message) {
+        std::fprintf(stderr, "[%s] %s\n", level_name(level),
+                     message.c_str());
+      };
+  return fn;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (enabled(level)) sink()(level, message);
+}
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace pfrdtn

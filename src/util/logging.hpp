@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger. Experiments run millions of sync operations;
+/// logging defaults to Warn and is stream-free on disabled levels.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace pfrdtn {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global log configuration (single-threaded emulation; no locking).
+class Log {
+ public:
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::Warn;
+    return level;
+  }
+
+  /// Sink receives fully formatted lines; defaults to stderr.
+  static std::function<void(LogLevel, const std::string&)>& sink();
+
+  static bool enabled(LogLevel level) { return level >= threshold(); }
+
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+/// Builds one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace pfrdtn
+
+#define PFRDTN_LOG(level)                                \
+  if (!::pfrdtn::Log::enabled(::pfrdtn::LogLevel::level)) \
+    ;                                                    \
+  else                                                   \
+    ::pfrdtn::LogLine(::pfrdtn::LogLevel::level)

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file require.hpp
+/// Lightweight contract checking in the spirit of the C++ Core
+/// Guidelines' Expects()/Ensures(). Violations throw ContractViolation
+/// so tests can assert on misuse; they are programmer errors, not
+/// recoverable conditions.
+
+#include <stdexcept>
+#include <string>
+
+namespace pfrdtn {
+
+/// Thrown when a PFRDTN_REQUIRE / PFRDTN_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace pfrdtn
+
+/// Precondition check. Active in all build types: the library is a
+/// research artifact where silent contract violations would invalidate
+/// reproduced results.
+#define PFRDTN_REQUIRE(expr)                                             \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pfrdtn::detail::contract_fail("precondition", #expr, __FILE__,   \
+                                      __LINE__);                         \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define PFRDTN_ENSURE(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pfrdtn::detail::contract_fail("postcondition", #expr, __FILE__,  \
+                                      __LINE__);                         \
+  } while (false)

@@ -1,0 +1,57 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace pfrdtn {
+
+double Rng::exponential(double mean) {
+  PFRDTN_REQUIRE(mean > 0);
+  // uniform() is in [0,1); 1-u is in (0,1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  PFRDTN_REQUIRE(k <= n);
+  if (k == 0) return {};
+  // For small k relative to n, rejection sampling; otherwise shuffle a
+  // full index vector and truncate.
+  if (k * 3 < n) {
+    std::unordered_set<std::size_t> chosen;
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      const std::size_t candidate = below(n);
+      if (chosen.insert(candidate).second) out.push_back(candidate);
+    }
+    return out;
+  }
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  shuffle(indices);
+  indices.resize(k);
+  return indices;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  PFRDTN_REQUIRE(n > 0);
+  PFRDTN_REQUIRE(exponent >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf_[rank] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace pfrdtn

@@ -1,0 +1,19 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace pfrdtn {
+
+std::string SimTime::str() const {
+  const std::int64_t day = day_index();
+  const std::int64_t rem = seconds_into_day();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem / 60) % 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+}  // namespace pfrdtn

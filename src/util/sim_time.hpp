@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file sim_time.hpp
+/// Simulated time. The emulation operates in whole seconds from an
+/// experiment epoch; helpers convert to the day/hour structure the
+/// paper's traces use (days start at midnight, encounters 8:00–23:00,
+/// message injection 8:00–10:00).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pfrdtn {
+
+/// A point in simulated time, in seconds since the experiment epoch.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr std::int64_t seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double hours() const {
+    return static_cast<double>(seconds_) / 3600.0;
+  }
+  [[nodiscard]] constexpr double days() const {
+    return static_cast<double>(seconds_) / 86400.0;
+  }
+
+  /// Day index (0-based) containing this instant.
+  [[nodiscard]] constexpr std::int64_t day_index() const {
+    return seconds_ >= 0 ? seconds_ / 86400
+                         : (seconds_ - 86399) / 86400;  // floor division
+  }
+  /// Seconds since this instant's midnight.
+  [[nodiscard]] constexpr std::int64_t seconds_into_day() const {
+    return seconds_ - day_index() * 86400;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime t, std::int64_t s) {
+    return SimTime(t.seconds_ + s);
+  }
+  friend constexpr std::int64_t operator-(SimTime a, SimTime b) {
+    return a.seconds_ - b.seconds_;
+  }
+
+  /// "d3 14:05:09" style rendering for logs and reports.
+  [[nodiscard]] std::string str() const;
+
+  static constexpr SimTime never() {
+    return SimTime(std::int64_t{1} << 60);
+  }
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// Construct a SimTime from (day, hour, minute, second).
+constexpr SimTime at(std::int64_t day, std::int64_t hour,
+                     std::int64_t minute = 0, std::int64_t second = 0) {
+  return SimTime(((day * 24 + hour) * 60 + minute) * 60 + second);
+}
+
+constexpr std::int64_t kSecondsPerHour = 3600;
+constexpr std::int64_t kSecondsPerDay = 86400;
+
+}  // namespace pfrdtn

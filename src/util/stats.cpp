@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace pfrdtn {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Distribution::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(mutable_samples.begin(), mutable_samples.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double Distribution::quantile(double q) const {
+  PFRDTN_REQUIRE(q >= 0.0 && q <= 1.0);
+  PFRDTN_REQUIRE(!samples_.empty());
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Distribution::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Distribution::cdf_series(
+    double limit, std::size_t points) const {
+  PFRDTN_REQUIRE(points >= 2);
+  std::vector<std::pair<double, double>> series;
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        limit * static_cast<double>(i) / static_cast<double>(points - 1);
+    series.emplace_back(x, cdf_at(x));
+  }
+  return series;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       std::size_t width) {
+  std::string out;
+  for (const auto& cell : cells) {
+    std::string padded = cell;
+    if (padded.size() < width) padded.resize(width, ' ');
+    out += padded;
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace pfrdtn

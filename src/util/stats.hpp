@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file stats.hpp
+/// Statistics helpers used by the metrics layer and benchmark harness:
+/// running summaries, empirical CDFs, and fixed-bucket histograms.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pfrdtn {
+
+/// Incremental mean / min / max / variance (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Empirical distribution over collected samples.
+class Distribution {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+  /// CDF evaluated at each point of a regular grid [0, limit] with
+  /// `points` samples; used to print figure series.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(
+      double limit, std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Render a simple ASCII table row: fixed-width columns.
+std::string format_row(const std::vector<std::string>& cells,
+                       std::size_t width = 14);
+
+}  // namespace pfrdtn

@@ -1,0 +1,259 @@
+#include "dtn/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtn/message.hpp"
+#include "dtn/messaging.hpp"
+#include "dtn/registry.hpp"
+#include "sim/experiment.hpp"
+
+namespace pfrdtn::dtn {
+namespace {
+
+repl::Item message_authored_by(std::uint64_t author,
+                               std::uint64_t id = 1) {
+  return repl::Item(
+      ItemId(id), repl::Version{ReplicaId(author), id, 1},
+      message_metadata(HostId(99), {HostId(50)}, SimTime(0)), {});
+}
+
+repl::SyncContext ctx(std::uint64_t self, std::uint64_t peer) {
+  return {ReplicaId(self), ReplicaId(peer), SimTime(0)};
+}
+
+// ---------------------------------------------------------------- //
+//  FirstContact
+
+TEST(FirstContact, FreshCopyCarriesCustody) {
+  FirstContactPolicy policy;
+  repl::Item stored = message_authored_by(1);
+  EXPECT_TRUE(policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+  EXPECT_EQ(stored.transient_int(FirstContactPolicy::kCustodyKey), 1);
+}
+
+TEST(FirstContact, CustodyMovesWithForward) {
+  FirstContactPolicy policy;
+  repl::Item stored = message_authored_by(1);
+  policy.to_send(ctx(1, 2), repl::TransientView(stored));
+  repl::Item outgoing = stored;
+  policy.on_forward(ctx(1, 2), repl::TransientView(stored),
+                    repl::TransientView(outgoing));
+  EXPECT_EQ(stored.transient_int(FirstContactPolicy::kCustodyKey), 0);
+  EXPECT_EQ(outgoing.transient_int(FirstContactPolicy::kCustodyKey), 1);
+  // The silenced copy is never offered again.
+  EXPECT_FALSE(
+      policy.to_send(ctx(1, 3), repl::TransientView(stored)).send());
+  // The custodial copy keeps moving at the next node.
+  EXPECT_TRUE(
+      policy.to_send(ctx(2, 3), repl::TransientView(outgoing)).send());
+}
+
+TEST(FirstContact, SingleCopyInFlightEndToEnd) {
+  // Chain of relays; at any time exactly one copy is willing to move.
+  constexpr std::size_t kNodes = 6;
+  std::vector<std::unique_ptr<DtnNode>> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    auto node = std::make_unique<DtnNode>(ReplicaId(i + 1));
+    node->set_policy(std::make_shared<FirstContactPolicy>());
+    node->set_addresses({HostId(i + 1)}, {}, SimTime(0));
+    nodes.push_back(std::move(node));
+  }
+  const MessageId id =
+      nodes[0]->send(HostId(1), {HostId(kNodes)}, "m", SimTime(0));
+  // Pass custody down the chain (destination last).
+  for (std::size_t i = 0; i + 1 < kNodes; ++i) {
+    run_encounter(*nodes[i], *nodes[i + 1], SimTime(10 + i));
+  }
+  EXPECT_TRUE(nodes[kNodes - 1]->has_delivered(id));
+  // Exactly one *undelivered* copy carries custody (the destination's
+  // copy arrives through filter matching and may also carry the flag,
+  // but it is out of the forwarding game).
+  int custodial = 0;
+  for (const auto& node : nodes) {
+    if (node->has_delivered(id)) continue;
+    const auto* entry = node->replica().store().find(id);
+    if (entry == nullptr) continue;
+    if (entry->item.transient_int(FirstContactPolicy::kCustodyKey)
+            .value_or(0) == 1) {
+      ++custodial;
+    }
+  }
+  EXPECT_EQ(custodial, 1);
+  // Classical single-copy semantics: intermediate relays discarded
+  // their copies after the handover; only the author (backstop), the
+  // current custodian and the destination still store the message.
+  std::size_t holders = 0;
+  for (const auto& node : nodes) {
+    if (node->replica().store().contains(id)) ++holders;
+  }
+  EXPECT_LE(holders, 3u);
+}
+
+TEST(FirstContact, MaxTransfersStopsCustodyChain) {
+  FirstContactParams params;
+  params.max_transfers = 1;
+  FirstContactPolicy policy(params);
+  repl::Item copy = message_authored_by(1);
+  policy.to_send(ctx(1, 2), repl::TransientView(copy));
+  repl::Item second = copy;
+  policy.on_forward(ctx(1, 2), repl::TransientView(copy),
+                    repl::TransientView(second));
+  // The second copy has 1 transfer on record: at the limit.
+  EXPECT_FALSE(policy.to_send(ctx(2, 3), repl::TransientView(second)).send());
+}
+
+// ---------------------------------------------------------------- //
+//  TwoHopRelay
+
+TEST(TwoHop, OnlyAuthorForwards) {
+  TwoHopRelayPolicy policy;
+  repl::Item own = message_authored_by(1);
+  repl::Item relayed = message_authored_by(9);
+  EXPECT_TRUE(policy.to_send(ctx(1, 2), repl::TransientView(own)).send());
+  EXPECT_FALSE(
+      policy.to_send(ctx(1, 2), repl::TransientView(relayed)).send());
+}
+
+TEST(TwoHop, RelayBudgetBoundsHandouts) {
+  TwoHopParams params;
+  params.relay_budget = 2;
+  TwoHopRelayPolicy policy(params);
+  repl::Item stored = message_authored_by(1);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+    repl::Item outgoing = stored;
+    policy.on_forward(ctx(1, 2), repl::TransientView(stored),
+                      repl::TransientView(outgoing));
+  }
+  EXPECT_FALSE(
+      policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+}
+
+TEST(TwoHop, PathsAreAtMostTwoHops) {
+  // source -> relay -> other relay must NOT happen; source -> relay ->
+  // destination must.
+  DtnNode source(ReplicaId(1));
+  DtnNode relay(ReplicaId(2));
+  DtnNode bystander(ReplicaId(3));
+  DtnNode dest(ReplicaId(4));
+  for (auto* node : {&source, &relay, &bystander, &dest})
+    node->set_policy(std::make_shared<TwoHopRelayPolicy>());
+  source.set_addresses({HostId(1)}, {}, SimTime(0));
+  relay.set_addresses({HostId(2)}, {}, SimTime(0));
+  bystander.set_addresses({HostId(3)}, {}, SimTime(0));
+  dest.set_addresses({HostId(4)}, {}, SimTime(0));
+
+  const MessageId id = source.send(HostId(1), {HostId(4)}, "m", SimTime(0));
+  run_encounter(source, relay, SimTime(1));
+  ASSERT_TRUE(relay.replica().store().contains(id));
+  run_encounter(relay, bystander, SimTime(2));
+  EXPECT_FALSE(bystander.replica().store().contains(id))
+      << "relay forwarded to a non-destination";
+  run_encounter(relay, dest, SimTime(3));
+  EXPECT_TRUE(dest.has_delivered(id));
+}
+
+// ---------------------------------------------------------------- //
+//  RandomizedEpidemic
+
+TEST(PEpidemic, ProbabilityOneBehavesLikeEpidemic) {
+  RandomizedEpidemicParams params;
+  params.forward_probability = 1.0;
+  RandomizedEpidemicPolicy policy(params);
+  repl::Item stored = message_authored_by(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(
+        policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+  }
+}
+
+TEST(PEpidemic, ProbabilityZeroNeverForwards) {
+  RandomizedEpidemicParams params;
+  params.forward_probability = 0.0;
+  RandomizedEpidemicPolicy policy(params);
+  repl::Item stored = message_authored_by(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(
+        policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+  }
+}
+
+TEST(PEpidemic, IntermediateProbabilityMixes) {
+  RandomizedEpidemicParams params;
+  params.forward_probability = 0.5;
+  RandomizedEpidemicPolicy policy(params);
+  repl::Item stored = message_authored_by(1);
+  int sent = 0;
+  constexpr int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    if (policy.to_send(ctx(1, 2), repl::TransientView(stored)).send())
+      ++sent;
+  }
+  EXPECT_GT(sent, kTrials / 4);
+  EXPECT_LT(sent, 3 * kTrials / 4);
+}
+
+TEST(PEpidemic, TtlStillEnforced) {
+  RandomizedEpidemicParams params;
+  params.forward_probability = 1.0;
+  RandomizedEpidemicPolicy policy(params);
+  repl::Item stored = message_authored_by(1);
+  stored.set_transient_int(RandomizedEpidemicPolicy::kTtlKey, 0);
+  EXPECT_FALSE(
+      policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+}
+
+// ---------------------------------------------------------------- //
+//  Registry wiring
+
+TEST(Baselines, RegistryCreatesAll) {
+  for (const auto& name : baseline_policies()) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+    EXPECT_FALSE(policy->summary().empty());
+  }
+}
+
+TEST(Baselines, RegistryOverrides) {
+  const auto fc = std::dynamic_pointer_cast<FirstContactPolicy>(
+      make_policy("first-contact", {{"max_transfers", 3.0}}));
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->params().max_transfers, 3);
+  const auto th = std::dynamic_pointer_cast<TwoHopRelayPolicy>(
+      make_policy("two-hop", {{"relay_budget", 4.0}}));
+  ASSERT_NE(th, nullptr);
+  EXPECT_EQ(th->params().relay_budget, 4);
+  const auto pe = std::dynamic_pointer_cast<RandomizedEpidemicPolicy>(
+      make_policy("p-epidemic", {{"p", 0.25}, {"ttl", 5.0}}));
+  ASSERT_NE(pe, nullptr);
+  EXPECT_DOUBLE_EQ(pe->params().forward_probability, 0.25);
+  EXPECT_EQ(pe->params().initial_ttl, 5);
+}
+
+TEST(Baselines, EmulationRunsWithEachBaseline) {
+  for (const auto& name : baseline_policies()) {
+    auto config = sim::small_config(0.15);
+    config.policy = name;
+    config.invariant_check_every = 100;
+    const auto result = sim::run_experiment(config);
+    EXPECT_GT(result.metrics.delivered_count(), 0u) << name;
+  }
+}
+
+TEST(Baselines, OrderingAgainstPaperPolicies) {
+  // Multi-copy schemes should not be slower than the strictly
+  // single-copy first-contact baseline.
+  auto fc_config = sim::small_config(0.25);
+  fc_config.policy = "first-contact";
+  auto ep_config = sim::small_config(0.25);
+  ep_config.policy = "epidemic";
+  const auto fc = sim::run_experiment(fc_config);
+  const auto ep = sim::run_experiment(ep_config);
+  EXPECT_GE(ep.metrics.delivered_within_hours(24) + 1e-9,
+            fc.metrics.delivered_within_hours(24));
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,88 @@
+#include "dtn/epidemic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtn/message.hpp"
+
+namespace pfrdtn::dtn {
+namespace {
+
+repl::Item message_item(std::uint64_t id = 1) {
+  return repl::Item(ItemId(id), repl::Version{ReplicaId(1), id, 1},
+                    message_metadata(HostId(1), {HostId(2)}, SimTime(0)),
+                    {});
+}
+
+repl::SyncContext ctx() {
+  return {ReplicaId(1), ReplicaId(2), SimTime(0)};
+}
+
+TEST(Epidemic, InitializesTtlOnFirstSight) {
+  EpidemicPolicy policy(EpidemicParams{10});
+  repl::Item stored = message_item();
+  const auto priority =
+      policy.to_send(ctx(), repl::TransientView(stored));
+  EXPECT_TRUE(priority.send());
+  EXPECT_EQ(stored.transient_int(EpidemicPolicy::kTtlKey), 10);
+}
+
+TEST(Epidemic, ForwardsWhileTtlPositive) {
+  EpidemicPolicy policy;
+  repl::Item stored = message_item();
+  stored.set_transient_int(EpidemicPolicy::kTtlKey, 1);
+  EXPECT_TRUE(policy.to_send(ctx(), repl::TransientView(stored)).send());
+}
+
+TEST(Epidemic, StopsAtZeroTtl) {
+  EpidemicPolicy policy;
+  repl::Item stored = message_item();
+  stored.set_transient_int(EpidemicPolicy::kTtlKey, 0);
+  EXPECT_FALSE(
+      policy.to_send(ctx(), repl::TransientView(stored)).send());
+  stored.set_transient_int(EpidemicPolicy::kTtlKey, -3);
+  EXPECT_FALSE(
+      policy.to_send(ctx(), repl::TransientView(stored)).send());
+}
+
+TEST(Epidemic, OnForwardDecrementsOutgoingOnly) {
+  EpidemicPolicy policy;
+  repl::Item stored = message_item();
+  stored.set_transient_int(EpidemicPolicy::kTtlKey, 5);
+  repl::Item outgoing = stored;
+  policy.on_forward(ctx(), repl::TransientView(stored),
+                    repl::TransientView(outgoing));
+  EXPECT_EQ(outgoing.transient_int(EpidemicPolicy::kTtlKey), 4);
+  // "The TTL update only affects the copy being sent."
+  EXPECT_EQ(stored.transient_int(EpidemicPolicy::kTtlKey), 5);
+}
+
+TEST(Epidemic, HopBudgetExhaustsAlongAChain) {
+  EpidemicPolicy policy(EpidemicParams{2});
+  repl::Item copy = message_item();
+  int hops = 0;
+  for (; hops < 10; ++hops) {
+    if (!policy.to_send(ctx(), repl::TransientView(copy)).send()) break;
+    repl::Item next = copy;
+    policy.on_forward(ctx(), repl::TransientView(copy),
+                      repl::TransientView(next));
+    copy = next;
+  }
+  EXPECT_EQ(hops, 2);  // initial budget allows exactly two hops
+}
+
+TEST(Epidemic, ConfigurableTtl) {
+  EpidemicPolicy policy(EpidemicParams{3});
+  repl::Item stored = message_item();
+  policy.to_send(ctx(), repl::TransientView(stored));
+  EXPECT_EQ(stored.transient_int(EpidemicPolicy::kTtlKey), 3);
+  EXPECT_EQ(policy.params().initial_ttl, 3);
+}
+
+TEST(Epidemic, NameAndSummary) {
+  EpidemicPolicy policy;
+  EXPECT_EQ(policy.name(), "epidemic");
+  EXPECT_NE(policy.summary().find("TTL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,98 @@
+#include "dtn/filter_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::dtn {
+namespace {
+
+std::vector<HostId> users(std::size_t n) {
+  std::vector<HostId> out;
+  for (std::size_t i = 0; i < n; ++i) out.emplace_back(i + 1);
+  return out;
+}
+
+TEST(FilterPlan, SelfOnlyHasNoExtras) {
+  Rng rng(1);
+  const auto plan = FilterPlan::build(FilterStrategy::SelfOnly, 4,
+                                      users(10), {}, rng);
+  for (const HostId user : users(10))
+    EXPECT_TRUE(plan.extras_for(user).empty());
+}
+
+TEST(FilterPlan, ZeroKHasNoExtras) {
+  Rng rng(1);
+  const auto plan =
+      FilterPlan::build(FilterStrategy::Random, 0, users(10), {}, rng);
+  EXPECT_TRUE(plan.extras_for(HostId(1)).empty());
+}
+
+TEST(FilterPlan, RandomPicksKDistinctOthers) {
+  Rng rng(7);
+  const auto all = users(20);
+  const auto plan =
+      FilterPlan::build(FilterStrategy::Random, 5, all, {}, rng);
+  for (const HostId user : all) {
+    const auto& extras = plan.extras_for(user);
+    EXPECT_EQ(extras.size(), 5u);
+    EXPECT_FALSE(extras.count(user)) << "self in own extras";
+  }
+}
+
+TEST(FilterPlan, KClampedToPopulation) {
+  Rng rng(7);
+  const auto plan =
+      FilterPlan::build(FilterStrategy::Random, 99, users(4), {}, rng);
+  EXPECT_EQ(plan.extras_for(HostId(1)).size(), 3u);
+}
+
+TEST(FilterPlan, SelectedPicksMostEncountered) {
+  Rng rng(7);
+  const auto all = users(5);
+  EncounterCounts counts;
+  counts[HostId(1)][HostId(3)] = 50;
+  counts[HostId(1)][HostId(4)] = 30;
+  counts[HostId(1)][HostId(2)] = 10;
+  counts[HostId(1)][HostId(5)] = 1;
+  const auto plan =
+      FilterPlan::build(FilterStrategy::Selected, 2, all, counts, rng);
+  EXPECT_EQ(plan.extras_for(HostId(1)),
+            (std::set<HostId>{HostId(3), HostId(4)}));
+}
+
+TEST(FilterPlan, SelectedTieBreaksDeterministically) {
+  Rng rng(7);
+  const auto all = users(4);
+  // No counts at all: ties broken by ascending id.
+  const auto plan =
+      FilterPlan::build(FilterStrategy::Selected, 2, all, {}, rng);
+  EXPECT_EQ(plan.extras_for(HostId(4)),
+            (std::set<HostId>{HostId(1), HostId(2)}));
+}
+
+TEST(FilterPlan, RandomIsSeedDeterministic) {
+  const auto all = users(30);
+  Rng rng1(9), rng2(9);
+  const auto p1 =
+      FilterPlan::build(FilterStrategy::Random, 4, all, {}, rng1);
+  const auto p2 =
+      FilterPlan::build(FilterStrategy::Random, 4, all, {}, rng2);
+  for (const HostId user : all)
+    EXPECT_EQ(p1.extras_for(user), p2.extras_for(user));
+}
+
+TEST(FilterPlan, UnknownUserHasNoExtras) {
+  Rng rng(7);
+  const auto plan =
+      FilterPlan::build(FilterStrategy::Random, 2, users(5), {}, rng);
+  EXPECT_TRUE(plan.extras_for(HostId(999)).empty());
+}
+
+TEST(FilterStrategyName, Names) {
+  EXPECT_STREQ(filter_strategy_name(FilterStrategy::SelfOnly), "self");
+  EXPECT_STREQ(filter_strategy_name(FilterStrategy::Random), "random");
+  EXPECT_STREQ(filter_strategy_name(FilterStrategy::Selected),
+               "selected");
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,188 @@
+#include "dtn/maxprop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dtn/message.hpp"
+#include "dtn/messaging.hpp"
+
+namespace pfrdtn::dtn {
+namespace {
+
+repl::Item message_to(std::uint64_t dest, std::uint64_t id = 1) {
+  return repl::Item(
+      ItemId(id), repl::Version{ReplicaId(9), id, 1},
+      message_metadata(HostId(99), {HostId(dest)}, SimTime(0)), {});
+}
+
+repl::SyncContext ctx(std::uint64_t self, std::uint64_t peer) {
+  return {ReplicaId(self), ReplicaId(peer), SimTime(0)};
+}
+
+TEST(MaxProp, MeetingProbabilitiesNormalize) {
+  MaxPropPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.meeting_probability(ReplicaId(2)), 0.0);
+  policy.encounter_complete(ReplicaId(2), SimTime(0));
+  EXPECT_DOUBLE_EQ(policy.meeting_probability(ReplicaId(2)), 1.0);
+  policy.encounter_complete(ReplicaId(3), SimTime(1));
+  const double p2 = policy.meeting_probability(ReplicaId(2));
+  const double p3 = policy.meeting_probability(ReplicaId(3));
+  EXPECT_NEAR(p2 + p3, 1.0, 1e-12);
+  // "+1 then renormalize": a first meeting always takes half the mass.
+  EXPECT_DOUBLE_EQ(p2, 0.5);
+  EXPECT_DOUBLE_EQ(p3, 0.5);
+}
+
+TEST(MaxProp, RepeatedMeetingsSkewDistribution) {
+  MaxPropPolicy policy;
+  policy.encounter_complete(ReplicaId(3), SimTime(0));
+  for (int i = 1; i < 5; ++i)
+    policy.encounter_complete(ReplicaId(2), SimTime(i));
+  EXPECT_GT(policy.meeting_probability(ReplicaId(2)),
+            policy.meeting_probability(ReplicaId(3)) * 3);
+  EXPECT_NEAR(policy.meeting_probability(ReplicaId(2)) +
+                  policy.meeting_probability(ReplicaId(3)),
+              1.0, 1e-12);
+}
+
+TEST(MaxProp, PathCostUnknownDestinationIsInfinite) {
+  MaxPropPolicy policy;
+  EXPECT_TRUE(std::isinf(policy.path_cost(HostId(5))));
+}
+
+TEST(MaxProp, PathCostDirectNeighbor) {
+  MaxPropPolicy a;
+  MaxPropPolicy b;
+  b.set_hosted({HostId(5)}, SimTime(0));
+  // a processes b's request: learns b hosts 5 and b's vector.
+  a.process_request(ctx(1, 2), b.generate_request(ctx(2, 1)));
+  a.encounter_complete(ReplicaId(2), SimTime(0));
+  // Path a -> b costs 1 - P_a(b) = 0.
+  EXPECT_NEAR(a.path_cost(HostId(5)), 0.0, 1e-12);
+}
+
+TEST(MaxProp, PathCostMultiHopUsesLearnedVectors) {
+  MaxPropPolicy a, b;
+  b.set_hosted({HostId(7)}, SimTime(0));
+  // b frequently meets replica 3, which hosts the destination 5.
+  b.encounter_complete(ReplicaId(3), SimTime(0));
+  MaxPropPolicy c;
+  c.set_hosted({HostId(5)}, SimTime(0));
+  b.process_request(ctx(2, 3), c.generate_request(ctx(3, 2)));
+  // a meets b.
+  a.process_request(ctx(1, 2), b.generate_request(ctx(2, 1)));
+  a.encounter_complete(ReplicaId(2), SimTime(1));
+  // But a never learned where 5 lives except through b's hosted set —
+  // b's request announced 7 only. Teach a via c's request too.
+  a.process_request(ctx(1, 3), c.generate_request(ctx(3, 1)));
+  // Path a -> 2 -> 3: cost (1-P_a(2)) + (1-P_b(3)) = 0 + 0 = 0 < a->3
+  // directly (a never met 3: edge missing from a's own vector).
+  a.encounter_complete(ReplicaId(2), SimTime(2));
+  const double cost = a.path_cost(HostId(5));
+  EXPECT_NEAR(cost, 0.0, 1e-9);
+}
+
+TEST(MaxProp, NewMessagesGetHopCountPriority) {
+  MaxPropPolicy policy(MaxPropParams{3, false});
+  repl::Item fresh = message_to(5, 1);  // hops absent = 0
+  repl::Item traveled = message_to(5, 2);
+  traveled.set_transient_int(MaxPropPolicy::kHopsKey, 2);
+  repl::Item old = message_to(5, 3);
+  old.set_transient_int(MaxPropPolicy::kHopsKey, 3);
+
+  const auto p_fresh =
+      policy.to_send(ctx(1, 2), repl::TransientView(fresh));
+  const auto p_traveled =
+      policy.to_send(ctx(1, 2), repl::TransientView(traveled));
+  const auto p_old = policy.to_send(ctx(1, 2), repl::TransientView(old));
+  // Everything is forwarded (flooding)...
+  EXPECT_TRUE(p_fresh.send());
+  EXPECT_TRUE(p_traveled.send());
+  EXPECT_TRUE(p_old.send());
+  // ...but new messages sort first, by hop count.
+  EXPECT_TRUE(p_fresh.before(p_traveled));
+  EXPECT_TRUE(p_traveled.before(p_old));
+  EXPECT_EQ(p_fresh.cls, repl::PriorityClass::High);
+  EXPECT_EQ(p_old.cls, repl::PriorityClass::Normal);
+}
+
+TEST(MaxProp, OldMessagesOrderedByPathCost) {
+  MaxPropPolicy policy;
+  MaxPropPolicy near_host, far_unknown;
+  near_host.set_hosted({HostId(5)}, SimTime(0));
+  policy.process_request(ctx(1, 2),
+                         near_host.generate_request(ctx(2, 1)));
+  policy.encounter_complete(ReplicaId(2), SimTime(0));
+
+  repl::Item reachable = message_to(5, 1);
+  reachable.set_transient_int(MaxPropPolicy::kHopsKey, 5);
+  repl::Item unknown = message_to(6, 2);
+  unknown.set_transient_int(MaxPropPolicy::kHopsKey, 5);
+  const auto p_reachable =
+      policy.to_send(ctx(1, 2), repl::TransientView(reachable));
+  const auto p_unknown =
+      policy.to_send(ctx(1, 2), repl::TransientView(unknown));
+  EXPECT_TRUE(p_reachable.before(p_unknown));
+}
+
+TEST(MaxProp, OnForwardIncrementsHops) {
+  MaxPropPolicy policy;
+  repl::Item stored = message_to(5);
+  repl::Item outgoing = stored;
+  policy.on_forward(ctx(1, 2), repl::TransientView(stored),
+                    repl::TransientView(outgoing));
+  EXPECT_EQ(outgoing.transient_int(MaxPropPolicy::kHopsKey), 1);
+  policy.on_forward(ctx(1, 2), repl::TransientView(outgoing),
+                    repl::TransientView(stored));
+  EXPECT_EQ(stored.transient_int(MaxPropPolicy::kHopsKey), 2);
+}
+
+TEST(MaxProp, AckFloodingClearsRelayBuffers) {
+  // Two nodes with a relay copy each; node a learns the message was
+  // delivered and must drop its relay copy when told.
+  MaxPropParams params;
+  params.ack_flooding = true;
+  DtnNode a(ReplicaId(1));
+  auto a_policy = std::make_shared<MaxPropPolicy>(params);
+  a.set_policy(a_policy);
+  a.set_addresses({HostId(1)}, {}, SimTime(0));
+  DtnNode b(ReplicaId(2));
+  auto b_policy = std::make_shared<MaxPropPolicy>(params);
+  b.set_policy(b_policy);
+  b.set_addresses({HostId(2)}, {}, SimTime(0));
+  DtnNode dest(ReplicaId(3));
+  auto dest_policy = std::make_shared<MaxPropPolicy>(params);
+  dest.set_policy(dest_policy);
+  dest.set_addresses({HostId(5)}, {}, SimTime(0));
+
+  const MessageId id = a.send(HostId(1), {HostId(5)}, "m", SimTime(0));
+  run_encounter(a, b, SimTime(1));  // b now relays a copy
+  ASSERT_TRUE(b.replica().store().contains(id));
+  run_encounter(b, dest, SimTime(2));  // delivered at dest
+  ASSERT_TRUE(dest.has_delivered(id));
+  // dest's ack reaches b on a later encounter; b clears its relay copy.
+  run_encounter(b, dest, SimTime(3));
+  EXPECT_FALSE(b.replica().store().contains(id));
+  // The sender's own copy is exempt from ack clearing.
+  run_encounter(a, dest, SimTime(4));
+  EXPECT_TRUE(a.replica().store().contains(id));
+}
+
+TEST(MaxProp, AckFloodingOffByDefault) {
+  MaxPropPolicy policy;
+  EXPECT_FALSE(policy.params().ack_flooding);
+  policy.note_delivered(ItemId(1), SimTime(0));
+  // With acks off, to_send still forwards the message.
+  repl::Item msg = message_to(5, 1);
+  EXPECT_TRUE(policy.to_send(ctx(1, 2), repl::TransientView(msg)).send());
+}
+
+TEST(MaxProp, NameAndSummary) {
+  MaxPropPolicy policy;
+  EXPECT_EQ(policy.name(), "maxprop");
+  EXPECT_NE(policy.summary().find("Dijkstra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,55 @@
+#include "dtn/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::dtn {
+namespace {
+
+TEST(Message, MetadataRoundTrip) {
+  const auto md = message_metadata(HostId(3), {HostId(7), HostId(9)},
+                                   at(1, 9, 30));
+  repl::Item item(ItemId(1), repl::Version{ReplicaId(1), 1, 1}, md,
+                  {'h', 'i'});
+  ASSERT_TRUE(is_message(item));
+  const auto message = Message::from_item(item);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->id, ItemId(1));
+  EXPECT_EQ(message->source, HostId(3));
+  EXPECT_EQ(message->destinations,
+            (std::vector<HostId>{HostId(7), HostId(9)}));
+  EXPECT_EQ(message->created, at(1, 9, 30));
+  EXPECT_EQ(message->body, "hi");
+}
+
+TEST(Message, NonMessageItemRejected) {
+  repl::Item item(ItemId(1), repl::Version{ReplicaId(1), 1, 1},
+                  {{repl::meta::kType, "photo"}}, {});
+  EXPECT_FALSE(is_message(item));
+  EXPECT_FALSE(Message::from_item(item).has_value());
+}
+
+TEST(Message, MissingTypeRejected) {
+  repl::Item item(ItemId(1), repl::Version{ReplicaId(1), 1, 1},
+                  {{repl::meta::kDest, "1"}}, {});
+  EXPECT_FALSE(Message::from_item(item).has_value());
+}
+
+TEST(Message, EmptyBodyAndSingleDest) {
+  const auto md = message_metadata(HostId(1), {HostId(2)}, SimTime(0));
+  repl::Item item(ItemId(5), repl::Version{ReplicaId(1), 1, 1}, md, {});
+  const auto message = Message::from_item(item);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_TRUE(message->body.empty());
+  EXPECT_EQ(message->destinations, std::vector<HostId>{HostId(2)});
+}
+
+TEST(Message, MetadataUsesWellKnownKeys) {
+  const auto md = message_metadata(HostId(1), {HostId(2)}, at(0, 8));
+  EXPECT_EQ(md.at(repl::meta::kType), kMessageType);
+  EXPECT_EQ(md.at(repl::meta::kSource), "1");
+  EXPECT_EQ(md.at(repl::meta::kDest), "2");
+  EXPECT_EQ(md.at(repl::meta::kCreated), std::to_string(8 * 3600));
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,178 @@
+#include "dtn/messaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtn/direct.hpp"
+#include "dtn/epidemic.hpp"
+
+namespace pfrdtn::dtn {
+namespace {
+
+DtnNode make_node(std::uint64_t id, std::uint64_t addr) {
+  DtnNode node{ReplicaId(id)};
+  node.set_addresses({HostId(addr)}, {}, SimTime(0));
+  return node;
+}
+
+TEST(DtnNode, SendCreatesMessageItem) {
+  DtnNode node = make_node(1, 5);
+  const MessageId id =
+      node.send(HostId(5), {HostId(9)}, "hello", at(0, 8));
+  const auto* entry = node.replica().store().find(id);
+  ASSERT_NE(entry, nullptr);
+  const auto message = Message::from_item(entry->item);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->source, HostId(5));
+  EXPECT_EQ(message->destinations, std::vector<HostId>{HostId(9)});
+  EXPECT_EQ(message->body, "hello");
+  EXPECT_FALSE(entry->in_filter);   // not addressed to us
+  EXPECT_TRUE(entry->local_origin); // sender copies are exempt
+}
+
+TEST(DtnNode, SendRequiresDestination) {
+  DtnNode node = make_node(1, 5);
+  EXPECT_THROW(node.send(HostId(5), {}, "x", SimTime(0)),
+               ContractViolation);
+}
+
+TEST(DtnNode, SelfAddressedDeliversImmediately) {
+  DtnNode node = make_node(1, 5);
+  const MessageId id = node.send(HostId(5), {HostId(5)}, "me", SimTime(0));
+  EXPECT_TRUE(node.has_delivered(id));
+  EXPECT_EQ(node.delivered_count(), 1u);
+}
+
+TEST(DtnNode, DirectEncounterDelivers) {
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 9);
+  const MessageId id = a.send(HostId(5), {HostId(9)}, "m", SimTime(0));
+  const auto outcome = run_encounter(a, b, SimTime(10));
+  ASSERT_EQ(outcome.delivered_b.size(), 1u);
+  EXPECT_EQ(outcome.delivered_b[0].id, id);
+  EXPECT_TRUE(b.has_delivered(id));
+  EXPECT_FALSE(a.has_delivered(id));
+}
+
+TEST(DtnNode, DeliveryIsExactlyOncePerNode) {
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 9);
+  a.send(HostId(5), {HostId(9)}, "m", SimTime(0));
+  const auto first = run_encounter(a, b, SimTime(1));
+  EXPECT_EQ(first.delivered_b.size(), 1u);
+  const auto second = run_encounter(a, b, SimTime(2));
+  EXPECT_TRUE(second.delivered_b.empty());
+  EXPECT_EQ(b.delivered_count(), 1u);
+}
+
+TEST(DtnNode, MultiDestinationDeliversToEach) {
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 8);
+  DtnNode c = make_node(3, 9);
+  const MessageId id =
+      a.send(HostId(5), {HostId(8), HostId(9)}, "m", SimTime(0));
+  run_encounter(a, b, SimTime(1));
+  run_encounter(a, c, SimTime(2));
+  EXPECT_TRUE(b.has_delivered(id));
+  EXPECT_TRUE(c.has_delivered(id));
+}
+
+TEST(DtnNode, SetAddressesDeliversStoredRelayItems) {
+  DtnNode a = make_node(1, 5);
+  DtnNode relay = make_node(2, 8);
+  relay.set_policy(std::make_shared<EpidemicPolicy>());
+  a.set_policy(std::make_shared<EpidemicPolicy>());
+  const MessageId id = a.send(HostId(5), {HostId(9)}, "m", SimTime(0));
+  run_encounter(a, relay, SimTime(1));  // relay holds an epidemic copy
+  ASSERT_TRUE(relay.replica().store().contains(id));
+  EXPECT_FALSE(relay.has_delivered(id));
+  // The destination user boards the relay node (daily reassignment).
+  const auto delivered =
+      relay.set_addresses({HostId(9)}, {}, at(1, 0));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].id, id);
+  EXPECT_TRUE(relay.has_delivered(id));
+}
+
+TEST(DtnNode, ExtraAddressesRelayButDoNotDeliver) {
+  DtnNode a = make_node(1, 5);
+  DtnNode relay{ReplicaId(2)};
+  // Relay's filter includes 9 as an *extra* (multi-address filter).
+  relay.set_addresses({HostId(8)}, {HostId(9)}, SimTime(0));
+  const MessageId id = a.send(HostId(5), {HostId(9)}, "m", SimTime(0));
+  const auto outcome = run_encounter(a, relay, SimTime(1));
+  EXPECT_TRUE(outcome.delivered_b.empty());  // relayed, not delivered
+  ASSERT_TRUE(relay.replica().store().contains(id));
+  EXPECT_TRUE(relay.replica().store().find(id)->in_filter);
+  // A real destination then gets it from the relay without the sender.
+  DtnNode dest = make_node(3, 9);
+  const auto final_hop = run_encounter(relay, dest, SimTime(2));
+  EXPECT_EQ(final_hop.delivered_b.size(), 1u);
+}
+
+TEST(DtnNode, ExpungeCreatesTombstone) {
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 9);
+  // Tombstones ride the same forwarding paths as messages; without a
+  // policy they reach only nodes whose filter selects them.
+  a.set_policy(std::make_shared<EpidemicPolicy>());
+  b.set_policy(std::make_shared<EpidemicPolicy>());
+  const MessageId id = a.send(HostId(5), {HostId(9)}, "m", SimTime(0));
+  run_encounter(a, b, SimTime(1));
+  b.expunge(id);
+  EXPECT_TRUE(b.replica().store().find(id)->item.deleted());
+  // The tombstone flows back to the sender on the next encounter.
+  run_encounter(a, b, SimTime(2));
+  EXPECT_TRUE(a.replica().store().find(id)->item.deleted());
+}
+
+TEST(RunEncounter, TwoSyncsMoveBothDirections) {
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 9);
+  const MessageId to_b = a.send(HostId(5), {HostId(9)}, "x", SimTime(0));
+  const MessageId to_a = b.send(HostId(9), {HostId(5)}, "y", SimTime(0));
+  const auto outcome = run_encounter(a, b, SimTime(1));
+  EXPECT_TRUE(a.has_delivered(to_a));
+  EXPECT_TRUE(b.has_delivered(to_b));
+  EXPECT_EQ(outcome.delivered_a.size(), 1u);
+  EXPECT_EQ(outcome.delivered_b.size(), 1u);
+  EXPECT_EQ(outcome.stats.items_sent, 2u);
+}
+
+TEST(RunEncounter, SharedBudgetAcrossBothSyncs) {
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 9);
+  a.send(HostId(5), {HostId(9)}, "1", SimTime(0));
+  b.send(HostId(9), {HostId(5)}, "2", SimTime(0));
+  EncounterOptions options;
+  options.encounter_budget = 1;  // Figure 9's constraint
+  const auto outcome = run_encounter(a, b, SimTime(1), options);
+  EXPECT_EQ(outcome.stats.items_sent, 1u);
+  EXPECT_EQ(outcome.delivered_a.size() + outcome.delivered_b.size(), 1u);
+}
+
+TEST(RunEncounter, NotifiesPoliciesOnce) {
+  class CountingPolicy : public DirectPolicy {
+   public:
+    void encounter_complete(ReplicaId, SimTime) override { ++count; }
+    int count = 0;
+  };
+  DtnNode a = make_node(1, 5);
+  DtnNode b = make_node(2, 9);
+  auto pa = std::make_shared<CountingPolicy>();
+  auto pb = std::make_shared<CountingPolicy>();
+  a.set_policy(pa);
+  b.set_policy(pb);
+  run_encounter(a, b, SimTime(1));
+  EXPECT_EQ(pa->count, 1);
+  EXPECT_EQ(pb->count, 1);
+}
+
+TEST(DtnNode, PolicyRebindsOnSet) {
+  DtnNode a = make_node(1, 5);
+  auto policy = std::make_shared<EpidemicPolicy>();
+  a.set_policy(policy);
+  EXPECT_EQ(a.policy(), policy.get());
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

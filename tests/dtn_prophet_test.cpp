@@ -1,0 +1,210 @@
+#include "dtn/prophet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dtn/message.hpp"
+
+namespace pfrdtn::dtn {
+namespace {
+
+repl::Item message_to(std::uint64_t dest, std::uint64_t id = 1) {
+  return repl::Item(
+      ItemId(id), repl::Version{ReplicaId(1), id, 1},
+      message_metadata(HostId(99), {HostId(dest)}, SimTime(0)), {});
+}
+
+repl::SyncContext ctx(std::uint64_t self, std::uint64_t peer,
+                      SimTime now = SimTime(0)) {
+  return {ReplicaId(self), ReplicaId(peer), now};
+}
+
+/// Simulate one full encounter's worth of PROPHET state exchange from
+/// b into a: b generates a request, a processes it.
+void meet(ProphetPolicy& a, ProphetPolicy& b, std::uint64_t a_id,
+          std::uint64_t b_id, SimTime now) {
+  const auto request = b.generate_request(ctx(b_id, a_id, now));
+  a.process_request(ctx(a_id, b_id, now), request);
+}
+
+TEST(Prophet, DirectEncounterRaisesPredictability) {
+  ProphetPolicy a, b;
+  a.set_hosted({HostId(1)}, SimTime(0));
+  b.set_hosted({HostId(2)}, SimTime(0));
+  EXPECT_DOUBLE_EQ(a.predictability(HostId(2)), 0.0);
+  meet(a, b, 1, 2, SimTime(0));
+  EXPECT_DOUBLE_EQ(a.predictability(HostId(2)), 0.75);
+  // Second meeting pushes it further toward 1.
+  meet(a, b, 1, 2, SimTime(10));
+  // Ten seconds of aging elapse between the meetings, so allow a hair
+  // of decay below the exact 0.75 + 0.25 * 0.75.
+  EXPECT_NEAR(a.predictability(HostId(2)), 0.75 + 0.25 * 0.75, 1e-3);
+}
+
+TEST(Prophet, AgingDecaysPredictability) {
+  ProphetParams params;
+  params.aging_unit_s = 3600;
+  ProphetPolicy a(params), b;
+  a.set_hosted({HostId(1)}, SimTime(0));
+  b.set_hosted({HostId(2)}, SimTime(0));
+  meet(a, b, 1, 2, SimTime(0));
+  // Age by asking for a request 10 hours later.
+  a.generate_request(ctx(1, 3, at(0, 10)));
+  EXPECT_NEAR(a.predictability(HostId(2)),
+              0.75 * std::pow(0.98, 10.0), 1e-9);
+}
+
+TEST(Prophet, TransitivityThroughIntermediate) {
+  ProphetPolicy a, b;
+  a.set_hosted({HostId(1)}, SimTime(0));
+  b.set_hosted({HostId(2)}, SimTime(0));
+  // b knows destination 5 well.
+  ProphetPolicy c;
+  c.set_hosted({HostId(5)}, SimTime(0));
+  meet(b, c, 2, 3, SimTime(0));
+  ASSERT_DOUBLE_EQ(b.predictability(HostId(5)), 0.75);
+  // a meets b: P_a(5) >= P(a,b) * P(b,5) * beta.
+  meet(a, b, 1, 2, SimTime(10));
+  EXPECT_NEAR(a.predictability(HostId(5)), 0.75 * 0.75 * 0.25, 1e-3);
+}
+
+TEST(Prophet, TransitivityNeverLowers) {
+  ProphetPolicy a, b;
+  a.set_hosted({HostId(1)}, SimTime(0));
+  b.set_hosted({HostId(2)}, SimTime(0));
+  ProphetPolicy d;
+  d.set_hosted({HostId(5)}, SimTime(0));
+  meet(a, d, 1, 4, SimTime(0));  // a directly knows 5 at 0.75
+  meet(a, b, 1, 2, SimTime(1));  // b knows nothing about 5
+  EXPECT_GE(a.predictability(HostId(5)), 0.7);
+}
+
+TEST(Prophet, OwnHostedAddressesNotTransitive) {
+  ProphetPolicy a, b;
+  a.set_hosted({HostId(1)}, SimTime(0));
+  b.set_hosted({HostId(2)}, SimTime(0));
+  ProphetPolicy c;
+  c.set_hosted({HostId(1)}, SimTime(0));  // same address as a hosts
+  meet(b, c, 2, 3, SimTime(0));
+  meet(a, b, 1, 2, SimTime(1));
+  // a hosts address 1 itself; no predictability entry needed/created.
+  EXPECT_DOUBLE_EQ(a.predictability(HostId(1)), 0.0);
+}
+
+TEST(Prophet, GrtrForwardsOnlyWhenPeerIsBetter) {
+  ProphetPolicy source;
+  source.set_hosted({HostId(1)}, SimTime(0));
+  ProphetPolicy target;
+  target.set_hosted({HostId(2)}, SimTime(0));
+  ProphetPolicy dest_holder;
+  dest_holder.set_hosted({HostId(5)}, SimTime(0));
+
+  // Target recently met the destination's host; source did not.
+  meet(target, dest_holder, 2, 3, SimTime(0));
+  // Source processes target's request (this is what a sync does).
+  meet(source, target, 1, 2, SimTime(1));
+
+  repl::Item msg = message_to(5);
+  const auto priority =
+      source.to_send(ctx(1, 2, SimTime(1)), repl::TransientView(msg));
+  EXPECT_TRUE(priority.send());
+
+  // Reverse roles: target's P for 5 is high, source's is low, so the
+  // target-as-source should NOT forward to source-as-target.
+  meet(target, source, 2, 1, SimTime(1));
+  const auto reverse =
+      target.to_send(ctx(2, 1, SimTime(1)), repl::TransientView(msg));
+  EXPECT_FALSE(reverse.send());
+}
+
+TEST(Prophet, SkipsWhenNoRequestProcessedFromPeer) {
+  ProphetPolicy source;
+  source.set_hosted({HostId(1)}, SimTime(0));
+  repl::Item msg = message_to(5);
+  EXPECT_FALSE(source.to_send(ctx(1, 9), repl::TransientView(msg)).send());
+}
+
+TEST(Prophet, HigherPeerPredictabilitySortsEarlier) {
+  ProphetPolicy source;
+  source.set_hosted({HostId(1)}, SimTime(0));
+  ProphetPolicy target;
+  target.set_hosted({HostId(2)}, SimTime(0));
+  ProphetPolicy h5, h6;
+  h5.set_hosted({HostId(5)}, SimTime(0));
+  h6.set_hosted({HostId(6)}, SimTime(0));
+  meet(target, h5, 2, 3, SimTime(0));
+  meet(target, h5, 2, 3, SimTime(1));  // 5 reinforced twice
+  meet(target, h6, 2, 4, SimTime(2));
+  meet(source, target, 1, 2, SimTime(3));
+  repl::Item m5 = message_to(5, 1);
+  repl::Item m6 = message_to(6, 2);
+  const auto p5 =
+      source.to_send(ctx(1, 2, SimTime(3)), repl::TransientView(m5));
+  const auto p6 =
+      source.to_send(ctx(1, 2, SimTime(3)), repl::TransientView(m6));
+  ASSERT_TRUE(p5.send());
+  ASSERT_TRUE(p6.send());
+  EXPECT_TRUE(p5.before(p6));  // better predictability first
+}
+
+TEST(Prophet, GrtrPlusRequiresBeatingBestCarrier) {
+  ProphetParams params;
+  params.grtr_plus = true;
+  ProphetPolicy source(params);
+  source.set_hosted({HostId(1)}, SimTime(0));
+  ProphetPolicy target(params);
+  target.set_hosted({HostId(2)}, SimTime(0));
+  ProphetPolicy dest_holder(params);
+  dest_holder.set_hosted({HostId(5)}, SimTime(0));
+  meet(target, dest_holder, 2, 3, SimTime(0));
+  meet(source, target, 1, 2, SimTime(1));
+
+  repl::Item msg = message_to(5);
+  // A previous carrier already had predictability 0.9 for this copy.
+  msg.set_transient(ProphetPolicy::kBestPKey, "0.9");
+  EXPECT_FALSE(
+      source.to_send(ctx(1, 2, SimTime(1)), repl::TransientView(msg))
+          .send());
+  // With a weaker best-carrier mark it goes through and is updated.
+  msg.set_transient(ProphetPolicy::kBestPKey, "0.1");
+  EXPECT_TRUE(
+      source.to_send(ctx(1, 2, SimTime(1)), repl::TransientView(msg))
+          .send());
+  repl::Item outgoing = msg;
+  source.on_forward(ctx(1, 2, SimTime(1)), repl::TransientView(msg),
+                    repl::TransientView(outgoing));
+  EXPECT_GT(std::stod(*outgoing.transient(ProphetPolicy::kBestPKey)),
+            0.7);
+}
+
+TEST(Prophet, RequestSerializationRoundTrip) {
+  ProphetPolicy a;
+  a.set_hosted({HostId(1), HostId(3)}, SimTime(0));
+  ProphetPolicy b;
+  b.set_hosted({HostId(2)}, SimTime(0));
+  meet(a, b, 1, 2, SimTime(0));
+  const auto request = a.generate_request(ctx(1, 9, SimTime(1)));
+  EXPECT_FALSE(request.empty());
+  ProphetPolicy c;
+  c.set_hosted({HostId(9)}, SimTime(0));
+  // Should parse without throwing and pick up a's hosted addresses.
+  c.process_request(ctx(9, 1, SimTime(1)), request);
+  EXPECT_DOUBLE_EQ(c.predictability(HostId(1)), 0.75);
+  EXPECT_DOUBLE_EQ(c.predictability(HostId(3)), 0.75);
+}
+
+TEST(Prophet, EmptyRequestIsTolerated) {
+  ProphetPolicy a;
+  a.process_request(ctx(1, 2), {});
+  SUCCEED();
+}
+
+TEST(Prophet, NameAndSummary) {
+  ProphetPolicy policy;
+  EXPECT_EQ(policy.name(), "prophet");
+  EXPECT_NE(policy.summary().find("predictabilit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

@@ -1,0 +1,140 @@
+#include "dtn/spray_focus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtn/message.hpp"
+#include "dtn/messaging.hpp"
+#include "dtn/registry.hpp"
+
+namespace pfrdtn::dtn {
+namespace {
+
+repl::Item message_to(std::uint64_t dest, std::uint64_t id = 1) {
+  return repl::Item(
+      ItemId(id), repl::Version{ReplicaId(1), id, 1},
+      message_metadata(HostId(99), {HostId(dest)}, SimTime(0)), {});
+}
+
+repl::SyncContext ctx(std::uint64_t self, std::uint64_t peer,
+                      SimTime now = SimTime(0)) {
+  return {ReplicaId(self), ReplicaId(peer), now};
+}
+
+/// Exchange routing state b -> a (a is the sync source).
+void meet(SprayFocusPolicy& a, SprayFocusPolicy& b, std::uint64_t a_id,
+          std::uint64_t b_id, SimTime now) {
+  a.process_request(ctx(a_id, b_id, now),
+                    b.generate_request(ctx(b_id, a_id, now)));
+}
+
+TEST(SprayFocus, SprayPhaseMatchesSprayAndWait) {
+  SprayFocusPolicy policy;
+  repl::Item stored = message_to(5);
+  EXPECT_TRUE(policy.to_send(ctx(1, 2), repl::TransientView(stored)).send());
+  EXPECT_EQ(stored.transient_int(SprayFocusPolicy::kCopiesKey), 8);
+  repl::Item outgoing = stored;
+  policy.on_forward(ctx(1, 2), repl::TransientView(stored),
+                    repl::TransientView(outgoing));
+  EXPECT_EQ(stored.transient_int(SprayFocusPolicy::kCopiesKey), 4);
+  EXPECT_EQ(outgoing.transient_int(SprayFocusPolicy::kCopiesKey), 4);
+}
+
+TEST(SprayFocus, MeetingAHostStampsTimers) {
+  SprayFocusPolicy a, host5;
+  host5.set_hosted({HostId(5)}, SimTime(0));
+  EXPECT_EQ(a.last_seen(HostId(5)).seconds(), -1);
+  meet(a, host5, 1, 3, at(0, 9));
+  EXPECT_EQ(a.last_seen(HostId(5)), at(0, 9));
+}
+
+TEST(SprayFocus, FocusHandsOverToFresherPeer) {
+  SprayFocusPolicy source, target, host5;
+  host5.set_hosted({HostId(5)}, SimTime(0));
+  // Target met the destination's host recently; source never did.
+  meet(target, host5, 2, 3, at(0, 10));
+  meet(source, target, 1, 2, at(0, 11));
+
+  repl::Item copy = message_to(5);
+  copy.set_transient_int(SprayFocusPolicy::kCopiesKey, 1);
+  const auto priority = source.to_send(ctx(1, 2, at(0, 11)),
+                                       repl::TransientView(copy));
+  ASSERT_TRUE(priority.send());
+
+  // The handover migrates the copy: local side stops offering.
+  repl::Item outgoing = copy;
+  source.on_forward(ctx(1, 2, at(0, 11)), repl::TransientView(copy),
+                    repl::TransientView(outgoing));
+  EXPECT_EQ(copy.transient_int(SprayFocusPolicy::kCopiesKey), 0);
+  EXPECT_EQ(outgoing.transient_int(SprayFocusPolicy::kCopiesKey), 1);
+  EXPECT_FALSE(source
+                   .to_send(ctx(1, 2, at(0, 12)),
+                            repl::TransientView(copy))
+                   .send());
+}
+
+TEST(SprayFocus, FocusRespectsUtilityMargin) {
+  SprayFocusParams params;
+  params.utility_margin_s = 3600;
+  SprayFocusPolicy source(params), target(params), host5(params);
+  host5.set_hosted({HostId(5)}, SimTime(0));
+  // Source met the host at 9:00, target at 9:30 — under the 1 h margin.
+  meet(source, host5, 1, 3, at(0, 9));
+  meet(target, host5, 2, 3, at(0, 9, 30));
+  meet(source, target, 1, 2, at(0, 10));
+  repl::Item copy = message_to(5);
+  copy.set_transient_int(SprayFocusPolicy::kCopiesKey, 1);
+  EXPECT_FALSE(source
+                   .to_send(ctx(1, 2, at(0, 10)),
+                            repl::TransientView(copy))
+                   .send());
+}
+
+TEST(SprayFocus, NoHandoverToStalePeer) {
+  SprayFocusPolicy source, target, host5;
+  host5.set_hosted({HostId(5)}, SimTime(0));
+  meet(source, host5, 1, 3, at(0, 12));  // source is fresher
+  meet(target, host5, 2, 3, at(0, 8));
+  meet(source, target, 1, 2, at(0, 13));
+  repl::Item copy = message_to(5);
+  copy.set_transient_int(SprayFocusPolicy::kCopiesKey, 1);
+  EXPECT_FALSE(source
+                   .to_send(ctx(1, 2, at(0, 13)),
+                            repl::TransientView(copy))
+                   .send());
+}
+
+TEST(SprayFocus, EndToEndDeliveryThroughFocusChain) {
+  // source sprays down to one copy, then focuses it toward a node
+  // that recently met the destination.
+  DtnNode source(ReplicaId(1)), courier(ReplicaId(2)),
+      dest(ReplicaId(3));
+  for (auto* node : {&source, &courier, &dest}) {
+    node->set_policy(std::make_shared<SprayFocusPolicy>(
+        SprayFocusParams{2, 60}));
+  }
+  source.set_addresses({HostId(1)}, {}, SimTime(0));
+  courier.set_addresses({HostId(2)}, {}, SimTime(0));
+  dest.set_addresses({HostId(5)}, {}, SimTime(0));
+
+  const MessageId id = source.send(HostId(1), {HostId(5)}, "m", at(0, 8));
+  // Courier meets the destination (gains freshness), then the source.
+  run_encounter(courier, dest, at(0, 9));
+  run_encounter(source, courier, at(0, 10));
+  ASSERT_TRUE(courier.replica().store().contains(id));
+  // Courier meets the destination again: direct delivery.
+  run_encounter(courier, dest, at(0, 11));
+  EXPECT_TRUE(dest.has_delivered(id));
+}
+
+TEST(SprayFocus, RegistryWiring) {
+  const auto policy = std::dynamic_pointer_cast<SprayFocusPolicy>(
+      make_policy("spray-focus", {{"copies", 4.0},
+                                  {"utility_margin_s", 120.0}}));
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->params().copies, 4);
+  EXPECT_EQ(policy->params().utility_margin_s, 120);
+  EXPECT_NE(policy->summary().find("focus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrdtn::dtn

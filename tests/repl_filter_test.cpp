@@ -1,0 +1,266 @@
+#include "repl/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pfrdtn::repl {
+namespace {
+
+Item make_item(std::map<std::string, std::string> md) {
+  return Item(ItemId(1), Version{ReplicaId(1), 1, 1}, std::move(md), {});
+}
+
+Item message_to(std::vector<HostId> dests) {
+  return make_item({{meta::kDest, encode_hosts(dests)}});
+}
+
+TEST(Filter, TrueAndFalse) {
+  const Item item = message_to({HostId(1)});
+  EXPECT_TRUE(Filter::all().matches(item));
+  EXPECT_FALSE(Filter::none().matches(item));
+  EXPECT_FALSE(Filter().matches(item));  // default = none
+}
+
+TEST(Filter, AddressSetMatching) {
+  const auto f = Filter::addresses({HostId(1), HostId(2)});
+  EXPECT_TRUE(f.matches(message_to({HostId(1)})));
+  EXPECT_TRUE(f.matches(message_to({HostId(3), HostId(2)})));
+  EXPECT_FALSE(f.matches(message_to({HostId(3)})));
+  EXPECT_FALSE(f.matches(make_item({})));  // no dest attribute
+}
+
+TEST(Filter, EmptyAddressSetIsNone) {
+  EXPECT_TRUE(Filter::addresses({}).provably_empty());
+}
+
+TEST(Filter, TagMatching) {
+  const auto f = Filter::tags({"work", "photos"});
+  EXPECT_TRUE(f.matches(make_item({{meta::kTags, "photos"}})));
+  EXPECT_TRUE(f.matches(make_item({{meta::kTags, "a,work,b"}})));
+  EXPECT_FALSE(f.matches(make_item({{meta::kTags, "home"}})));
+  EXPECT_FALSE(f.matches(make_item({})));
+}
+
+TEST(Filter, MetaEquals) {
+  const auto f = Filter::meta_equals("type", "msg");
+  EXPECT_TRUE(f.matches(make_item({{"type", "msg"}})));
+  EXPECT_FALSE(f.matches(make_item({{"type", "photo"}})));
+  EXPECT_FALSE(f.matches(make_item({})));
+}
+
+TEST(Filter, Composites) {
+  const auto dest = Filter::addresses({HostId(1)});
+  const auto type = Filter::meta_equals("type", "msg");
+  const Item both = make_item(
+      {{meta::kDest, encode_hosts({HostId(1)})}, {"type", "msg"}});
+  const Item only_dest = message_to({HostId(1)});
+  EXPECT_TRUE(Filter::conj(dest, type).matches(both));
+  EXPECT_FALSE(Filter::conj(dest, type).matches(only_dest));
+  EXPECT_TRUE(Filter::disj(dest, type).matches(only_dest));
+  EXPECT_FALSE(Filter::negate(dest).matches(only_dest));
+  EXPECT_TRUE(Filter::negate(type).matches(only_dest));
+}
+
+TEST(Filter, CompositeSimplifications) {
+  const auto f = Filter::addresses({HostId(1)});
+  EXPECT_TRUE(Filter::conj(Filter::all(), f).equals(f));
+  EXPECT_TRUE(Filter::conj(f, Filter::none()).provably_empty());
+  EXPECT_TRUE(Filter::disj(Filter::none(), f).equals(f));
+  EXPECT_TRUE(Filter::disj(f, Filter::all()).equals(Filter::all()));
+  EXPECT_TRUE(Filter::negate(Filter::negate(f)).equals(f));
+}
+
+TEST(Filter, DisjunctionOfAddressSetsStaysCanonical) {
+  const auto f = Filter::disj(Filter::addresses({HostId(1)}),
+                              Filter::addresses({HostId(2)}));
+  EXPECT_TRUE(f.is_address_filter());
+  EXPECT_EQ(f.address_set(),
+            (std::set<HostId>{HostId(1), HostId(2)}));
+}
+
+TEST(Filter, IntersectAddressSets) {
+  const auto a = Filter::addresses({HostId(1), HostId(2)});
+  const auto b = Filter::addresses({HostId(2), HostId(3)});
+  const auto i = a.intersect(b);
+  EXPECT_TRUE(i.is_address_filter());
+  EXPECT_EQ(i.address_set(), std::set<HostId>{HostId(2)});
+  const auto disjoint =
+      Filter::addresses({HostId(1)}).intersect(Filter::addresses({HostId(9)}));
+  EXPECT_TRUE(disjoint.provably_empty());
+}
+
+TEST(Filter, IntersectWithTrueAndFalse) {
+  const auto f = Filter::addresses({HostId(1)});
+  EXPECT_TRUE(Filter::all().intersect(f).equals(f));
+  EXPECT_TRUE(f.intersect(Filter::all()).equals(f));
+  EXPECT_TRUE(f.intersect(Filter::none()).provably_empty());
+}
+
+TEST(Filter, IntersectMetaEquals) {
+  const auto a = Filter::meta_equals("k", "1");
+  EXPECT_TRUE(a.intersect(Filter::meta_equals("k", "1")).equals(a));
+  EXPECT_TRUE(
+      a.intersect(Filter::meta_equals("k", "2")).provably_empty());
+}
+
+TEST(Filter, SubsumptionRules) {
+  const auto wide = Filter::addresses({HostId(1), HostId(2), HostId(3)});
+  const auto narrow = Filter::addresses({HostId(2)});
+  EXPECT_TRUE(Filter::all().subsumes(wide));
+  EXPECT_TRUE(wide.subsumes(narrow));
+  EXPECT_FALSE(narrow.subsumes(wide));
+  EXPECT_TRUE(wide.subsumes(Filter::none()));
+  EXPECT_TRUE(wide.subsumes(wide));
+  // Tags vs addresses: conservatively false.
+  EXPECT_FALSE(wide.subsumes(Filter::tags({"x"})));
+}
+
+TEST(Filter, Equality) {
+  EXPECT_TRUE(Filter::addresses({HostId(1), HostId(2)})
+                  .equals(Filter::addresses({HostId(2), HostId(1)})));
+  EXPECT_FALSE(Filter::addresses({HostId(1)})
+                   .equals(Filter::addresses({HostId(2)})));
+  EXPECT_TRUE(Filter::all() == Filter::all());
+  EXPECT_FALSE(Filter::all() == Filter::none());
+}
+
+TEST(Filter, WireRoundTrip) {
+  const std::vector<Filter> filters = {
+      Filter::all(),
+      Filter::none(),
+      Filter::addresses({HostId(1), HostId(42)}),
+      Filter::tags({"a", "b"}),
+      Filter::meta_equals("k", "v"),
+      Filter::conj(Filter::addresses({HostId(1)}),
+                   Filter::meta_equals("t", "m")),
+      Filter::negate(Filter::tags({"x"})),
+      Filter::disj(Filter::meta_equals("a", "1"),
+                   Filter::meta_equals("b", "2")),
+  };
+  for (const Filter& f : filters) {
+    ByteWriter w;
+    f.serialize(w);
+    ByteReader r(w.bytes());
+    const Filter got = Filter::deserialize(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_TRUE(got.equals(f)) << f.str() << " vs " << got.str();
+  }
+}
+
+TEST(Filter, StringRendering) {
+  EXPECT_EQ(Filter::all().str(), "true");
+  EXPECT_EQ(Filter::meta_equals("k", "v").str(), "k=v");
+  EXPECT_NE(Filter::addresses({HostId(3)}).str().find("h3"),
+            std::string::npos);
+}
+
+/// Random filters + random items. Two soundness properties:
+///  - intersect(a,b) matches only items both a and b match;
+///  - a.subsumes(b) implies every matched-by-b item is matched by a.
+class FilterPropertyTest : public ::testing::TestWithParam<int> {};
+
+Filter random_filter(Rng& rng, int depth = 0) {
+  const auto pick = rng.below(depth >= 2 ? 5 : 7);
+  switch (pick) {
+    case 0:
+      return Filter::all();
+    case 1:
+      return Filter::none();
+    case 2: {
+      std::set<HostId> addrs;
+      const auto n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        addrs.insert(HostId(1 + rng.below(6)));
+      return Filter::addresses(std::move(addrs));
+    }
+    case 3: {
+      std::set<std::string> tags;
+      const auto n = rng.below(3);
+      for (std::uint64_t i = 0; i < n; ++i)
+        tags.insert("t" + std::to_string(rng.below(4)));
+      return Filter::tags(std::move(tags));
+    }
+    case 4:
+      return Filter::meta_equals("k" + std::to_string(rng.below(2)),
+                                 "v" + std::to_string(rng.below(2)));
+    case 5:
+      return Filter::conj(random_filter(rng, depth + 1),
+                          random_filter(rng, depth + 1));
+    default:
+      return Filter::disj(random_filter(rng, depth + 1),
+                          random_filter(rng, depth + 1));
+  }
+}
+
+Item random_item(Rng& rng) {
+  std::map<std::string, std::string> md;
+  if (rng.chance(0.8)) {
+    std::vector<HostId> dests;
+    const auto n = 1 + rng.below(2);
+    for (std::uint64_t i = 0; i < n; ++i)
+      dests.push_back(HostId(1 + rng.below(6)));
+    md[meta::kDest] = encode_hosts(dests);
+  }
+  if (rng.chance(0.5))
+    md[meta::kTags] = "t" + std::to_string(rng.below(4));
+  if (rng.chance(0.5))
+    md["k" + std::to_string(rng.below(2))] =
+        "v" + std::to_string(rng.below(2));
+  return make_item(std::move(md));
+}
+
+TEST_P(FilterPropertyTest, IntersectIsSoundUnderApproximation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Filter a = random_filter(rng);
+    const Filter b = random_filter(rng);
+    const Filter i = a.intersect(b);
+    for (int k = 0; k < 10; ++k) {
+      const Item item = random_item(rng);
+      if (i.matches(item)) {
+        ASSERT_TRUE(a.matches(item))
+            << i.str() << " matched but " << a.str() << " did not";
+        ASSERT_TRUE(b.matches(item))
+            << i.str() << " matched but " << b.str() << " did not";
+      }
+    }
+  }
+}
+
+TEST_P(FilterPropertyTest, SubsumptionIsSound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Filter a = random_filter(rng);
+    const Filter b = random_filter(rng);
+    if (!a.subsumes(b)) continue;
+    for (int k = 0; k < 10; ++k) {
+      const Item item = random_item(rng);
+      if (b.matches(item)) {
+        ASSERT_TRUE(a.matches(item))
+            << a.str() << " claimed to subsume " << b.str();
+      }
+    }
+  }
+}
+
+TEST_P(FilterPropertyTest, SerializationPreservesSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Filter f = random_filter(rng);
+    ByteWriter w;
+    f.serialize(w);
+    ByteReader r(w.bytes());
+    const Filter got = Filter::deserialize(r);
+    for (int k = 0; k < 10; ++k) {
+      const Item item = random_item(rng);
+      ASSERT_EQ(f.matches(item), got.matches(item)) << f.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace pfrdtn::repl

@@ -1,0 +1,173 @@
+#include "repl/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::repl {
+namespace {
+
+Item item(std::uint64_t id, std::uint64_t dest = 1) {
+  return Item(ItemId(id), Version{ReplicaId(1), id, 1},
+              {{meta::kDest, std::to_string(dest)}}, {});
+}
+
+TEST(ItemStore, PutAndFind) {
+  ItemStore store;
+  store.put(item(1), /*in_filter=*/true, /*local_origin=*/false);
+  ASSERT_NE(store.find(ItemId(1)), nullptr);
+  EXPECT_TRUE(store.find(ItemId(1))->in_filter);
+  EXPECT_EQ(store.find(ItemId(2)), nullptr);
+  EXPECT_TRUE(store.contains(ItemId(1)));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ItemStore, LocalOriginSticksAcrossPuts) {
+  ItemStore store;
+  store.put(item(1), false, /*local_origin=*/true);
+  store.put(item(1), false, /*local_origin=*/false);
+  EXPECT_TRUE(store.find(ItemId(1))->local_origin);
+}
+
+TEST(ItemStore, RemoveMaintainsOrderIndex) {
+  ItemStore store;
+  store.put(item(1), true, false);
+  store.put(item(2), true, false);
+  EXPECT_TRUE(store.remove(ItemId(1)));
+  EXPECT_FALSE(store.remove(ItemId(1)));
+  std::vector<std::uint64_t> seen;
+  store.for_each([&](const ItemStore::Entry& entry) {
+    seen.push_back(entry.item.id().value());
+  });
+  EXPECT_EQ(seen, std::vector<std::uint64_t>{2});
+}
+
+TEST(ItemStore, ForEachIsArrivalOrdered) {
+  ItemStore store;
+  store.put(item(3), true, false);
+  store.put(item(1), true, false);
+  store.put(item(2), true, false);
+  std::vector<std::uint64_t> seen;
+  store.for_each([&](const ItemStore::Entry& entry) {
+    seen.push_back(entry.item.id().value());
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{3, 1, 2}));
+}
+
+TEST(ItemStore, RePutMovesToBackOfOrder) {
+  ItemStore store;
+  store.put(item(1), true, false);
+  store.put(item(2), true, false);
+  store.put(item(1), true, false);  // re-put
+  std::vector<std::uint64_t> seen;
+  store.for_each([&](const ItemStore::Entry& entry) {
+    seen.push_back(entry.item.id().value());
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ItemStore, FifoEvictionOfRelayItems) {
+  ItemStore store(ItemStore::Config{2, EvictionOrder::Fifo});
+  store.put(item(1), false, false);
+  store.put(item(2), false, false);
+  auto evicted = store.put(item(3), false, false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id(), ItemId(1));  // oldest goes first
+  EXPECT_FALSE(store.contains(ItemId(1)));
+  EXPECT_TRUE(store.contains(ItemId(2)));
+  EXPECT_TRUE(store.contains(ItemId(3)));
+}
+
+TEST(ItemStore, LifoEviction) {
+  ItemStore store(ItemStore::Config{1, EvictionOrder::Lifo});
+  store.put(item(1), false, false);
+  auto evicted = store.put(item(2), false, false);
+  ASSERT_EQ(evicted.size(), 1u);
+  // LIFO: the newest evictable entry goes (the incoming one).
+  EXPECT_EQ(evicted[0].id(), ItemId(2));
+  EXPECT_TRUE(store.contains(ItemId(1)));
+}
+
+TEST(ItemStore, InFilterItemsAreNeverEvicted) {
+  ItemStore store(ItemStore::Config{1, EvictionOrder::Fifo});
+  store.put(item(1), /*in_filter=*/true, false);
+  store.put(item(2), /*in_filter=*/true, false);
+  auto evicted = store.put(item(3), false, false);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(ItemStore, LocalOriginItemsAreNeverEvicted) {
+  ItemStore store(ItemStore::Config{1, EvictionOrder::Fifo});
+  store.put(item(1), false, /*local_origin=*/true);
+  store.put(item(2), false, /*local_origin=*/true);
+  auto evicted = store.put(item(3), false, false);
+  EXPECT_TRUE(evicted.empty());  // only one evictable item stored
+  EXPECT_EQ(store.evictable_count(), 1u);
+}
+
+TEST(ItemStore, ZeroCapacityDropsEveryRelayItem) {
+  ItemStore store(ItemStore::Config{0, EvictionOrder::Fifo});
+  auto evicted = store.put(item(1), false, false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id(), ItemId(1));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ItemStore, UnboundedByDefault) {
+  ItemStore store;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_TRUE(store.put(item(i), false, false).empty());
+  }
+  EXPECT_EQ(store.size(), 100u);
+}
+
+TEST(ItemStore, RefilterFlagsAndReturnsNewMatches) {
+  ItemStore store;
+  store.put(item(1, /*dest=*/1), true, false);
+  store.put(item(2, /*dest=*/2), false, false);
+  std::vector<Item> evicted;
+  // New filter: dest == 2 only.
+  auto fresh = store.refilter(
+      [](const Item& it) {
+        return it.dest_addresses() == std::vector<HostId>{HostId(2)};
+      },
+      evicted);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].id(), ItemId(2));
+  EXPECT_FALSE(store.find(ItemId(1))->in_filter);
+  EXPECT_TRUE(store.find(ItemId(2))->in_filter);
+  EXPECT_TRUE(evicted.empty());
+}
+
+TEST(ItemStore, RefilterCanTriggerEviction) {
+  ItemStore store(ItemStore::Config{0, EvictionOrder::Fifo});
+  store.put(item(1), /*in_filter=*/true, false);
+  std::vector<Item> evicted;
+  store.refilter([](const Item&) { return false; }, evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id(), ItemId(1));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ItemStore, Counters) {
+  ItemStore store;
+  store.put(item(1), true, false);   // filter store
+  store.put(item(2), false, true);   // relay, exempt
+  store.put(item(3), false, false);  // relay, evictable
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.relay_count(), 2u);
+  EXPECT_EQ(store.evictable_count(), 1u);
+}
+
+TEST(ItemStore, SetRelayCapacityLater) {
+  ItemStore store;
+  store.put(item(1), false, false);
+  store.put(item(2), false, false);
+  store.set_relay_capacity(1);
+  // Capacity enforced on next mutation.
+  auto evicted = store.put(item(3), false, false);
+  EXPECT_EQ(evicted.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pfrdtn::repl

@@ -1,0 +1,159 @@
+#include "sim/emulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace pfrdtn::sim {
+namespace {
+
+EmulationConfig tiny_config(const std::string& policy = "cimbiosys") {
+  EmulationConfig config = small_config(0.15);
+  config.policy = policy;
+  config.invariant_check_every = 50;
+  return config;
+}
+
+TEST(Emulation, RunsAndInjectsAllMessages) {
+  Emulation emulation(tiny_config());
+  const auto result = emulation.run();
+  EXPECT_EQ(result.metrics.injected_count(),
+            tiny_config().email.total_messages);
+  EXPECT_GT(result.metrics.encounter_count(), 0u);
+  EXPECT_EQ(result.days, tiny_config().mobility.days);
+}
+
+TEST(Emulation, DeterministicAcrossRuns) {
+  const auto a = Emulation(tiny_config("epidemic")).run();
+  const auto b = Emulation(tiny_config("epidemic")).run();
+  EXPECT_EQ(a.metrics.delivered_count(), b.metrics.delivered_count());
+  EXPECT_EQ(a.metrics.traffic().items_sent,
+            b.metrics.traffic().items_sent);
+  ASSERT_EQ(a.metrics.records().size(), b.metrics.records().size());
+  auto it_b = b.metrics.records().begin();
+  for (const auto& [id, record] : a.metrics.records()) {
+    EXPECT_EQ(record.delivered, it_b->second.delivered);
+    ++it_b;
+  }
+}
+
+TEST(Emulation, EpidemicDeliversMoreThanDirect) {
+  const auto direct = Emulation(tiny_config("cimbiosys")).run();
+  const auto epidemic = Emulation(tiny_config("epidemic")).run();
+  EXPECT_GE(epidemic.metrics.delivered_count(),
+            direct.metrics.delivered_count());
+  if (direct.metrics.delivered_count() > 0 &&
+      epidemic.metrics.delivered_count() > 0) {
+    EXPECT_LE(epidemic.metrics.delay_distribution().mean(),
+              direct.metrics.delay_distribution().mean());
+  }
+}
+
+TEST(Emulation, AssignmentCoversAllUsersEveryDay) {
+  EmulationConfig config = tiny_config();
+  Emulation emulation(config);
+  const auto& assignment = emulation.assignment();
+  ASSERT_EQ(assignment.size(), config.mobility.days);
+  const auto mobility = trace::generate_mobility(config.mobility);
+  for (std::size_t day = 0; day < assignment.size(); ++day) {
+    ASSERT_EQ(assignment[day].size(), config.email.users);
+    const auto& active = mobility.active_buses[day];
+    for (const auto bus : assignment[day]) {
+      EXPECT_NE(std::find(active.begin(), active.end(), bus),
+                active.end())
+          << "user assigned to unscheduled bus";
+    }
+  }
+}
+
+TEST(Emulation, EncounterCountsAreSymmetric) {
+  Emulation emulation(tiny_config());
+  const auto& counts = emulation.encounter_counts();
+  for (const auto& [a, row] : counts) {
+    for (const auto& [b, n] : row) {
+      const auto it = counts.find(b);
+      ASSERT_NE(it, counts.end());
+      const auto cell = it->second.find(a);
+      ASSERT_NE(cell, it->second.end());
+      EXPECT_EQ(cell->second, n);
+    }
+  }
+}
+
+TEST(Emulation, StorageConstraintRespected) {
+  EmulationConfig config = tiny_config("epidemic");
+  config.relay_capacity = 2;
+  Emulation emulation(config);
+  emulation.run();
+  // The invariant oracle ran during the emulation; additionally the
+  // final stores must respect the cap.
+  // (Store state is internal; the invariant_check_every oracle plus
+  // the absence of throws is the primary assertion here.)
+  SUCCEED();
+}
+
+TEST(Emulation, BandwidthConstraintLimitsTraffic) {
+  EmulationConfig unconstrained = tiny_config("epidemic");
+  EmulationConfig constrained = tiny_config("epidemic");
+  constrained.encounter_budget = 1;
+  const auto full = Emulation(unconstrained).run();
+  const auto limited = Emulation(constrained).run();
+  EXPECT_LE(limited.metrics.traffic().items_sent,
+            limited.metrics.encounter_count());
+  EXPECT_LT(limited.metrics.traffic().items_sent,
+            full.metrics.traffic().items_sent);
+  EXPECT_LE(limited.metrics.delivered_count(),
+            full.metrics.delivered_count());
+}
+
+TEST(Emulation, DeleteAfterDeliveryReducesEndCopies) {
+  EmulationConfig keep = tiny_config("epidemic");
+  EmulationConfig del = tiny_config("epidemic");
+  del.delete_after_delivery = true;
+  const auto kept = Emulation(keep).run();
+  const auto deleted = Emulation(del).run();
+  EXPECT_LT(deleted.metrics.mean_copies_at_end(),
+            kept.metrics.mean_copies_at_end());
+}
+
+TEST(Emulation, SingleSyncModeStillDelivers) {
+  EmulationConfig config = tiny_config("epidemic");
+  config.single_sync_per_encounter = true;
+  const auto result = Emulation(config).run();
+  EXPECT_GT(result.metrics.delivered_count(), 0u);
+}
+
+TEST(Emulation, CopiesAtDeliveryForDirectIsTwo) {
+  // With the null policy only sender and receiver ever hold a copy at
+  // delivery time (Figure 8's observation).
+  EmulationConfig config = tiny_config("cimbiosys");
+  const auto result = Emulation(config).run();
+  for (const auto& [id, record] : result.metrics.records()) {
+    if (record.delivered && record.copies_at_delivery > 0) {
+      EXPECT_LE(record.copies_at_delivery, 2u);
+    }
+  }
+}
+
+TEST(Emulation, AllPoliciesRunCleanly) {
+  for (const char* policy :
+       {"cimbiosys", "epidemic", "spray", "prophet", "maxprop"}) {
+    EmulationConfig config = tiny_config(policy);
+    EXPECT_NO_THROW(Emulation(config).run()) << policy;
+  }
+}
+
+TEST(Emulation, SelectedStrategyBuildsFilters) {
+  EmulationConfig config = tiny_config("cimbiosys");
+  config.strategy = dtn::FilterStrategy::Selected;
+  config.filter_k = 2;
+  const auto with_extras = Emulation(config).run();
+  config.strategy = dtn::FilterStrategy::SelfOnly;
+  config.filter_k = 0;
+  const auto self_only = Emulation(config).run();
+  EXPECT_GE(with_extras.metrics.delivered_count(),
+            self_only.metrics.delivered_count());
+}
+
+}  // namespace
+}  // namespace pfrdtn::sim

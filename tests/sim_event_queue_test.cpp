@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime(30), [&](SimTime) { fired.push_back(3); });
+  queue.schedule(SimTime(10), [&](SimTime) { fired.push_back(1); });
+  queue.schedule(SimTime(20), [&](SimTime) { fired.push_back(2); });
+  queue.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(SimTime(7), [&fired, i](SimTime) {
+      fired.push_back(i);
+    });
+  }
+  queue.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue queue;
+  queue.schedule(SimTime(5), [&](SimTime now) {
+    EXPECT_EQ(now.seconds(), 5);
+  });
+  queue.schedule(SimTime(9), [&](SimTime now) {
+    EXPECT_EQ(now.seconds(), 9);
+  });
+  queue.run();
+  EXPECT_EQ(queue.now().seconds(), 9);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime(1), [&](SimTime now) {
+    fired.push_back(1);
+    queue.schedule(now + 1, [&](SimTime) { fired.push_back(2); });
+  });
+  queue.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.schedule(SimTime(10), [&](SimTime) {
+    EXPECT_THROW(queue.schedule(SimTime(5), [](SimTime) {}),
+                 ContractViolation);
+  });
+  queue.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime(1), [&](SimTime) { fired.push_back(1); });
+  queue.schedule(SimTime(5), [&](SimTime) { fired.push_back(5); });
+  queue.schedule(SimTime(9), [&](SimTime) { fired.push_back(9); });
+  queue.run_until(SimTime(5));
+  EXPECT_EQ(fired, (std::vector<int>{1, 5}));
+  EXPECT_EQ(queue.size(), 1u);
+  queue.run();
+  EXPECT_EQ(fired.back(), 9);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  EXPECT_TRUE(queue.empty());
+  queue.schedule(SimTime(1), [](SimTime) {});
+  EXPECT_FALSE(queue.empty());
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+}  // namespace
+}  // namespace pfrdtn::sim

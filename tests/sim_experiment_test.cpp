@@ -1,0 +1,73 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::sim {
+namespace {
+
+TEST(Experiment, PaperConfigMatchesSectionVIA) {
+  const auto config = paper_config();
+  EXPECT_EQ(config.mobility.days, 17u);
+  EXPECT_EQ(config.mobility.buses_per_day, 23u);
+  EXPECT_EQ(config.email.total_messages, 490u);
+  EXPECT_EQ(config.email.inject_days, 8u);
+  EXPECT_EQ(config.email.interval_s, 120);
+  EXPECT_EQ(config.email.window_start_s, 8 * 3600);
+  EXPECT_EQ(config.email.window_end_s, 10 * 3600);
+  EXPECT_EQ(config.policy, "cimbiosys");
+  EXPECT_FALSE(config.encounter_budget.has_value());
+  EXPECT_FALSE(config.relay_capacity.has_value());
+}
+
+TEST(Experiment, SmallConfigScalesDown) {
+  const auto config = small_config(0.25);
+  EXPECT_LT(config.mobility.days, 17u);
+  EXPECT_LT(config.email.total_messages, 490u);
+  EXPECT_LE(config.email.inject_days, config.mobility.days);
+  EXPECT_GE(config.mobility.fleet_size, config.mobility.buses_per_day);
+}
+
+TEST(Experiment, SmallConfigClampsScale) {
+  const auto tiny = small_config(0.0);   // clamped up
+  EXPECT_GE(tiny.mobility.days, 3u);
+  const auto full = small_config(5.0);   // clamped down
+  EXPECT_EQ(full.mobility.days, 17u);
+}
+
+TEST(Experiment, SeedFlowsIntoSubConfigs) {
+  const auto a = paper_config(1);
+  const auto b = paper_config(2);
+  EXPECT_NE(a.mobility.seed, b.mobility.seed);
+  EXPECT_NE(a.email.seed, b.email.seed);
+  EXPECT_NE(a.assignment_seed, b.assignment_seed);
+}
+
+TEST(Experiment, RunExperimentProducesMetrics) {
+  auto config = small_config(0.12);
+  config.policy = "epidemic";
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.metrics.injected_count(),
+            config.email.total_messages);
+  EXPECT_GT(result.metrics.sync_count(), 0u);
+  EXPECT_GT(result.metrics.knowledge_bytes().count(), 0u);
+  EXPECT_EQ(result.users, config.email.users);
+  EXPECT_EQ(result.fleet_size, config.mobility.fleet_size);
+}
+
+TEST(Experiment, PrintDelayCdfEmitsSeries) {
+  auto config = small_config(0.12);
+  const auto result = run_experiment(config);
+  ::testing::internal::CaptureStdout();
+  print_delay_cdf("test", result.metrics, 12.0, 4);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test"), std::string::npos);
+  // Four grid rows.
+  std::size_t lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+}  // namespace
+}  // namespace pfrdtn::sim

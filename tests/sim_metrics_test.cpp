@@ -1,0 +1,98 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::sim {
+namespace {
+
+TEST(Metrics, InjectionAndDelivery) {
+  Metrics metrics;
+  metrics.on_injected(ItemId(1), HostId(10), HostId(20), at(0, 8));
+  EXPECT_EQ(metrics.injected_count(), 1u);
+  EXPECT_EQ(metrics.delivered_count(), 0u);
+  EXPECT_TRUE(metrics.on_delivered(ItemId(1), at(0, 10), 3));
+  EXPECT_EQ(metrics.delivered_count(), 1u);
+  const auto& record = metrics.records().at(ItemId(1));
+  EXPECT_DOUBLE_EQ(record.delay_hours(), 2.0);
+  EXPECT_EQ(record.copies_at_delivery, 3u);
+}
+
+TEST(Metrics, OnlyFirstDeliveryCounts) {
+  Metrics metrics;
+  metrics.on_injected(ItemId(1), HostId(1), HostId(2), at(0, 8));
+  EXPECT_TRUE(metrics.on_delivered(ItemId(1), at(0, 9), 2));
+  EXPECT_FALSE(metrics.on_delivered(ItemId(1), at(0, 12), 5));
+  EXPECT_DOUBLE_EQ(metrics.records().at(ItemId(1)).delay_hours(), 1.0);
+}
+
+TEST(Metrics, UnknownMessageDeliveryIgnored) {
+  Metrics metrics;
+  EXPECT_FALSE(metrics.on_delivered(ItemId(9), at(0, 9), 1));
+}
+
+TEST(Metrics, DelayDistributionAndWithin) {
+  Metrics metrics;
+  metrics.on_injected(ItemId(1), HostId(1), HostId(2), at(0, 8));
+  metrics.on_injected(ItemId(2), HostId(1), HostId(3), at(0, 8));
+  metrics.on_injected(ItemId(3), HostId(1), HostId(4), at(0, 8));
+  metrics.on_delivered(ItemId(1), at(0, 9), 2);    // 1 h
+  metrics.on_delivered(ItemId(2), at(1, 8), 2);    // 24 h
+  // ItemId(3) never delivered.
+  const auto delays = metrics.delay_distribution();
+  EXPECT_EQ(delays.count(), 2u);
+  EXPECT_DOUBLE_EQ(delays.mean(), 12.5);
+  // Percent of *injected* messages.
+  EXPECT_NEAR(metrics.delivered_within_hours(12), 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(metrics.delivered_within_hours(24), 200.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(metrics.max_delay_hours(), 24.0);
+}
+
+TEST(Metrics, CopiesAggregates) {
+  Metrics metrics;
+  metrics.on_injected(ItemId(1), HostId(1), HostId(2), SimTime(0));
+  metrics.on_injected(ItemId(2), HostId(1), HostId(3), SimTime(0));
+  metrics.on_delivered(ItemId(1), SimTime(100), 2);
+  metrics.set_copies_at_end(ItemId(1), 4);
+  metrics.set_copies_at_end(ItemId(2), 1);
+  EXPECT_DOUBLE_EQ(metrics.mean_copies_at_delivery(), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_copies_at_end(), 2.5);
+}
+
+TEST(Metrics, TrafficAccumulates) {
+  Metrics metrics;
+  repl::SyncStats stats;
+  stats.items_sent = 3;
+  stats.batch_bytes = 100;
+  metrics.on_sync(stats);
+  metrics.on_sync(stats);
+  metrics.on_encounter();
+  EXPECT_EQ(metrics.traffic().items_sent, 6u);
+  EXPECT_EQ(metrics.traffic().batch_bytes, 200u);
+  EXPECT_EQ(metrics.sync_count(), 2u);
+  EXPECT_EQ(metrics.encounter_count(), 1u);
+}
+
+TEST(Metrics, KnowledgeSamples) {
+  Metrics metrics;
+  metrics.sample_knowledge_bytes(100);
+  metrics.sample_knowledge_bytes(300);
+  EXPECT_DOUBLE_EQ(metrics.knowledge_bytes().mean(), 200.0);
+  EXPECT_EQ(metrics.knowledge_bytes().count(), 2u);
+}
+
+TEST(Metrics, DelayOnUndeliveredThrows) {
+  MessageRecord record;
+  record.injected = SimTime(0);
+  EXPECT_THROW((void)record.delay_hours(), ContractViolation);
+}
+
+TEST(Metrics, EmptyMetricsSafeDefaults) {
+  Metrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.delivered_within_hours(12), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_copies_at_delivery(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_copies_at_end(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.max_delay_hours(), 0.0);
+}
+
+}  // namespace
+}  // namespace pfrdtn::sim

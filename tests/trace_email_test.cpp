@@ -1,0 +1,101 @@
+#include "trace/email.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pfrdtn::trace {
+namespace {
+
+TEST(Email, Deterministic) {
+  const auto a = generate_email(EmailConfig{});
+  const auto b = generate_email(EmailConfig{});
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(Email, ExactMessageCount) {
+  const auto workload = generate_email(EmailConfig{});
+  EXPECT_EQ(workload.messages.size(), 490u);  // Section VI-A
+  EXPECT_EQ(workload.users.size(), 100u);
+}
+
+TEST(Email, InjectionScheduleMatchesPaper) {
+  const EmailConfig config;
+  const auto workload = generate_email(config);
+  SimTime prev(-1);
+  for (const MessageEvent& event : workload.messages) {
+    EXPECT_GE(event.time, prev);  // sorted
+    prev = event.time;
+    const auto day = event.time.day_index();
+    EXPECT_GE(day, 0);
+    EXPECT_LT(day, static_cast<std::int64_t>(config.inject_days));
+    const auto offset = event.time.seconds_into_day();
+    EXPECT_GE(offset, config.window_start_s);
+    // The final day's window may extend to place the last messages.
+    if (day + 1 < static_cast<std::int64_t>(config.inject_days)) {
+      EXPECT_LE(offset, config.window_end_s);
+    }
+    EXPECT_EQ(offset % config.interval_s, 0);
+  }
+}
+
+TEST(Email, SendersAndRecipientsAreValidUsers) {
+  const auto workload = generate_email(EmailConfig{});
+  std::set<HostId> users(workload.users.begin(), workload.users.end());
+  for (const MessageEvent& event : workload.messages) {
+    EXPECT_TRUE(users.count(event.sender));
+    EXPECT_TRUE(users.count(event.recipient));
+    EXPECT_NE(event.sender, event.recipient);
+  }
+}
+
+TEST(Email, SenderActivityIsHeavyTailed) {
+  const auto workload = generate_email(EmailConfig{});
+  std::map<HostId, int> sends;
+  for (const MessageEvent& event : workload.messages)
+    ++sends[event.sender];
+  int top = 0;
+  for (const auto& [user, n] : sends) top = std::max(top, n);
+  // Zipf(1.1) over 100 users: the top sender dominates the mean.
+  const double mean =
+      490.0 / static_cast<double>(workload.users.size());
+  EXPECT_GT(top, mean * 5);
+}
+
+TEST(Email, RepeatedPairsExist) {
+  // Contact-list reuse means some sender->recipient pairs recur.
+  const auto workload = generate_email(EmailConfig{});
+  std::map<std::pair<HostId, HostId>, int> pairs;
+  int repeats = 0;
+  for (const MessageEvent& event : workload.messages) {
+    if (++pairs[{event.sender, event.recipient}] == 2) ++repeats;
+  }
+  EXPECT_GT(repeats, 5);
+}
+
+TEST(Email, SmallConfigs) {
+  EmailConfig config;
+  config.users = 2;
+  config.total_messages = 3;
+  config.inject_days = 1;
+  config.contacts_per_user = 5;  // clamped to users-1
+  const auto workload = generate_email(config);
+  EXPECT_EQ(workload.messages.size(), 3u);
+}
+
+TEST(Email, InvalidConfigRejected) {
+  EmailConfig config;
+  config.users = 1;
+  EXPECT_THROW(generate_email(config), ContractViolation);
+  config = EmailConfig{};
+  config.interval_s = 0;
+  EXPECT_THROW(generate_email(config), ContractViolation);
+  config = EmailConfig{};
+  config.window_start_s = config.window_end_s;
+  EXPECT_THROW(generate_email(config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pfrdtn::trace

@@ -1,0 +1,98 @@
+#include "trace/trace_io.hpp"
+
+#include "trace/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pfrdtn::trace {
+namespace {
+
+TEST(TraceIo, MobilityStreamRoundTrip) {
+  MobilityConfig config;
+  config.days = 3;
+  config.fleet_size = 8;
+  config.buses_per_day = 5;
+  const auto trace = generate_mobility(config);
+  std::stringstream buffer;
+  write_mobility(buffer, trace);
+  const auto got = read_mobility(buffer);
+  EXPECT_EQ(got.fleet_size, trace.fleet_size);
+  EXPECT_EQ(got.active_buses, trace.active_buses);
+  EXPECT_EQ(got.encounters, trace.encounters);
+}
+
+TEST(TraceIo, EmailStreamRoundTrip) {
+  EmailConfig config;
+  config.users = 10;
+  config.total_messages = 25;
+  config.inject_days = 2;
+  const auto workload = generate_email(config);
+  std::stringstream buffer;
+  write_email(buffer, workload);
+  const auto got = read_email(buffer);
+  EXPECT_EQ(got.users, workload.users);
+  EXPECT_EQ(got.messages, workload.messages);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer(
+      "# comment\n\nfleet 4\nday 0 1 2\n# another\nenc 100 1 2 30\n");
+  const auto trace = read_mobility(buffer);
+  EXPECT_EQ(trace.fleet_size, 4u);
+  ASSERT_EQ(trace.active_buses.size(), 1u);
+  EXPECT_EQ(trace.active_buses[0],
+            (std::vector<BusIndex>{1, 2}));
+  ASSERT_EQ(trace.encounters.size(), 1u);
+  EXPECT_EQ(trace.encounters[0].time.seconds(), 100);
+  EXPECT_EQ(trace.encounters[0].duration_s, 30);
+}
+
+TEST(TraceIo, UnknownRecordThrows) {
+  std::stringstream mobility("wat 1 2 3\n");
+  EXPECT_THROW(read_mobility(mobility), ContractViolation);
+  std::stringstream email("wat 1 2 3\n");
+  EXPECT_THROW(read_email(email), ContractViolation);
+}
+
+TEST(TraceIo, MalformedEncounterThrows) {
+  std::stringstream buffer("enc 100 1\n");
+  EXPECT_THROW(read_mobility(buffer), ContractViolation);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string mobility_path =
+      ::testing::TempDir() + "/pfrdtn_mobility_test.txt";
+  const std::string email_path =
+      ::testing::TempDir() + "/pfrdtn_email_test.txt";
+  MobilityConfig mconfig;
+  mconfig.days = 2;
+  mconfig.fleet_size = 6;
+  mconfig.buses_per_day = 4;
+  const auto trace = generate_mobility(mconfig);
+  save_mobility(mobility_path, trace);
+  EXPECT_EQ(load_mobility(mobility_path).encounters, trace.encounters);
+
+  EmailConfig econfig;
+  econfig.users = 5;
+  econfig.total_messages = 7;
+  econfig.inject_days = 1;
+  const auto workload = generate_email(econfig);
+  save_email(email_path, workload);
+  EXPECT_EQ(load_email(email_path).messages, workload.messages);
+
+  std::remove(mobility_path.c_str());
+  std::remove(email_path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_mobility("/nonexistent/path/trace.txt"),
+               ContractViolation);
+  EXPECT_THROW(load_email("/nonexistent/path/email.txt"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace pfrdtn::trace

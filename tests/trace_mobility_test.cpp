@@ -1,0 +1,146 @@
+#include "trace/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pfrdtn::trace {
+namespace {
+
+MobilityConfig small_config() {
+  MobilityConfig config;
+  config.days = 5;
+  config.fleet_size = 12;
+  config.buses_per_day = 8;
+  return config;
+}
+
+TEST(Mobility, Deterministic) {
+  const auto a = generate_mobility(small_config());
+  const auto b = generate_mobility(small_config());
+  EXPECT_EQ(a.encounters, b.encounters);
+  EXPECT_EQ(a.active_buses, b.active_buses);
+}
+
+TEST(Mobility, SeedChangesTrace) {
+  auto config = small_config();
+  const auto a = generate_mobility(config);
+  config.seed = 777;
+  const auto b = generate_mobility(config);
+  EXPECT_NE(a.encounters, b.encounters);
+}
+
+TEST(Mobility, EncountersSortedByTime) {
+  const auto trace = generate_mobility(small_config());
+  for (std::size_t i = 1; i < trace.encounters.size(); ++i)
+    EXPECT_LE(trace.encounters[i - 1].time, trace.encounters[i].time);
+}
+
+TEST(Mobility, EncountersWithinDailyWindow) {
+  const auto config = small_config();
+  const auto trace = generate_mobility(config);
+  for (const Encounter& encounter : trace.encounters) {
+    const auto offset = encounter.time.seconds_into_day();
+    EXPECT_GE(offset, config.day_start_s);
+    EXPECT_LT(offset, config.day_end_s);
+    EXPECT_GT(encounter.duration_s, 0);
+  }
+}
+
+TEST(Mobility, EncountersOnlyBetweenScheduledBuses) {
+  const auto trace = generate_mobility(small_config());
+  for (const Encounter& encounter : trace.encounters) {
+    const auto day = static_cast<std::size_t>(encounter.time.day_index());
+    ASSERT_LT(day, trace.days());
+    const auto& active = trace.active_buses[day];
+    EXPECT_NE(std::find(active.begin(), active.end(), encounter.bus_a),
+              active.end());
+    EXPECT_NE(std::find(active.begin(), active.end(), encounter.bus_b),
+              active.end());
+    EXPECT_NE(encounter.bus_a, encounter.bus_b);
+    EXPECT_LT(encounter.bus_a, encounter.bus_b);  // canonical order
+  }
+}
+
+TEST(Mobility, DailyFleetSizeNearTarget) {
+  const auto config = small_config();
+  const auto trace = generate_mobility(config);
+  ASSERT_EQ(trace.days(), config.days);
+  for (const auto& day : trace.active_buses) {
+    EXPECT_GE(day.size(), config.buses_per_day - 2);
+    EXPECT_LE(day.size(), config.buses_per_day + 2);
+    std::set<BusIndex> unique(day.begin(), day.end());
+    EXPECT_EQ(unique.size(), day.size());
+    for (const BusIndex bus : day) EXPECT_LT(bus, config.fleet_size);
+  }
+}
+
+TEST(Mobility, RotationKeepsEveryBusServing) {
+  auto config = small_config();
+  config.days = 10;
+  const auto trace = generate_mobility(config);
+  std::map<BusIndex, int> activity;
+  for (const auto& day : trace.active_buses) {
+    for (const BusIndex bus : day) ++activity[bus];
+  }
+  // With 8 of 12 scheduled daily and rotation, every bus serves often.
+  for (BusIndex bus = 0; bus < config.fleet_size; ++bus)
+    EXPECT_GE(activity[bus], 3) << "bus " << bus << " mothballed";
+}
+
+TEST(Mobility, PaperScaleAggregates) {
+  // The calibrated defaults must stay close to the paper's Section
+  // VI-A: 17 days, ~23 buses/day, ~16k encounters, 8:00-23:00.
+  const MobilityConfig config;  // defaults
+  const auto trace = generate_mobility(config);
+  EXPECT_EQ(trace.days(), 17u);
+  double avg_buses = 0;
+  for (const auto& day : trace.active_buses) avg_buses += day.size();
+  avg_buses /= static_cast<double>(trace.days());
+  EXPECT_NEAR(avg_buses, 23.0, 2.0);
+  EXPECT_GT(trace.encounters.size(), 10000u);
+  EXPECT_LT(trace.encounters.size(), 22000u);
+}
+
+TEST(Mobility, HeavyTailedPairContacts) {
+  const auto trace = generate_mobility(MobilityConfig{});
+  std::map<std::pair<BusIndex, BusIndex>, std::size_t> pair_counts;
+  for (const Encounter& encounter : trace.encounters)
+    ++pair_counts[{encounter.bus_a, encounter.bus_b}];
+  // Some pairs meet very often (route mates), the median pair rarely —
+  // the concentration DieselNet exhibits.
+  std::vector<std::size_t> counts;
+  for (const auto& [pair, n] : pair_counts) counts.push_back(n);
+  std::sort(counts.begin(), counts.end());
+  const std::size_t median = counts[counts.size() / 2];
+  const std::size_t top = counts.back();
+  EXPECT_GT(top, median * 4);
+}
+
+TEST(Mobility, EncountersOnDayHelper) {
+  const auto trace = generate_mobility(small_config());
+  std::size_t total = 0;
+  for (std::size_t day = 0; day < trace.days(); ++day)
+    total += trace.encounters_on_day(day);
+  EXPECT_EQ(total, trace.encounters.size());
+}
+
+TEST(Mobility, InvalidConfigRejected) {
+  MobilityConfig config = small_config();
+  config.buses_per_day = config.fleet_size + 1;
+  EXPECT_THROW(generate_mobility(config), ContractViolation);
+  config = small_config();
+  config.route_length = 1;
+  EXPECT_THROW(generate_mobility(config), ContractViolation);
+  config = small_config();
+  config.day_start_s = config.day_end_s;
+  EXPECT_THROW(generate_mobility(config), ContractViolation);
+  config = small_config();
+  config.interchange_hubs = 0;
+  EXPECT_THROW(generate_mobility(config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pfrdtn::trace

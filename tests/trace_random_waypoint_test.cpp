@@ -1,0 +1,123 @@
+#include "trace/random_waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dtn/registry.hpp"
+#include "sim/emulator.hpp"
+#include "util/stats.hpp"
+
+namespace pfrdtn::trace {
+namespace {
+
+RandomWaypointConfig small_config() {
+  RandomWaypointConfig config;
+  config.nodes = 10;
+  config.days = 1;
+  config.field_width_m = 1000;
+  config.field_height_m = 1000;
+  config.radio_range_m = 120;
+  config.tick_s = 10;
+  return config;
+}
+
+TEST(RandomWaypoint, Deterministic) {
+  const auto a = generate_random_waypoint(small_config());
+  const auto b = generate_random_waypoint(small_config());
+  EXPECT_EQ(a.encounters, b.encounters);
+}
+
+TEST(RandomWaypoint, SeedChangesTrace) {
+  auto config = small_config();
+  const auto a = generate_random_waypoint(config);
+  config.seed = 1234;
+  const auto b = generate_random_waypoint(config);
+  EXPECT_NE(a.encounters, b.encounters);
+}
+
+TEST(RandomWaypoint, ProducesContacts) {
+  const auto trace = generate_random_waypoint(small_config());
+  EXPECT_GT(trace.encounters.size(), 10u);
+  EXPECT_EQ(trace.fleet_size, 10u);
+  ASSERT_EQ(trace.days(), 1u);
+  EXPECT_EQ(trace.active_buses[0].size(), 10u);
+}
+
+TEST(RandomWaypoint, EncountersWellFormedAndSorted) {
+  const auto config = small_config();
+  const auto trace = generate_random_waypoint(config);
+  SimTime prev(-1);
+  for (const Encounter& encounter : trace.encounters) {
+    EXPECT_GE(encounter.time, prev);
+    prev = encounter.time;
+    EXPECT_LT(encounter.bus_a, encounter.bus_b);
+    EXPECT_LT(encounter.bus_b, config.nodes);
+    EXPECT_GT(encounter.duration_s, 0);
+    EXPECT_GE(encounter.time.seconds(), 0);
+  }
+}
+
+TEST(RandomWaypoint, DenserFieldYieldsMoreContacts) {
+  auto sparse = small_config();
+  auto dense = small_config();
+  dense.field_width_m = 400;
+  dense.field_height_m = 400;
+  const auto sparse_trace = generate_random_waypoint(sparse);
+  const auto dense_trace = generate_random_waypoint(dense);
+  EXPECT_GT(dense_trace.encounters.size(),
+            sparse_trace.encounters.size());
+}
+
+TEST(RandomWaypoint, LargerRangeYieldsLongerContacts) {
+  auto narrow = small_config();
+  auto wide = small_config();
+  wide.radio_range_m = 300;
+  const auto narrow_trace = generate_random_waypoint(narrow);
+  const auto wide_trace = generate_random_waypoint(wide);
+  Summary narrow_durations;
+  for (const auto& encounter : narrow_trace.encounters)
+    narrow_durations.add(static_cast<double>(encounter.duration_s));
+  Summary wide_durations;
+  for (const auto& encounter : wide_trace.encounters)
+    wide_durations.add(static_cast<double>(encounter.duration_s));
+  EXPECT_GT(wide_durations.mean(), narrow_durations.mean());
+}
+
+TEST(RandomWaypoint, InvalidConfigRejected) {
+  auto config = small_config();
+  config.nodes = 1;
+  EXPECT_THROW(generate_random_waypoint(config), ContractViolation);
+  config = small_config();
+  config.tick_s = 0;
+  EXPECT_THROW(generate_random_waypoint(config), ContractViolation);
+  config = small_config();
+  config.speed_max_mps = config.speed_min_mps / 2;
+  EXPECT_THROW(generate_random_waypoint(config), ContractViolation);
+}
+
+TEST(RandomWaypoint, DrivesTheEmulatorEndToEnd) {
+  // The random-waypoint trace plugs into the same emulation harness:
+  // run the DTN application over it and check deliveries happen.
+  auto config = small_config();
+  config.days = 2;
+  auto trace = generate_random_waypoint(config);
+
+  EmailConfig email;
+  email.users = 12;
+  email.total_messages = 24;
+  email.inject_days = 1;
+  auto workload = generate_email(email);
+
+  sim::EmulationConfig emulation_config;
+  emulation_config.policy = "epidemic";
+  emulation_config.invariant_check_every = 200;
+  sim::Emulation emulation(emulation_config, std::move(trace),
+                           std::move(workload));
+  const auto result = emulation.run();
+  EXPECT_EQ(result.metrics.injected_count(), 24u);
+  EXPECT_GT(result.metrics.delivered_count(), 12u);
+}
+
+}  // namespace
+}  // namespace pfrdtn::trace

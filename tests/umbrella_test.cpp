@@ -1,0 +1,28 @@
+/// Compile-level test: the umbrella header is self-contained and the
+/// library's public names are reachable through it.
+
+#include "pfrdtn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn {
+namespace {
+
+TEST(Umbrella, PublicTypesReachable) {
+  repl::Replica replica(ReplicaId(1), repl::Filter::all());
+  dtn::DtnNode node(ReplicaId(2));
+  const auto policy = dtn::make_policy("epidemic");
+  EXPECT_EQ(policy->name(), "epidemic");
+  const trace::MobilityConfig mobility;
+  const trace::EmailConfig email;
+  EXPECT_EQ(mobility.days, 17u);
+  EXPECT_EQ(email.total_messages, 490u);
+  sim::EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  Summary summary;
+  summary.add(1.0);
+  EXPECT_EQ(summary.count(), 1u);
+}
+
+}  // namespace
+}  // namespace pfrdtn

@@ -1,0 +1,127 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pfrdtn {
+namespace {
+
+TEST(ByteBuffer, UvarintRoundTrip) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) w.uvarint(v);
+  ByteReader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.uvarint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteBuffer, SvarintRoundTrip) {
+  ByteWriter w;
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 64,
+                                 -123456789,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : values) w.svarint(v);
+  ByteReader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(ByteBuffer, SmallUvarintIsOneByte) {
+  ByteWriter w;
+  w.uvarint(42);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(ByteBuffer, F64RoundTrip) {
+  ByteWriter w;
+  const double values[] = {0.0, -1.5, 3.14159, 1e308, -1e-308};
+  for (const auto v : values) w.f64(v);
+  ByteReader r(w.bytes());
+  for (const auto v : values) EXPECT_DOUBLE_EQ(r.f64(), v);
+}
+
+TEST(ByteBuffer, StringRoundTrip) {
+  ByteWriter w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string(1000, 'x'));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(ByteBuffer, RawRoundTrip) {
+  ByteWriter w;
+  w.raw({0x00, 0xFF, 0x7F});
+  w.raw({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(), (std::vector<std::uint8_t>{0x00, 0xFF, 0x7F}));
+  EXPECT_EQ(r.raw(), std::vector<std::uint8_t>{});
+}
+
+TEST(ByteBuffer, MixedSequence) {
+  ByteWriter w;
+  w.u8(9);
+  w.uvarint(500);
+  w.str("k");
+  w.f64(2.5);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 9);
+  EXPECT_EQ(r.uvarint(), 500u);
+  EXPECT_EQ(r.str(), "k");
+  EXPECT_DOUBLE_EQ(r.f64(), 2.5);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteBuffer, TruncatedReadThrows) {
+  ByteWriter w;
+  w.uvarint(300);
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.uvarint(), ContractViolation);
+}
+
+TEST(ByteBuffer, TruncatedStringThrows) {
+  ByteWriter w;
+  w.uvarint(100);  // claims 100 bytes follow
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), ContractViolation);
+}
+
+TEST(ByteBuffer, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bytes(11, 0x80);  // never terminates
+  ByteReader r(bytes);
+  EXPECT_THROW(r.uvarint(), ContractViolation);
+}
+
+TEST(ByteBuffer, EmptyReaderIsDone) {
+  std::vector<std::uint8_t> empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.u8(), ContractViolation);
+}
+
+TEST(ByteBuffer, TakeMovesBytes) {
+  ByteWriter w;
+  w.u8(1);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pfrdtn

@@ -1,0 +1,56 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace pfrdtn {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  ReplicaId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), ReplicaId::kInvalid);
+}
+
+TEST(StrongId, ConstructedIsValid) {
+  ReplicaId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(ReplicaId(1), ReplicaId(2));
+  EXPECT_EQ(ReplicaId(3), ReplicaId(3));
+  EXPECT_NE(ReplicaId(3), ReplicaId(4));
+  EXPECT_GT(ReplicaId(9), ReplicaId(2));
+}
+
+TEST(StrongId, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<ReplicaId, HostId>);
+  static_assert(!std::is_same_v<ItemId, HostId>);
+  static_assert(!std::is_same_v<ReplicaId, ItemId>);
+}
+
+TEST(StrongId, StringRendering) {
+  EXPECT_EQ(ReplicaId(5).str(), "r5");
+  EXPECT_EQ(ItemId(12).str(), "i12");
+  EXPECT_EQ(HostId(3).str(), "h3");
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<HostId> hosts;
+  hosts.insert(HostId(1));
+  hosts.insert(HostId(2));
+  hosts.insert(HostId(1));
+  EXPECT_EQ(hosts.size(), 2u);
+  EXPECT_TRUE(hosts.count(HostId(2)));
+  EXPECT_FALSE(hosts.count(HostId(3)));
+}
+
+TEST(StrongId, InvalidComparesEqualToInvalid) {
+  EXPECT_EQ(ReplicaId{}, ReplicaId{});
+}
+
+}  // namespace
+}  // namespace pfrdtn

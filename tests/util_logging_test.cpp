@@ -1,0 +1,68 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pfrdtn {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threshold_ = Log::threshold();
+    saved_sink_ = Log::sink();
+    Log::sink() = [this](LogLevel level, const std::string& message) {
+      lines_.emplace_back(level, message);
+    };
+  }
+  void TearDown() override {
+    Log::threshold() = saved_threshold_;
+    Log::sink() = saved_sink_;
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+  LogLevel saved_threshold_ = LogLevel::Warn;
+  std::function<void(LogLevel, const std::string&)> saved_sink_;
+};
+
+TEST_F(LoggingTest, ThresholdFiltersLowLevels) {
+  Log::threshold() = LogLevel::Warn;
+  PFRDTN_LOG(Debug) << "hidden";
+  PFRDTN_LOG(Warn) << "shown";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].second, "shown");
+}
+
+TEST_F(LoggingTest, StreamComposition) {
+  Log::threshold() = LogLevel::Info;
+  PFRDTN_LOG(Info) << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LoggingTest, DisabledLevelDoesNotEvaluateSink) {
+  Log::threshold() = LogLevel::Error;
+  PFRDTN_LOG(Trace) << "no";
+  PFRDTN_LOG(Info) << "no";
+  PFRDTN_LOG(Warn) << "no";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(Log::level_name(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(Log::level_name(LogLevel::Error), "ERROR");
+}
+
+TEST_F(LoggingTest, AllLevelsPassAtTraceThreshold) {
+  Log::threshold() = LogLevel::Trace;
+  PFRDTN_LOG(Trace) << "a";
+  PFRDTN_LOG(Debug) << "b";
+  PFRDTN_LOG(Info) << "c";
+  PFRDTN_LOG(Warn) << "d";
+  PFRDTN_LOG(Error) << "e";
+  EXPECT_EQ(lines_.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pfrdtn

@@ -1,0 +1,159 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pfrdtn {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroIsContractViolation) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    total += u;
+  }
+  EXPECT_NEAR(total / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double total = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total / kSamples, 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialRequiresPositiveMean) {
+  Rng rng(17);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  for (std::size_t k : {0u, 1u, 3u, 10u, 50u, 100u}) {
+    const auto sample = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (const std::size_t index : sample) EXPECT_LT(index, 100u);
+  }
+}
+
+TEST(Rng, SampleRejectsOversizedK) {
+  Rng rng(23);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ContractViolation);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(31);
+  parent2.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, RanksAreBiasedTowardZero) {
+  Rng rng(37);
+  ZipfSampler zipf(50, 1.1);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 50);  // clearly above uniform share
+  for (const auto& [rank, n] : counts) EXPECT_LT(rank, 50u);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  Rng rng(41);
+  ZipfSampler zipf(10, 0.0);
+  std::map<std::size_t, int> counts;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf(rng)];
+  for (std::size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_NEAR(counts[rank], kSamples / 10, kSamples / 50);
+  }
+}
+
+TEST(ZipfSampler, SingleElement) {
+  Rng rng(43);
+  ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(Splitmix, DeterministicExpansion) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace pfrdtn

@@ -1,0 +1,53 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn {
+namespace {
+
+TEST(SimTime, DefaultIsEpoch) { EXPECT_EQ(SimTime().seconds(), 0); }
+
+TEST(SimTime, UnitConversions) {
+  const SimTime t(90 * 60);
+  EXPECT_DOUBLE_EQ(t.hours(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime(86400 * 2).days(), 2.0);
+}
+
+TEST(SimTime, DayIndexAndOffset) {
+  EXPECT_EQ(at(0, 8).day_index(), 0);
+  EXPECT_EQ(at(3, 23, 59, 59).day_index(), 3);
+  EXPECT_EQ(at(3, 23, 59, 59).seconds_into_day(),
+            23 * 3600 + 59 * 60 + 59);
+  EXPECT_EQ(at(2, 0).seconds_into_day(), 0);
+}
+
+TEST(SimTime, NegativeTimesFloorCorrectly) {
+  const SimTime t(-1);
+  EXPECT_EQ(t.day_index(), -1);
+  EXPECT_EQ(t.seconds_into_day(), 86399);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = at(1, 8);
+  EXPECT_EQ((t + 3600).seconds(), at(1, 9).seconds());
+  EXPECT_EQ(at(1, 10) - at(1, 8), 2 * 3600);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(at(0, 8), at(0, 9));
+  EXPECT_LT(at(0, 23), at(1, 0));
+  EXPECT_EQ(at(1, 0), SimTime(86400));
+  EXPECT_LT(at(5, 0), SimTime::never());
+}
+
+TEST(SimTime, Rendering) {
+  EXPECT_EQ(at(3, 14, 5, 9).str(), "d3 14:05:09");
+  EXPECT_EQ(SimTime(0).str(), "d0 00:00:00");
+}
+
+TEST(SimTime, AtHelperComposition) {
+  EXPECT_EQ(at(2, 8, 30).seconds(), 2 * 86400 + 8 * 3600 + 30 * 60);
+}
+
+}  // namespace
+}  // namespace pfrdtn

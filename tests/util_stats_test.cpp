@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace pfrdtn {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Summary, NegativeValues) {
+  Summary s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(Distribution, MeanAndCount) {
+  Distribution d;
+  for (double x : {1.0, 2.0, 3.0}) d.add(x);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Distribution, QuantilesInterpolate) {
+  Distribution d;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 25.0);
+}
+
+TEST(Distribution, QuantileValidation) {
+  Distribution d;
+  EXPECT_THROW((void)d.quantile(0.5), ContractViolation);  // empty
+  d.add(1.0);
+  EXPECT_THROW((void)d.quantile(1.5), ContractViolation);
+  EXPECT_THROW((void)d.quantile(-0.1), ContractViolation);
+}
+
+TEST(Distribution, CdfAt) {
+  Distribution d;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf_at(10.0), 1.0);
+}
+
+TEST(Distribution, CdfAfterInterleavedAdds) {
+  Distribution d;
+  d.add(3.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(3.0), 1.0);  // forces a sort
+  d.add(1.0);                            // must invalidate sortedness
+  EXPECT_DOUBLE_EQ(d.cdf_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2.0), 0.5);
+}
+
+TEST(Distribution, CdfSeriesGrid) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  const auto series = d.cdf_series(100.0, 5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 100.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].second, series[i - 1].second);
+}
+
+TEST(Distribution, EmptyCdfIsZero) {
+  Distribution d;
+  EXPECT_DOUBLE_EQ(d.cdf_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(FormatRow, PadsCells) {
+  const auto row = format_row({"ab", "c"}, 4);
+  EXPECT_EQ(row, "ab   c    ");
+}
+
+TEST(FormatRow, LongCellsNotTruncated) {
+  const auto row = format_row({"abcdef"}, 3);
+  EXPECT_EQ(row, "abcdef ");
+}
+
+}  // namespace
+}  // namespace pfrdtn
