@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file framing.hpp
+/// Length-prefixed frames over a Connection, using the header codec in
+/// util/byte_buffer.hpp (magic, version, type, length, payload — see
+/// docs/net.md). Every sync-protocol message travels as one frame;
+/// batches travel as a frame sequence so a dropped connection truncates
+/// at an item boundary the session layer can recover from.
+
+#include <vector>
+
+#include "net/transport.hpp"
+#include "repl/sync.hpp"
+
+namespace pfrdtn::net {
+
+/// One received frame plus its wire footprint (header + payload).
+struct Frame {
+  repl::SyncFrame type{};
+  std::vector<std::uint8_t> payload;
+  std::size_t wire_bytes = 0;
+};
+
+/// Write one frame; returns its wire footprint. Throws TransportError
+/// if the link fails (possibly after a prefix was delivered).
+std::size_t write_frame(Connection& connection, repl::SyncFrame type,
+                        const std::vector<std::uint8_t>& payload);
+
+/// Read one frame. Throws TransportError if the link fails, and
+/// ContractViolation if the peer sent bytes that are not a frame.
+Frame read_frame(Connection& connection);
+
+/// Read one frame and require the given type (protocol step mismatch
+/// is a ContractViolation — the peer is broken, not the link).
+Frame expect_frame(Connection& connection, repl::SyncFrame type);
+
+}  // namespace pfrdtn::net

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file loopback.hpp
+/// In-memory transport: two Connection endpoints joined by buffered
+/// byte queues, with injectable faults. Single-threaded by design —
+/// the sync protocol is strictly half-duplex (request, then batch), so
+/// a sequential driver can run client and server steps alternately and
+/// every read finds its bytes already buffered. Used by the emulator's
+/// transport mode and by the fault-injection tests.
+///
+/// Faults model a DTN contact window: `cut_after_bytes` ends the
+/// contact after a byte budget (the write that crosses the budget
+/// delivers its in-budget prefix and then fails, exactly like a radio
+/// link dying mid-stream), while `bytes_per_second` / `latency_seconds`
+/// feed a transfer-time account the emulator can charge against
+/// encounter durations.
+
+#include <memory>
+#include <optional>
+
+#include "net/transport.hpp"
+
+namespace pfrdtn::net {
+
+struct LoopbackFaults {
+  /// End the contact after this many bytes total across both
+  /// directions; bytes beyond the budget are never delivered.
+  std::optional<std::size_t> cut_after_bytes;
+  /// Modeled throughput for transfer-time accounting (0 = infinite).
+  std::size_t bytes_per_second = 0;
+  /// Modeled fixed delay charged per write (store-and-forward hop).
+  double latency_seconds = 0.0;
+};
+
+class LoopbackLink {
+ public:
+  explicit LoopbackLink(LoopbackFaults faults = {});
+  ~LoopbackLink();
+
+  LoopbackLink(const LoopbackLink&) = delete;
+  LoopbackLink& operator=(const LoopbackLink&) = delete;
+
+  Connection& a();
+  Connection& b();
+
+  /// Bytes actually delivered across the link (both directions).
+  [[nodiscard]] std::size_t bytes_delivered() const;
+  /// Modeled transfer time consumed so far.
+  [[nodiscard]] double simulated_seconds() const;
+
+ private:
+  struct State;
+  class Endpoint;
+
+  std::shared_ptr<State> state_;
+  std::unique_ptr<Endpoint> a_;
+  std::unique_ptr<Endpoint> b_;
+};
+
+}  // namespace pfrdtn::net

@@ -1,0 +1,252 @@
+#include "net/session.hpp"
+
+namespace pfrdtn::net {
+
+namespace {
+
+std::vector<std::uint8_t> serialize_request(
+    const repl::SyncRequest& request) {
+  ByteWriter w;
+  request.serialize(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> serialize_item(const repl::Item& item) {
+  ByteWriter w;
+  item.serialize(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> serialize_knowledge(
+    const repl::Knowledge& knowledge) {
+  ByteWriter w;
+  knowledge.serialize(w);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const HelloInfo& hello) {
+  ByteWriter w;
+  w.uvarint(hello.replica.value());
+  w.u8(static_cast<std::uint8_t>(hello.mode));
+  return w.take();
+}
+
+HelloInfo decode_hello(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  HelloInfo hello;
+  hello.replica = ReplicaId(r.uvarint());
+  const std::uint8_t mode = r.u8();
+  PFRDTN_REQUIRE(mode >= 1 && mode <= 3);
+  hello.mode = static_cast<SyncMode>(mode);
+  PFRDTN_REQUIRE(r.done());
+  return hello;
+}
+
+SourceStats run_source(Connection& connection, repl::Replica& source,
+                       repl::ForwardingPolicy* source_policy, SimTime now,
+                       const repl::SyncOptions& options) {
+  SourceStats outcome;
+  try {
+    const Frame request_frame =
+        expect_frame(connection, repl::SyncFrame::Request);
+    outcome.stats.request_bytes = request_frame.wire_bytes;
+    ByteReader reader(request_frame.payload);
+    const repl::SyncRequest request =
+        repl::SyncRequest::deserialize(reader);
+    PFRDTN_REQUIRE(reader.done());
+
+    const repl::SyncBatch batch =
+        repl::build_batch(source, source_policy, request, now, options);
+    outcome.stats.complete = batch.complete;
+    outcome.stats.batch_bytes +=
+        write_frame(connection, repl::SyncFrame::BatchBegin,
+                    repl::encode_batch_begin(batch));
+    for (const repl::Item& item : batch.items) {
+      outcome.stats.batch_bytes += write_frame(
+          connection, repl::SyncFrame::BatchItem, serialize_item(item));
+      ++outcome.stats.items_sent;
+    }
+    outcome.stats.batch_bytes +=
+        write_frame(connection, repl::SyncFrame::BatchEnd,
+                    serialize_knowledge(batch.source_knowledge));
+  } catch (const TransportError& failure) {
+    outcome.transport_failed = true;
+    outcome.stats.complete = false;
+    outcome.error = failure.what();
+  }
+  return outcome;
+}
+
+void TargetSession::send_request(Connection& connection,
+                                 ReplicaId source_id, SimTime now) {
+  PFRDTN_REQUIRE(state_ == State::Idle);
+  const repl::SyncRequest request =
+      repl::make_request(*target_, policy_, source_id, now);
+  try {
+    request_bytes_ = write_frame(connection, repl::SyncFrame::Request,
+                                 serialize_request(request));
+    state_ = State::RequestSent;
+  } catch (const TransportError& failure) {
+    state_ = State::Failed;
+    error_ = failure.what();
+  }
+}
+
+NetSyncResult TargetSession::receive(Connection& connection) {
+  NetSyncResult outcome;
+  repl::BatchApplier applier(*target_, options_);
+  if (state_ == State::Failed) {
+    outcome.result = applier.abandon();
+    outcome.result.stats.request_bytes = request_bytes_;
+    outcome.transport_failed = true;
+    outcome.error = error_;
+    return outcome;
+  }
+  PFRDTN_REQUIRE(state_ == State::RequestSent);
+  std::size_t batch_bytes = 0;
+  try {
+    const Frame begin_frame =
+        expect_frame(connection, repl::SyncFrame::BatchBegin);
+    batch_bytes += begin_frame.wire_bytes;
+    const repl::BatchBeginInfo begin =
+        repl::decode_batch_begin(begin_frame.payload);
+    std::uint64_t received = 0;
+    for (;;) {
+      const Frame frame = read_frame(connection);
+      batch_bytes += frame.wire_bytes;
+      if (frame.type == repl::SyncFrame::BatchItem) {
+        ByteReader reader(frame.payload);
+        const repl::Item item = repl::Item::deserialize(reader);
+        PFRDTN_REQUIRE(reader.done());
+        ++received;
+        PFRDTN_REQUIRE(received <= begin.count);
+        applier.apply(item);
+        continue;
+      }
+      PFRDTN_REQUIRE(frame.type == repl::SyncFrame::BatchEnd);
+      PFRDTN_REQUIRE(received == begin.count);
+      ByteReader reader(frame.payload);
+      const repl::Knowledge source_knowledge =
+          repl::Knowledge::deserialize(reader);
+      PFRDTN_REQUIRE(reader.done());
+      outcome.result = applier.finish(begin.complete, source_knowledge);
+      state_ = State::Done;
+      break;
+    }
+  } catch (const TransportError& failure) {
+    outcome.result = applier.abandon();
+    outcome.transport_failed = true;
+    outcome.error = failure.what();
+    state_ = State::Failed;
+  }
+  outcome.result.stats.request_bytes = request_bytes_;
+  outcome.result.stats.batch_bytes = batch_bytes;
+  return outcome;
+}
+
+LoopbackSyncOutcome sync_over_loopback(
+    repl::Replica& source, repl::Replica& target,
+    repl::ForwardingPolicy* source_policy,
+    repl::ForwardingPolicy* target_policy, SimTime now,
+    const repl::SyncOptions& options, const LoopbackFaults& faults) {
+  LoopbackSyncOutcome outcome;
+  LoopbackLink link(faults);
+  // Half-duplex sequential drive: the target writes its request, the
+  // source consumes it and streams the whole batch, then the target
+  // reads whatever made it through the contact window.
+  TargetSession session(target, target_policy, options);
+  session.send_request(link.a(), source.id(), now);
+  if (session.state() == TargetSession::State::RequestSent) {
+    outcome.server = run_source(link.b(), source, source_policy, now,
+                                options);
+  } else {
+    outcome.server.transport_failed = true;
+    outcome.server.stats.complete = false;
+    outcome.server.error = "request never arrived";
+  }
+  outcome.client = session.receive(link.a());
+  outcome.bytes_delivered = link.bytes_delivered();
+  outcome.simulated_seconds = link.simulated_seconds();
+  return outcome;
+}
+
+ClientSessionOutcome run_client_session(Connection& connection,
+                                        repl::Replica& self,
+                                        repl::ForwardingPolicy* policy,
+                                        SyncMode mode, SimTime now,
+                                        const repl::SyncOptions& options) {
+  ClientSessionOutcome outcome;
+  try {
+    outcome.overhead_bytes +=
+        write_frame(connection, repl::SyncFrame::Hello,
+                    encode_hello({self.id(), mode}));
+    const Frame answer = expect_frame(connection, repl::SyncFrame::Hello);
+    outcome.overhead_bytes += answer.wire_bytes;
+    outcome.server = decode_hello(answer.payload).replica;
+  } catch (const TransportError& failure) {
+    outcome.transport_failed = true;
+    outcome.error = failure.what();
+    return outcome;
+  }
+
+  if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
+    TargetSession session(self, policy, options);
+    session.send_request(connection, outcome.server, now);
+    outcome.pull = session.receive(connection);
+    if (outcome.pull.transport_failed) {
+      outcome.transport_failed = true;
+      outcome.error = outcome.pull.error;
+      if (mode == SyncMode::Encounter) return outcome;
+    }
+  }
+  if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
+    outcome.push = run_source(connection, self, policy, now, options);
+    if (outcome.push.transport_failed) {
+      outcome.transport_failed = true;
+      outcome.error = outcome.push.error;
+    }
+  }
+  return outcome;
+}
+
+ServerSessionOutcome serve_session(Connection& connection,
+                                   repl::Replica& self,
+                                   repl::ForwardingPolicy* policy,
+                                   SimTime now,
+                                   const repl::SyncOptions& options) {
+  ServerSessionOutcome outcome;
+  try {
+    const Frame hello = expect_frame(connection, repl::SyncFrame::Hello);
+    outcome.hello = decode_hello(hello.payload);
+    write_frame(connection, repl::SyncFrame::Hello,
+                encode_hello({self.id(), outcome.hello.mode}));
+  } catch (const TransportError& failure) {
+    outcome.transport_failed = true;
+    outcome.error = failure.what();
+    return outcome;
+  }
+
+  const SyncMode mode = outcome.hello.mode;
+  if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
+    outcome.served = run_source(connection, self, policy, now, options);
+    if (outcome.served.transport_failed) {
+      outcome.transport_failed = true;
+      outcome.error = outcome.served.error;
+      if (mode == SyncMode::Encounter) return outcome;
+    }
+  }
+  if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
+    TargetSession session(self, policy, options);
+    session.send_request(connection, outcome.hello.replica, now);
+    outcome.applied = session.receive(connection);
+    if (outcome.applied.transport_failed) {
+      outcome.transport_failed = true;
+      outcome.error = outcome.applied.error;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace pfrdtn::net

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file session.hpp
+/// The sync-session state machine: runs the Figure-4 exchange over a
+/// Transport connection. Each sync has a *source* role (answers a
+/// request by streaming a batch) and a *target* role (sends the
+/// request, applies batch items as their frames arrive). Streaming
+/// item-by-item means a dropped connection leaves the target with the
+/// fully received prefix applied, `complete == false`, and the source
+/// knowledge never merged — the truncated-contact semantics the
+/// substrate's SyncBatch::complete flag was designed for.
+///
+/// Frame sequence of one sync (see docs/net.md for the state machine):
+///
+///   target -> source   Request
+///   source -> target   BatchBegin (source id, complete flag, count)
+///   source -> target   BatchItem * count
+///   source -> target   BatchEnd (source knowledge)
+///
+/// A TCP session between two processes is opened by the client with a
+/// Hello frame carrying its replica id and the session mode; the
+/// server answers with its own Hello, then the two run one or two
+/// syncs (Pull: client is target; Push: client is source; Encounter:
+/// pull then push — the paper's two syncs per encounter).
+
+#include <string>
+
+#include "net/framing.hpp"
+#include "net/loopback.hpp"
+
+namespace pfrdtn::net {
+
+/// What the client asks for in its Hello frame.
+enum class SyncMode : std::uint8_t {
+  Pull = 1,       ///< client pulls: client = target, server = source
+  Push = 2,       ///< client pushes: client = source, server = target
+  Encounter = 3,  ///< pull then push, as in one trace encounter
+};
+
+/// Hello payload: who is speaking and what they want.
+struct HelloInfo {
+  ReplicaId replica{};
+  SyncMode mode = SyncMode::Pull;
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloInfo& hello);
+HelloInfo decode_hello(const std::vector<std::uint8_t>& payload);
+
+/// Target-side outcome of one sync over a transport.
+struct NetSyncResult {
+  repl::SyncResult result;
+  bool transport_failed = false;  ///< the link died during this sync
+  std::string error;              ///< TransportError message, if any
+};
+
+/// Source-side outcome of one sync over a transport.
+struct SourceStats {
+  /// request_bytes/batch_bytes are framed wire bytes as read/written;
+  /// items_sent counts items whose frames were fully written.
+  repl::SyncStats stats;
+  bool transport_failed = false;
+  std::string error;
+};
+
+/// Run the source role once: wait for the peer's Request frame, build
+/// the batch (policy consulted, bandwidth cap applied), stream it.
+/// Link failures are absorbed into the returned stats.
+SourceStats run_source(Connection& connection, repl::Replica& source,
+                       repl::ForwardingPolicy* source_policy, SimTime now,
+                       const repl::SyncOptions& options = {});
+
+/// The target role as a resumable state machine, so a sequential
+/// driver (the loopback path) can interleave it with the source role
+/// on the same thread: send_request(), run the source, then receive().
+class TargetSession {
+ public:
+  enum class State { Idle, RequestSent, Done, Failed };
+
+  TargetSession(repl::Replica& target,
+                repl::ForwardingPolicy* target_policy,
+                repl::SyncOptions options = {})
+      : target_(&target), policy_(target_policy), options_(options) {}
+
+  /// Step 1: build this replica's request and send it. A link failure
+  /// moves the session to Failed instead of throwing; receive() then
+  /// reports it.
+  void send_request(Connection& connection, ReplicaId source_id,
+                    SimTime now);
+
+  /// Step 2: stream the batch in, applying each item as its frame
+  /// arrives. A dropped link yields the applied prefix with
+  /// `complete == false` and no knowledge learned.
+  NetSyncResult receive(Connection& connection);
+
+  [[nodiscard]] State state() const { return state_; }
+
+ private:
+  repl::Replica* target_;
+  repl::ForwardingPolicy* policy_;
+  repl::SyncOptions options_;
+  State state_ = State::Idle;
+  std::size_t request_bytes_ = 0;
+  std::string error_;
+};
+
+/// One full sync over an in-memory loopback link, driven sequentially
+/// on the calling thread: the transport-layer equivalent of
+/// repl::run_sync. With no faults injected, the target-side result is
+/// identical to run_sync's — same item outcomes, same framed byte
+/// counts, byte-identical replica state afterwards.
+struct LoopbackSyncOutcome {
+  NetSyncResult client;  ///< target side
+  SourceStats server;    ///< source side
+  std::size_t bytes_delivered = 0;
+  double simulated_seconds = 0.0;
+};
+
+LoopbackSyncOutcome sync_over_loopback(
+    repl::Replica& source, repl::Replica& target,
+    repl::ForwardingPolicy* source_policy,
+    repl::ForwardingPolicy* target_policy, SimTime now,
+    const repl::SyncOptions& options = {},
+    const LoopbackFaults& faults = {});
+
+// ---- whole sessions (TCP client/server) ------------------------------
+
+struct ClientSessionOutcome {
+  NetSyncResult pull;   ///< meaningful for Pull / Encounter modes
+  SourceStats push;     ///< meaningful for Push / Encounter modes
+  ReplicaId server{};   ///< peer id from the server's Hello
+  std::size_t overhead_bytes = 0;  ///< hello frames
+  bool transport_failed = false;
+  std::string error;
+};
+
+/// Drive one session as the connecting client.
+ClientSessionOutcome run_client_session(
+    Connection& connection, repl::Replica& self,
+    repl::ForwardingPolicy* policy, SyncMode mode, SimTime now,
+    const repl::SyncOptions& options = {});
+
+struct ServerSessionOutcome {
+  HelloInfo hello;      ///< who connected and what they asked for
+  SourceStats served;   ///< meaningful for Pull / Encounter modes
+  NetSyncResult applied;  ///< meaningful for Push / Encounter modes
+  bool transport_failed = false;
+  std::string error;
+};
+
+/// Serve one session on an accepted connection.
+ServerSessionOutcome serve_session(Connection& connection,
+                                   repl::Replica& self,
+                                   repl::ForwardingPolicy* policy,
+                                   SimTime now,
+                                   const repl::SyncOptions& options = {});
+
+}  // namespace pfrdtn::net

@@ -1,0 +1,168 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void set_io_timeouts(int fd, const TcpOptions& options) {
+  timeval tv{};
+  tv.tv_sec = options.io_timeout_ms / 1000;
+  tv.tv_usec = (options.io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  // Sync frames are small; don't let Nagle add round trips to the
+  // request/response alternation.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(int fd, TcpOptions options) : fd_(fd) {
+  PFRDTN_REQUIRE(fd_ >= 0);
+  set_io_timeouts(fd_, options);
+}
+
+TcpConnection::~TcpConnection() { close(); }
+
+void TcpConnection::write(const std::uint8_t* data, std::size_t size) {
+  if (fd_ < 0) throw TransportError("tcp: write on closed connection");
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw TransportError("tcp: write timed out");
+      fail("tcp: write failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpConnection::read(std::uint8_t* data, std::size_t size) {
+  if (fd_ < 0) throw TransportError("tcp: read on closed connection");
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n == 0)
+      throw TransportError("tcp: connection closed by peer mid-read");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw TransportError("tcp: read timed out");
+      fail("tcp: read failed");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, TcpOptions options)
+    : fd_(::socket(AF_INET, SOCK_STREAM, 0)), options_(options) {
+  if (fd_ < 0) fail("tcp: socket failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("tcp: bind failed");
+  if (::listen(fd_, 8) != 0) fail("tcp: listen failed");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("tcp: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ConnectionPtr TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpConnection>(fd, options_);
+    if (errno == EINTR) continue;
+    fail("tcp: accept failed");
+  }
+}
+
+ConnectionPtr tcp_connect(const std::string& host, std::uint16_t port,
+                          TcpOptions options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc =
+      ::getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved);
+  if (rc != 0)
+    throw TransportError("tcp: cannot resolve " + host + ": " +
+                         gai_strerror(rc));
+
+  int fd = -1;
+  std::string error = "tcp: no addresses for " + host;
+  for (addrinfo* it = resolved; it != nullptr; it = it->ai_next) {
+    fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+    if (fd < 0) continue;
+    // Bounded connect: non-blocking connect + poll, then back to
+    // blocking with io timeouts.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int result = ::connect(fd, it->ai_addr, it->ai_addrlen);
+    if (result != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, options.connect_timeout_ms);
+      if (ready == 1) {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+        result = so_error == 0 ? 0 : -1;
+        errno = so_error;
+      } else {
+        result = -1;
+        errno = ETIMEDOUT;
+      }
+    }
+    if (result == 0) {
+      ::fcntl(fd, F_SETFL, flags);
+      break;
+    }
+    error = "tcp: connect to " + host + ":" + service + " failed: " +
+            std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) throw TransportError(error);
+  return std::make_unique<TcpConnection>(fd, options);
+}
+
+}  // namespace pfrdtn::net

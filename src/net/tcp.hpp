@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file tcp.hpp
+/// POSIX TCP transport: blocking sockets with connect/read/write
+/// timeouts, so two `pfrdtn` processes can replicate over a real
+/// network. All failures (refused, reset, timed out, EOF) surface as
+/// TransportError; the session layer turns them into incomplete syncs.
+
+#include <cstdint>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace pfrdtn::net {
+
+struct TcpOptions {
+  int connect_timeout_ms = 5000;
+  /// Per-read / per-write timeout; a peer that stalls longer than this
+  /// mid-sync counts as a closed contact.
+  int io_timeout_ms = 10000;
+};
+
+/// An established TCP connection (takes ownership of the fd).
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd, TcpOptions options = {});
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  void write(const std::uint8_t* data, std::size_t size) override;
+  void read(std::uint8_t* data, std::size_t size) override;
+  void close() override;
+
+ private:
+  int fd_;
+};
+
+/// Listening socket. Port 0 binds an ephemeral port; port() reports
+/// the actual one.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port, TcpOptions options = {});
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Block until a client connects; throws TransportError on failure.
+  ConnectionPtr accept();
+
+ private:
+  int fd_;
+  TcpOptions options_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to host:port (numeric IP or resolvable name).
+ConnectionPtr tcp_connect(const std::string& host, std::uint16_t port,
+                          TcpOptions options = {});
+
+}  // namespace pfrdtn::net

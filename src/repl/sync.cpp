@@ -64,35 +64,27 @@ struct Candidate {
 
 }  // namespace
 
-SyncResult run_sync(Replica& source, Replica& target,
-                    ForwardingPolicy* source_policy,
-                    ForwardingPolicy* target_policy, SimTime now,
-                    const SyncOptions& options) {
-  SyncResult result;
-
-  // ---- target builds and "sends" the request ----
-  const SyncContext target_ctx{target.id(), source.id(), now};
-  SyncRequest request{
+SyncRequest make_request(Replica& target, ForwardingPolicy* target_policy,
+                         ReplicaId source_id, SimTime now) {
+  const SyncContext target_ctx{target.id(), source_id, now};
+  return SyncRequest{
       target.id(), target.filter(), target.knowledge(),
       target_policy ? target_policy->generate_request(target_ctx)
                     : std::vector<std::uint8_t>{}};
-  ByteWriter request_writer;
-  request.serialize(request_writer);
-  result.stats.request_bytes = request_writer.size();
-  ByteReader request_reader(request_writer.bytes());
-  const SyncRequest received = SyncRequest::deserialize(request_reader);
-  PFRDTN_ENSURE(request_reader.done());
+}
 
-  // ---- source side ----
-  const SyncContext source_ctx{source.id(), target.id(), now};
+SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
+                      const SyncRequest& request, SimTime now,
+                      const SyncOptions& options) {
+  const SyncContext source_ctx{source.id(), request.target, now};
   if (source_policy)
-    source_policy->process_request(source_ctx, received.routing_state);
+    source_policy->process_request(source_ctx, request.routing_state);
 
   std::vector<Candidate> candidates;
   source.store_mutable().for_each_mutable([&](ItemStore::Entry& entry) {
-    if (received.knowledge.knows(entry.item, entry.item.version()))
+    if (request.knowledge.knows(entry.item, entry.item.version()))
       return;
-    if (received.filter.matches(entry.item)) {
+    if (request.filter.matches(entry.item)) {
       candidates.push_back(
           {entry.item.id(), Priority::at(PriorityClass::Highest),
            /*matches_filter=*/true, entry.arrival_seq});
@@ -141,36 +133,117 @@ SyncResult run_sync(Replica& source, Replica& target,
     }
     batch.items.push_back(std::move(outgoing));
   }
+  return batch;
+}
 
+void BatchApplier::apply(const Item& item) {
+  ++result_.stats.items_sent;
+  const ApplyOutcome outcome =
+      target_->apply_remote(item, result_.evicted);
+  switch (outcome) {
+    case ApplyOutcome::StoredNew:
+    case ApplyOutcome::UpdatedExisting:
+      ++result_.stats.items_new;
+      if (target_->filter().matches(item))
+        result_.delivered.push_back(item);
+      break;
+    case ApplyOutcome::Stale:
+      ++result_.stats.items_stale;
+      break;
+  }
+}
+
+SyncResult BatchApplier::finish(bool complete,
+                                const Knowledge& source_knowledge) {
+  result_.stats.complete = complete;
+  result_.stats.evictions = result_.evicted.size();
+  if (complete && options_.learn_knowledge)
+    target_->learn(source_knowledge);
+  return std::move(result_);
+}
+
+SyncResult BatchApplier::abandon() {
+  result_.stats.complete = false;
+  result_.stats.evictions = result_.evicted.size();
+  return std::move(result_);
+}
+
+SyncResult apply_batch(Replica& target, const SyncBatch& batch,
+                       const SyncOptions& options) {
+  BatchApplier applier(target, options);
+  for (const Item& item : batch.items) applier.apply(item);
+  return applier.finish(batch.complete, batch.source_knowledge);
+}
+
+std::vector<std::uint8_t> encode_batch_begin(const SyncBatch& batch) {
+  ByteWriter w;
+  w.uvarint(batch.source.value());
+  w.u8(batch.complete ? 1 : 0);
+  w.uvarint(batch.items.size());
+  return w.take();
+}
+
+BatchBeginInfo decode_batch_begin(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  BatchBeginInfo info;
+  info.source = ReplicaId(r.uvarint());
+  info.complete = r.u8() != 0;
+  info.count = r.uvarint();
+  PFRDTN_REQUIRE(r.done());
+  return info;
+}
+
+std::size_t wire_size(const SyncRequest& request) {
+  ByteWriter w;
+  request.serialize(w);
+  return framed_size(w.size());
+}
+
+std::size_t wire_size(const SyncBatch& batch) {
+  std::size_t total = framed_size(encode_batch_begin(batch).size());
+  for (const Item& item : batch.items) {
+    ByteWriter w;
+    item.serialize(w);
+    total += framed_size(w.size());
+  }
+  ByteWriter w;
+  batch.source_knowledge.serialize(w);
+  total += framed_size(w.size());
+  return total;
+}
+
+SyncResult run_sync(Replica& source, Replica& target,
+                    ForwardingPolicy* source_policy,
+                    ForwardingPolicy* target_policy, SimTime now,
+                    const SyncOptions& options) {
+  // ---- target builds and "sends" the request ----
+  const SyncRequest request =
+      make_request(target, target_policy, source.id(), now);
+  ByteWriter request_writer;
+  request.serialize(request_writer);
+  const std::size_t request_bytes = framed_size(request_writer.size());
+  ByteReader request_reader(request_writer.bytes());
+  const SyncRequest received = SyncRequest::deserialize(request_reader);
+  PFRDTN_ENSURE(request_reader.done());
+
+  // ---- source answers ----
+  const SyncBatch batch =
+      build_batch(source, source_policy, received, now, options);
   ByteWriter batch_writer;
   batch.serialize(batch_writer);
-  result.stats.batch_bytes = batch_writer.size();
   ByteReader batch_reader(batch_writer.bytes());
   const SyncBatch arrived = SyncBatch::deserialize(batch_reader);
   PFRDTN_ENSURE(batch_reader.done());
 
   // ---- target applies the batch ----
-  result.stats.items_sent = arrived.items.size();
-  result.stats.complete = arrived.complete;
-  for (const Item& item : arrived.items) {
-    const ApplyOutcome outcome =
-        target.apply_remote(item, result.evicted);
-    switch (outcome) {
-      case ApplyOutcome::StoredNew:
-      case ApplyOutcome::UpdatedExisting:
-        ++result.stats.items_new;
-        if (target.filter().matches(item)) result.delivered.push_back(item);
-        break;
-      case ApplyOutcome::Stale:
-        ++result.stats.items_stale;
-        break;
-    }
-  }
-  result.stats.evictions = result.evicted.size();
-
-  if (arrived.complete && options.learn_knowledge) {
-    target.learn(arrived.source_knowledge);
-  }
+  SyncResult result = apply_batch(target, arrived, options);
+  result.stats.request_bytes = request_bytes;
+  // Measure the batch as *sent*, not as re-serialized after the
+  // roundtrip: deserializing knowledge folds extras into the version
+  // vector, so `arrived` can re-encode smaller than what a transport
+  // would actually carry.
+  result.stats.batch_bytes = wire_size(batch);
   return result;
 }
 

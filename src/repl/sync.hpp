@@ -79,8 +79,93 @@ struct SyncResult {
   std::vector<Item> evicted;
 };
 
+// ---- protocol steps --------------------------------------------------
+//
+// The three steps of the Figure-4 exchange as free functions, so the
+// same logic backs both the in-process fast path (run_sync below) and
+// the net-layer session state machine that runs each step on its own
+// side of a real transport.
+
+/// Target step 1: assemble the request this replica sends to `source`.
+SyncRequest make_request(Replica& target, ForwardingPolicy* target_policy,
+                         ReplicaId source_id, SimTime now);
+
+/// Source step: answer a received request. Consults the policy, orders
+/// candidates by priority, applies the bandwidth cap, and charges
+/// per-copy forwarding state (on_forward) for items that made the cut.
+SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
+                      const SyncRequest& request, SimTime now,
+                      const SyncOptions& options = {});
+
+/// Target step 2, incremental form: items are applied one at a time as
+/// they arrive, so a transport can stream a batch and keep whatever
+/// prefix survived a dropped connection. Exactly one of finish() /
+/// abandon() terminates the application.
+class BatchApplier {
+ public:
+  BatchApplier(Replica& target, SyncOptions options)
+      : target_(&target), options_(options) {}
+
+  /// Apply one received item copy.
+  void apply(const Item& item);
+
+  /// The whole batch arrived: record the source's completeness claim
+  /// and merge its knowledge iff the sync was complete.
+  SyncResult finish(bool complete, const Knowledge& source_knowledge);
+
+  /// The link died mid-batch: keep the applied prefix, mark the sync
+  /// incomplete, and never learn the source's knowledge.
+  SyncResult abandon();
+
+ private:
+  Replica* target_;
+  SyncOptions options_;
+  SyncResult result_;
+};
+
+/// Target step 2, whole-batch form (wraps BatchApplier).
+SyncResult apply_batch(Replica& target, const SyncBatch& batch,
+                       const SyncOptions& options = {});
+
+// ---- wire footprint --------------------------------------------------
+//
+// On a transport (src/net/) a request travels as one frame and a batch
+// travels as a begin frame, one frame per item, and an end frame
+// carrying the source knowledge — so a dropped connection truncates at
+// an item boundary. These helpers compute that framed footprint; the
+// in-process path reports the same numbers so byte counts are
+// comparable across paths.
+
+/// Frame types of the sync wire protocol (frame `type` byte).
+enum class SyncFrame : std::uint8_t {
+  Hello = 1,       ///< session opener: client replica id + mode
+  Request = 2,     ///< serialized SyncRequest
+  BatchBegin = 3,  ///< source id, complete flag, item count
+  BatchItem = 4,   ///< one serialized Item
+  BatchEnd = 5,    ///< serialized source Knowledge
+};
+
+/// Header fields of a streamed batch (the BatchBegin payload).
+struct BatchBeginInfo {
+  ReplicaId source{};
+  bool complete = true;
+  std::uint64_t count = 0;
+};
+
+std::vector<std::uint8_t> encode_batch_begin(const SyncBatch& batch);
+BatchBeginInfo decode_batch_begin(const std::vector<std::uint8_t>& payload);
+
+/// Framed bytes of the request as transmitted: one Request frame.
+std::size_t wire_size(const SyncRequest& request);
+/// Framed bytes of the batch as transmitted: BatchBegin + one
+/// BatchItem per item + BatchEnd.
+std::size_t wire_size(const SyncBatch& batch);
+
 /// Run one one-way synchronization in which `target` pulls from
-/// `source`. Policies may be null (unmodified substrate).
+/// `source`. Policies may be null (unmodified substrate). A thin
+/// wrapper over make_request / build_batch / apply_batch that still
+/// pushes both messages through a full serialize/deserialize round
+/// trip, reporting framed wire byte counts.
 SyncResult run_sync(Replica& source, Replica& target,
                     ForwardingPolicy* source_policy,
                     ForwardingPolicy* target_policy, SimTime now,

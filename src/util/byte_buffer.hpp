@@ -132,4 +132,63 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+// ---- framing ---------------------------------------------------------
+//
+// When serialized messages travel over a transport (src/net/) they are
+// wrapped in frames:
+//
+//   magic   u16 LE   0x5046 ("PF")
+//   version u8       kFrameVersion
+//   type    u8       message type, opaque to this layer
+//   length  u32 LE   payload byte count
+//   payload length bytes
+//
+// The codec lives here, below both src/repl/ and src/net/, so the
+// in-process sync path can report the same framed byte counts a real
+// wire transfer produces without depending on any transport.
+
+inline constexpr std::uint16_t kFrameMagic = 0x5046;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+/// Upper bound on a single frame's payload; a length above this is
+/// treated as a malformed header rather than an allocation request.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+struct FrameHeader {
+  std::uint8_t type = 0;
+  std::uint32_t length = 0;
+};
+
+/// Total wire footprint of a payload of `payload_size` bytes.
+[[nodiscard]] constexpr std::size_t framed_size(std::size_t payload_size) {
+  return kFrameHeaderSize + payload_size;
+}
+
+inline void encode_frame_header(std::uint8_t type, std::uint32_t length,
+                                std::uint8_t out[kFrameHeaderSize]) {
+  PFRDTN_REQUIRE(length <= kMaxFramePayload);
+  out[0] = static_cast<std::uint8_t>(kFrameMagic & 0xFF);
+  out[1] = static_cast<std::uint8_t>(kFrameMagic >> 8);
+  out[2] = kFrameVersion;
+  out[3] = type;
+  for (int i = 0; i < 4; ++i)
+    out[4 + i] = static_cast<std::uint8_t>(length >> (8 * i));
+}
+
+/// Throws ContractViolation on a bad magic, unknown version, or an
+/// implausible length — the caller is reading garbage, not a frame.
+inline FrameHeader decode_frame_header(
+    const std::uint8_t in[kFrameHeaderSize]) {
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+  PFRDTN_REQUIRE(magic == kFrameMagic);
+  PFRDTN_REQUIRE(in[2] == kFrameVersion);
+  FrameHeader header;
+  header.type = in[3];
+  for (int i = 0; i < 4; ++i)
+    header.length |= static_cast<std::uint32_t>(in[4 + i]) << (8 * i);
+  PFRDTN_REQUIRE(header.length <= kMaxFramePayload);
+  return header;
+}
+
 }  // namespace pfrdtn

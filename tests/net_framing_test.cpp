@@ -1,0 +1,85 @@
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/loopback.hpp"
+
+namespace pfrdtn::net {
+namespace {
+
+TEST(FrameHeader, RoundTrip) {
+  std::uint8_t buffer[kFrameHeaderSize];
+  encode_frame_header(7, 123456, buffer);
+  const FrameHeader header = decode_frame_header(buffer);
+  EXPECT_EQ(header.type, 7);
+  EXPECT_EQ(header.length, 123456u);
+}
+
+TEST(FrameHeader, RejectsBadMagic) {
+  std::uint8_t buffer[kFrameHeaderSize];
+  encode_frame_header(1, 4, buffer);
+  buffer[0] ^= 0xFF;
+  EXPECT_THROW(decode_frame_header(buffer), ContractViolation);
+}
+
+TEST(FrameHeader, RejectsUnknownVersion) {
+  std::uint8_t buffer[kFrameHeaderSize];
+  encode_frame_header(1, 4, buffer);
+  buffer[2] = kFrameVersion + 1;
+  EXPECT_THROW(decode_frame_header(buffer), ContractViolation);
+}
+
+TEST(FrameHeader, RejectsImplausibleLength) {
+  std::uint8_t buffer[kFrameHeaderSize];
+  encode_frame_header(1, 4, buffer);
+  buffer[7] = 0xFF;  // length high byte -> ~4 GiB
+  EXPECT_THROW(decode_frame_header(buffer), ContractViolation);
+}
+
+TEST(Framing, RoundTripOverLoopback) {
+  LoopbackLink link;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const std::size_t written =
+      write_frame(link.a(), repl::SyncFrame::Request, payload);
+  EXPECT_EQ(written, framed_size(payload.size()));
+  const Frame frame = read_frame(link.b());
+  EXPECT_EQ(frame.type, repl::SyncFrame::Request);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(frame.wire_bytes, written);
+}
+
+TEST(Framing, EmptyPayload) {
+  LoopbackLink link;
+  write_frame(link.a(), repl::SyncFrame::BatchEnd, {});
+  const Frame frame = read_frame(link.b());
+  EXPECT_EQ(frame.type, repl::SyncFrame::BatchEnd);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(frame.wire_bytes, kFrameHeaderSize);
+}
+
+TEST(Framing, ExpectFrameRejectsWrongType) {
+  LoopbackLink link;
+  write_frame(link.a(), repl::SyncFrame::BatchItem, {9});
+  EXPECT_THROW(expect_frame(link.b(), repl::SyncFrame::Request),
+               ContractViolation);
+}
+
+TEST(Framing, TruncatedHeaderIsTransportError) {
+  LoopbackLink link;
+  const std::uint8_t half[3] = {0x46, 0x50, 1};
+  link.a().write(half, sizeof(half));
+  EXPECT_THROW(read_frame(link.b()), TransportError);
+}
+
+TEST(Framing, TruncatedPayloadIsTransportError) {
+  LoopbackFaults faults;
+  faults.cut_after_bytes = kFrameHeaderSize + 2;  // header + 2 of 5
+  LoopbackLink link(faults);
+  EXPECT_THROW(
+      write_frame(link.a(), repl::SyncFrame::BatchItem, {1, 2, 3, 4, 5}),
+      TransportError);
+  EXPECT_THROW(read_frame(link.b()), TransportError);
+}
+
+}  // namespace
+}  // namespace pfrdtn::net

@@ -1,0 +1,91 @@
+#include "net/loopback.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::net {
+namespace {
+
+TEST(Loopback, BidirectionalTransfer) {
+  LoopbackLink link;
+  const std::uint8_t ping[3] = {1, 2, 3};
+  link.a().write(ping, 3);
+  std::uint8_t got[3] = {};
+  link.b().read(got, 3);
+  EXPECT_EQ(got[2], 3);
+
+  const std::uint8_t pong[2] = {9, 8};
+  link.b().write(pong, 2);
+  std::uint8_t back[2] = {};
+  link.a().read(back, 2);
+  EXPECT_EQ(back[0], 9);
+  EXPECT_EQ(link.bytes_delivered(), 5u);
+}
+
+TEST(Loopback, PartialReadsDrainTheBuffer) {
+  LoopbackLink link;
+  const std::uint8_t data[4] = {1, 2, 3, 4};
+  link.a().write(data, 4);
+  std::uint8_t first = 0;
+  link.b().read(&first, 1);
+  std::uint8_t rest[3] = {};
+  link.b().read(rest, 3);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(rest[2], 4);
+}
+
+TEST(Loopback, ReadBeyondBufferedThrows) {
+  LoopbackLink link;
+  const std::uint8_t data[2] = {1, 2};
+  link.a().write(data, 2);
+  std::uint8_t out[3] = {};
+  EXPECT_THROW(link.b().read(out, 3), TransportError);
+}
+
+TEST(Loopback, CutDeliversPrefixThenFails) {
+  LoopbackFaults faults;
+  faults.cut_after_bytes = 3;
+  LoopbackLink link(faults);
+  const std::uint8_t data[5] = {1, 2, 3, 4, 5};
+  EXPECT_THROW(link.a().write(data, 5), TransportError);
+  // The in-budget prefix was delivered before the link died.
+  std::uint8_t got[3] = {};
+  link.b().read(got, 3);
+  EXPECT_EQ(got[2], 3);
+  EXPECT_EQ(link.bytes_delivered(), 3u);
+  // Everything after the cut fails, in both directions.
+  EXPECT_THROW(link.b().write(data, 1), TransportError);
+  EXPECT_THROW(link.a().write(data, 1), TransportError);
+}
+
+TEST(Loopback, BudgetIsSharedAcrossDirections) {
+  LoopbackFaults faults;
+  faults.cut_after_bytes = 4;
+  LoopbackLink link(faults);
+  const std::uint8_t data[3] = {1, 2, 3};
+  link.a().write(data, 3);
+  EXPECT_THROW(link.b().write(data, 3), TransportError);
+  EXPECT_EQ(link.bytes_delivered(), 4u);
+}
+
+TEST(Loopback, ClosedEndpointRefusesIo) {
+  LoopbackLink link;
+  link.a().close();
+  const std::uint8_t byte = 1;
+  std::uint8_t out = 0;
+  EXPECT_THROW(link.a().write(&byte, 1), TransportError);
+  EXPECT_THROW(link.a().read(&out, 1), TransportError);
+}
+
+TEST(Loopback, TransferTimeAccounting) {
+  LoopbackFaults faults;
+  faults.bytes_per_second = 100;
+  faults.latency_seconds = 0.5;
+  LoopbackLink link(faults);
+  const std::uint8_t data[50] = {};
+  link.a().write(data, 50);
+  // One write: 0.5 s latency + 50/100 s transfer.
+  EXPECT_DOUBLE_EQ(link.simulated_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace pfrdtn::net

@@ -1,0 +1,230 @@
+#include "net/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfrdtn::net {
+namespace {
+
+using repl::Filter;
+using repl::ForwardingPolicy;
+using repl::Item;
+using repl::Priority;
+using repl::PriorityClass;
+using repl::Replica;
+using repl::SyncContext;
+using repl::SyncOptions;
+using repl::TransientView;
+
+std::map<std::string, std::string> to(std::uint64_t dest) {
+  return {{repl::meta::kDest, std::to_string(dest)}};
+}
+
+/// Forward everything, and touch per-copy transient state so the test
+/// exercises the on_forward mutation path in both sync paths.
+class ForwardAll : public ForwardingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "all"; }
+  std::vector<std::uint8_t> generate_request(
+      const SyncContext&) override {
+    return {0x11, 0x22};
+  }
+  Priority to_send(const SyncContext&, TransientView) override {
+    return Priority::at(PriorityClass::Normal);
+  }
+  void on_forward(const SyncContext&, TransientView stored,
+                  TransientView outgoing) override {
+    stored.set_int("hops", stored.get_int("hops").value_or(0) + 1);
+    outgoing.set_int("hops", stored.get_int("hops").value_or(0));
+  }
+};
+
+/// One reproducible two-replica world.
+struct World {
+  Replica source;
+  Replica target;
+  ForwardAll source_policy;
+  ForwardAll target_policy;
+
+  World()
+      : source(ReplicaId(1), Filter::addresses({HostId(5)})),
+        target(ReplicaId(2), Filter::addresses({HostId(9)})) {
+    source.create(to(9), {'a'});           // matches target filter
+    source.create(to(9), {'b', 'b'});      // matches target filter
+    source.create(to(7), {'c'});           // policy extra
+    const Item& doomed = source.create(to(9), {'d'});
+    source.erase(doomed.id());             // tombstone travels too
+  }
+};
+
+/// Serialized store + knowledge fingerprint for byte-identity checks.
+std::vector<std::uint8_t> snapshot(const Replica& replica) {
+  ByteWriter w;
+  replica.store().for_each([&](const repl::ItemStore::Entry& entry) {
+    entry.item.serialize(w);
+  });
+  replica.knowledge().serialize(w);
+  return w.take();
+}
+
+void expect_same_stats(const repl::SyncStats& a,
+                       const repl::SyncStats& b) {
+  EXPECT_EQ(a.items_sent, b.items_sent);
+  EXPECT_EQ(a.items_new, b.items_new);
+  EXPECT_EQ(a.items_stale, b.items_stale);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.request_bytes, b.request_bytes);
+  EXPECT_EQ(a.batch_bytes, b.batch_bytes);
+  EXPECT_EQ(a.complete, b.complete);
+}
+
+TEST(SyncSession, LoopbackMatchesInProcessByteForByte) {
+  World in_process;
+  World transported;
+  const auto direct = repl::run_sync(
+      in_process.source, in_process.target, &in_process.source_policy,
+      &in_process.target_policy, SimTime(0));
+  const auto over_wire = sync_over_loopback(
+      transported.source, transported.target,
+      &transported.source_policy, &transported.target_policy,
+      SimTime(0));
+
+  ASSERT_FALSE(over_wire.client.transport_failed);
+  expect_same_stats(direct.stats, over_wire.client.result.stats);
+  EXPECT_EQ(direct.delivered.size(),
+            over_wire.client.result.delivered.size());
+  EXPECT_EQ(snapshot(in_process.source), snapshot(transported.source));
+  EXPECT_EQ(snapshot(in_process.target), snapshot(transported.target));
+}
+
+TEST(SyncSession, LoopbackMatchesInProcessUnderBandwidthCap) {
+  World in_process;
+  World transported;
+  SyncOptions options;
+  options.max_items = 1;
+  const auto direct = repl::run_sync(
+      in_process.source, in_process.target, &in_process.source_policy,
+      &in_process.target_policy, SimTime(0), options);
+  const auto over_wire = sync_over_loopback(
+      transported.source, transported.target,
+      &transported.source_policy, &transported.target_policy,
+      SimTime(0), options);
+  expect_same_stats(direct.stats, over_wire.client.result.stats);
+  EXPECT_FALSE(direct.stats.complete);
+  EXPECT_EQ(snapshot(in_process.target), snapshot(transported.target));
+}
+
+TEST(SyncSession, ReportedBytesMatchWireSizeHelpers) {
+  World world;
+  const repl::SyncRequest request = repl::make_request(
+      world.target, &world.target_policy, world.source.id(), SimTime(0));
+  World fresh;  // request generation above consumed no state, but keep
+                // the measured sync pristine anyway
+  const auto outcome = sync_over_loopback(
+      fresh.source, fresh.target, &fresh.source_policy,
+      &fresh.target_policy, SimTime(0));
+  EXPECT_EQ(outcome.client.result.stats.request_bytes,
+            repl::wire_size(request));
+  // Request + batch frames are everything that crossed the link.
+  EXPECT_EQ(outcome.bytes_delivered,
+            outcome.client.result.stats.request_bytes +
+                outcome.client.result.stats.batch_bytes);
+}
+
+/// The heart of the fault-injection coverage: kill the contact after
+/// every possible byte budget (which includes every frame boundary)
+/// and require the target's invariants, partial-application semantics
+/// and no-knowledge-from-incomplete-sync guarantee to hold throughout.
+TEST(SyncSession, SurvivesLinkCutAtEveryByte) {
+  std::size_t total = 0;
+  std::size_t expected_items = 0;
+  {
+    World world;
+    const auto fault_free = sync_over_loopback(
+        world.source, world.target, &world.source_policy,
+        &world.target_policy, SimTime(0));
+    total = fault_free.bytes_delivered;
+    expected_items = fault_free.client.result.stats.items_sent;
+  }
+  ASSERT_GT(total, 0u);
+  ASSERT_GT(expected_items, 0u);
+
+  for (std::size_t cut = 0; cut <= total; ++cut) {
+    World world;
+    LoopbackFaults faults;
+    faults.cut_after_bytes = cut;
+    const auto outcome = sync_over_loopback(
+        world.source, world.target, &world.source_policy,
+        &world.target_policy, SimTime(0), {}, faults);
+    const auto& stats = outcome.client.result.stats;
+
+    if (cut < total) {
+      EXPECT_TRUE(outcome.client.transport_failed) << "cut=" << cut;
+      EXPECT_FALSE(stats.complete) << "cut=" << cut;
+      // Knowledge is never learned from an incomplete sync.
+      EXPECT_TRUE(world.target.knowledge().fragments().empty())
+          << "cut=" << cut;
+    } else {
+      EXPECT_FALSE(outcome.client.transport_failed);
+      EXPECT_TRUE(stats.complete);
+    }
+    // Only fully received items were applied.
+    EXPECT_LE(stats.items_sent, expected_items) << "cut=" << cut;
+    // Store/knowledge soundness holds at both ends regardless of
+    // where the contact died.
+    EXPECT_EQ(world.target.check_invariants(), "") << "cut=" << cut;
+    EXPECT_EQ(world.source.check_invariants(), "") << "cut=" << cut;
+
+    // A later, unconstrained contact repairs everything: the withheld
+    // items are re-sent (at-most-once still holds for what arrived).
+    const auto repair =
+        repl::run_sync(world.source, world.target, &world.source_policy,
+                       &world.target_policy, SimTime(1));
+    EXPECT_TRUE(repair.stats.complete);
+    EXPECT_EQ(stats.items_new + repair.stats.items_new, expected_items)
+        << "cut=" << cut;
+    EXPECT_EQ(repair.stats.items_stale, 0u)
+        << "cut=" << cut << " (duplicate transmission)";
+    EXPECT_EQ(world.target.check_invariants(), "");
+  }
+}
+
+TEST(SyncSession, FailedRequestMeansNoSyncAtAll) {
+  World world;
+  LoopbackFaults faults;
+  faults.cut_after_bytes = 0;  // nothing crosses
+  const auto outcome = sync_over_loopback(
+      world.source, world.target, &world.source_policy,
+      &world.target_policy, SimTime(0), {}, faults);
+  EXPECT_TRUE(outcome.client.transport_failed);
+  EXPECT_TRUE(outcome.server.transport_failed);
+  EXPECT_EQ(outcome.client.result.stats.items_sent, 0u);
+  EXPECT_FALSE(outcome.client.result.stats.complete);
+  EXPECT_EQ(world.target.store().size(), 0u);
+}
+
+TEST(SyncSession, LearnKnowledgeOptionRespectedOverLoopback) {
+  World world;
+  SyncOptions options;
+  options.learn_knowledge = false;
+  const auto outcome = sync_over_loopback(
+      world.source, world.target, &world.source_policy,
+      &world.target_policy, SimTime(0), options);
+  EXPECT_TRUE(outcome.client.result.stats.complete);
+  EXPECT_TRUE(world.target.knowledge().fragments().empty());
+}
+
+TEST(SyncSession, ThrottledLinkAccumulatesTransferTime) {
+  World world;
+  LoopbackFaults faults;
+  faults.bytes_per_second = 1000;
+  const auto outcome = sync_over_loopback(
+      world.source, world.target, &world.source_policy,
+      &world.target_policy, SimTime(0), {}, faults);
+  EXPECT_GT(outcome.simulated_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(
+      outcome.simulated_seconds,
+      static_cast<double>(outcome.bytes_delivered) / 1000.0);
+}
+
+}  // namespace
+}  // namespace pfrdtn::net

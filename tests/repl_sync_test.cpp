@@ -281,6 +281,89 @@ TEST(Sync, ConcurrentUpdatesConvergeDeterministically) {
   EXPECT_EQ(body_a, std::vector<std::uint8_t>{'b'});
 }
 
+TEST(Sync, FactoredStepsMatchRunSync) {
+  Replica src_a = make_replica(1, 5);
+  Replica dst_a = make_replica(2, 9);
+  Replica src_b = make_replica(1, 5);
+  Replica dst_b = make_replica(2, 9);
+  for (Replica* src : {&src_a, &src_b}) {
+    src->create(to(9), {'x'});
+    src->create(to(9), {'y', 'y'});
+    src->create(to(3), {'z'});
+  }
+
+  const auto whole = run_sync(src_a, dst_a, nullptr, nullptr, SimTime(0));
+
+  const SyncRequest request =
+      make_request(dst_b, nullptr, src_b.id(), SimTime(0));
+  const SyncBatch batch = build_batch(src_b, nullptr, request, SimTime(0));
+  const auto stepped = apply_batch(dst_b, batch);
+
+  EXPECT_EQ(whole.stats.items_sent, stepped.stats.items_sent);
+  EXPECT_EQ(whole.stats.items_new, stepped.stats.items_new);
+  EXPECT_EQ(whole.stats.complete, stepped.stats.complete);
+  EXPECT_EQ(whole.delivered.size(), stepped.delivered.size());
+  EXPECT_EQ(dst_a.store().size(), dst_b.store().size());
+  EXPECT_EQ(dst_a.knowledge().fragments().size(),
+            dst_b.knowledge().fragments().size());
+}
+
+TEST(Sync, BatchApplierAbandonKeepsAppliedPrefix) {
+  Replica src = make_replica(1, 5);
+  Replica dst = make_replica(2, 9);
+  src.create(to(9), {'a'});
+  src.create(to(9), {'b'});
+
+  const SyncRequest request =
+      make_request(dst, nullptr, src.id(), SimTime(0));
+  const SyncBatch batch = build_batch(src, nullptr, request, SimTime(0));
+  ASSERT_EQ(batch.items.size(), 2u);
+
+  BatchApplier applier(dst, {});
+  applier.apply(batch.items[0]);
+  const auto result = applier.abandon();
+
+  EXPECT_FALSE(result.stats.complete);
+  EXPECT_EQ(result.stats.items_sent, 1u);
+  EXPECT_EQ(result.stats.items_new, 1u);
+  EXPECT_EQ(dst.store().size(), 1u);
+  // Knowledge must not be learned from an abandoned sync.
+  EXPECT_TRUE(dst.knowledge().fragments().empty());
+  EXPECT_EQ(dst.check_invariants(), "");
+}
+
+TEST(Sync, BatchApplierFinishMatchesApplyBatch) {
+  Replica src = make_replica(1, 5);
+  Replica dst_a = make_replica(2, 9);
+  Replica dst_b = make_replica(2, 9);
+  src.create(to(9), {'q'});
+
+  const SyncRequest request =
+      make_request(dst_a, nullptr, src.id(), SimTime(0));
+  const SyncBatch batch = build_batch(src, nullptr, request, SimTime(0));
+
+  const auto whole = apply_batch(dst_a, batch);
+  BatchApplier applier(dst_b, {});
+  for (const Item& item : batch.items) applier.apply(item);
+  const auto stepped = applier.finish(batch.complete, batch.source_knowledge);
+
+  EXPECT_EQ(whole.stats.items_new, stepped.stats.items_new);
+  EXPECT_EQ(whole.stats.complete, stepped.stats.complete);
+  EXPECT_EQ(dst_a.knowledge().fragments().size(),
+            dst_b.knowledge().fragments().size());
+}
+
+TEST(Sync, WireSizeCountsFramedBytes) {
+  Replica src = make_replica(1, 5);
+  Replica dst = make_replica(2, 9);
+  src.create(to(9), {'w'});
+  const auto result = run_sync(src, dst, nullptr, nullptr, SimTime(0));
+  // Every reported byte count includes at least one frame header.
+  EXPECT_GE(result.stats.request_bytes, kFrameHeaderSize);
+  // Batch = begin + one item + end frames.
+  EXPECT_GE(result.stats.batch_bytes, 3 * kFrameHeaderSize);
+}
+
 TEST(Sync, StatsAccumulate) {
   SyncStats a;
   a.items_sent = 2;

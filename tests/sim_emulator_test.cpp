@@ -155,5 +155,45 @@ TEST(Emulation, SelectedStrategyBuildsFilters) {
             self_only.metrics.delivered_count());
 }
 
+TEST(Emulation, LoopbackTransportMatchesInProcess) {
+  // Routing every encounter's syncs through the loopback transport
+  // must be observationally equivalent to the in-process fast path.
+  EmulationConfig in_process = tiny_config("epidemic");
+  EmulationConfig over_wire = tiny_config("epidemic");
+  over_wire.loopback_transport = true;
+  const auto a = Emulation(in_process).run();
+  const auto b = Emulation(over_wire).run();
+  EXPECT_EQ(a.metrics.delivered_count(), b.metrics.delivered_count());
+  EXPECT_EQ(a.metrics.traffic().items_sent,
+            b.metrics.traffic().items_sent);
+  EXPECT_EQ(a.metrics.traffic().request_bytes,
+            b.metrics.traffic().request_bytes);
+  EXPECT_EQ(a.metrics.traffic().batch_bytes,
+            b.metrics.traffic().batch_bytes);
+  ASSERT_EQ(a.metrics.records().size(), b.metrics.records().size());
+  auto it_b = b.metrics.records().begin();
+  for (const auto& [id, record] : a.metrics.records()) {
+    EXPECT_EQ(record.delivered, it_b->second.delivered);
+    EXPECT_EQ(record.copies_at_delivery, it_b->second.copies_at_delivery);
+    ++it_b;
+  }
+}
+
+TEST(Emulation, LoopbackTransportSurvivesFaultyContacts) {
+  // Cut every contact a little way into the exchange; syncs end
+  // incomplete but replica invariants (checked every 50 events by
+  // tiny_config) must keep holding.
+  EmulationConfig config = tiny_config("epidemic");
+  config.loopback_transport = true;
+  config.loopback_faults.cut_after_bytes = 200;
+  EmulationResult result;
+  EXPECT_NO_THROW(result = Emulation(config).run());
+  // A crippled network delivers no more than a healthy one.
+  EmulationConfig healthy = tiny_config("epidemic");
+  const auto baseline = Emulation(healthy).run();
+  EXPECT_LE(result.metrics.delivered_count(),
+            baseline.metrics.delivered_count());
+}
+
 }  // namespace
 }  // namespace pfrdtn::sim

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: a plain build plus an ASan+UBSan build, each running the
+# full test suite. Run from anywhere; builds land next to the repo
+# checkout under build-ci/.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2> /dev/null || echo 4)"
+
+run_suite() {
+  local name="$1"
+  shift
+  local dir="$ROOT/build-ci/$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S "$ROOT" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] test ==="
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+run_suite plain
+run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
+
+echo "CI OK"

@@ -4,6 +4,8 @@
 ///   gen-mobility  generate a synthetic DieselNet-like encounter trace
 ///   gen-email     generate a synthetic Enron-like message workload
 ///   run           run one emulation (generated or file-based traces)
+///   serve         host a replica, accepting sync sessions over TCP
+///   sync-with     synchronize with a serving replica over TCP
 ///
 /// Examples:
 ///   pfrdtn gen-mobility --days 17 --seed 4 --out mob.txt
@@ -11,9 +13,13 @@
 ///   pfrdtn run --policy maxprop --param ack_flooding=1
 ///              --mobility mob.txt --email mail.txt --csv out.csv
 ///   pfrdtn run --policy cimbiosys --strategy selected --k 8
+///   pfrdtn serve --port 9944 --addr 42
+///   pfrdtn sync-with --host 10.0.0.2 --port 9944 --addr 7
+///              --send 42=hello --mode encounter
 ///
 /// All stochastic inputs are seeded; identical invocations produce
-/// identical results.
+/// identical results (the TCP subcommands excepted — they talk to
+/// real peers).
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +29,8 @@
 #include <vector>
 
 #include "dtn/registry.hpp"
+#include "net/session.hpp"
+#include "net/tcp.hpp"
 #include "sim/experiment.hpp"
 #include "trace/trace_io.hpp"
 
@@ -44,6 +52,11 @@ using namespace pfrdtn;
       "               [--bandwidth N] [--storage N] [--seed S]\n"
       "               [--mobility FILE] [--email FILE] [--csv FILE]\n"
       "               [--scale X]\n"
+      "  serve        --port N [--port-file FILE] --addr A [--addr A]...\n"
+      "               [--id N] [--max-sessions N] [--bandwidth N]\n"
+      "  sync-with    --host H --port N [--port-file FILE] --addr A\n"
+      "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
+      "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -250,6 +263,195 @@ int cmd_run(Args& args) {
   return 0;
 }
 
+/// Print the messages a session delivered to this node's hosted
+/// addresses, in a grep-friendly form (the e2e smoke test keys on it).
+void report_delivered(const std::vector<dtn::Message>& delivered) {
+  for (const dtn::Message& message : delivered) {
+    std::string dests;
+    for (const HostId dest : message.destinations) {
+      if (!dests.empty()) dests += '+';
+      dests += std::to_string(dest.value());
+    }
+    std::printf("delivered from=%llu to=%s body=%s\n",
+                static_cast<unsigned long long>(message.source.value()),
+                dests.c_str(), message.body.c_str());
+  }
+}
+
+void report_sync(const char* label, const repl::SyncStats& stats) {
+  std::printf(
+      "%s: items=%zu new=%zu stale=%zu complete=%d "
+      "request_bytes=%zu batch_bytes=%zu\n",
+      label, stats.items_sent, stats.items_new, stats.items_stale,
+      stats.complete ? 1 : 0, stats.request_bytes, stats.batch_bytes);
+}
+
+int cmd_serve(Args& args) {
+  std::uint16_t port = 0;
+  bool have_port = false;
+  std::string port_file;
+  std::set<HostId> addrs;
+  std::uint64_t id = 1;
+  std::size_t max_sessions = 0;  // 0 = serve forever
+  repl::SyncOptions sync_options;
+
+  while (!args.done()) {
+    const std::string flag = args.next();
+    if (flag == "--port") {
+      port = static_cast<std::uint16_t>(parse_u64(args.value("--port")));
+      have_port = true;
+    } else if (flag == "--port-file") {
+      port_file = args.value("--port-file");
+    } else if (flag == "--addr") {
+      addrs.insert(HostId(parse_u64(args.value("--addr"))));
+    } else if (flag == "--id") {
+      id = parse_u64(args.value("--id"));
+    } else if (flag == "--max-sessions") {
+      max_sessions = parse_u64(args.value("--max-sessions"));
+    } else if (flag == "--bandwidth") {
+      sync_options.max_items = parse_u64(args.value("--bandwidth"));
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (!have_port) usage("serve requires --port (0 = ephemeral)");
+  if (addrs.empty()) usage("serve requires at least one --addr");
+
+  dtn::DtnNode node{ReplicaId(id)};
+  node.set_addresses(addrs, {}, SimTime(0));
+
+  net::TcpListener listener(port);
+  std::printf("serving replica %llu on port %u\n",
+              static_cast<unsigned long long>(id), listener.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) throw ContractViolation("cannot open " + port_file);
+    out << listener.port() << '\n';
+  }
+
+  std::size_t sessions = 0;
+  while (max_sessions == 0 || sessions < max_sessions) {
+    net::ConnectionPtr connection;
+    try {
+      connection = listener.accept();
+    } catch (const net::TransportError& failure) {
+      std::fprintf(stderr, "accept failed: %s\n", failure.what());
+      return 1;
+    }
+    ++sessions;
+    try {
+      const auto outcome = net::serve_session(
+          *connection, node.replica(), node.policy(), SimTime(0),
+          sync_options);
+      std::printf("session %zu: peer=%llu mode=%u%s\n", sessions,
+                  static_cast<unsigned long long>(
+                      outcome.hello.replica.value()),
+                  static_cast<unsigned>(outcome.hello.mode),
+                  outcome.transport_failed
+                      ? (" transport_failed: " + outcome.error).c_str()
+                      : "");
+      report_sync("  served", outcome.served.stats);
+      report_sync("  applied", outcome.applied.result.stats);
+      report_delivered(node.on_sync_delivered(
+          outcome.applied.result.delivered, SimTime(0)));
+    } catch (const ContractViolation& violation) {
+      // A malformed peer must not take the server down.
+      std::fprintf(stderr, "session %zu: protocol error: %s\n", sessions,
+                   violation.what());
+    }
+    std::printf("store=%zu\n", node.replica().store().size());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int cmd_sync_with(Args& args) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::optional<std::uint64_t> addr;
+  std::uint64_t id = 2;
+  net::SyncMode mode = net::SyncMode::Encounter;
+  net::TcpOptions tcp_options;
+  repl::SyncOptions sync_options;
+  std::vector<std::pair<std::uint64_t, std::string>> sends;
+
+  while (!args.done()) {
+    const std::string flag = args.next();
+    if (flag == "--host") {
+      host = args.value("--host");
+    } else if (flag == "--port") {
+      port = static_cast<std::uint16_t>(parse_u64(args.value("--port")));
+    } else if (flag == "--port-file") {
+      port_file = args.value("--port-file");
+    } else if (flag == "--addr") {
+      addr = parse_u64(args.value("--addr"));
+    } else if (flag == "--id") {
+      id = parse_u64(args.value("--id"));
+    } else if (flag == "--send") {
+      const std::string kv = args.value("--send");
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) usage("--send expects DEST=BODY");
+      sends.emplace_back(parse_u64(kv.c_str()), kv.substr(eq + 1));
+    } else if (flag == "--mode") {
+      const std::string name = args.value("--mode");
+      if (name == "pull") {
+        mode = net::SyncMode::Pull;
+      } else if (name == "push") {
+        mode = net::SyncMode::Push;
+      } else if (name == "encounter") {
+        mode = net::SyncMode::Encounter;
+      } else {
+        usage("unknown mode");
+      }
+    } else if (flag == "--bandwidth") {
+      sync_options.max_items = parse_u64(args.value("--bandwidth"));
+    } else if (flag == "--timeout-ms") {
+      const int ms = static_cast<int>(parse_u64(args.value("--timeout-ms")));
+      tcp_options.connect_timeout_ms = ms;
+      tcp_options.io_timeout_ms = ms;
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (!addr) usage("sync-with requires --addr");
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    unsigned from_file = 0;
+    if (!(in >> from_file))
+      throw ContractViolation("cannot read port from " + port_file);
+    port = static_cast<std::uint16_t>(from_file);
+  }
+  if (port == 0) usage("sync-with requires --port or --port-file");
+
+  dtn::DtnNode node{ReplicaId(id)};
+  node.set_addresses({HostId(*addr)}, {}, SimTime(0));
+  for (const auto& [dest, body] : sends)
+    node.send(HostId(*addr), {HostId(dest)}, body, SimTime(0));
+
+  try {
+    const auto connection = net::tcp_connect(host, port, tcp_options);
+    const auto outcome = net::run_client_session(
+        *connection, node.replica(), node.policy(), mode, SimTime(0),
+        sync_options);
+    report_sync("pulled", outcome.pull.result.stats);
+    report_sync("pushed", outcome.push.stats);
+    report_delivered(
+        node.on_sync_delivered(outcome.pull.result.delivered, SimTime(0)));
+    std::printf("store=%zu\n", node.replica().store().size());
+    if (outcome.transport_failed) {
+      std::fprintf(stderr, "transport failed: %s\n",
+                   outcome.error.c_str());
+      return 1;
+    }
+  } catch (const net::TransportError& failure) {
+    std::fprintf(stderr, "error: %s\n", failure.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +462,8 @@ int main(int argc, char** argv) {
     if (command == "gen-mobility") return cmd_gen_mobility(args);
     if (command == "gen-email") return cmd_gen_email(args);
     if (command == "run") return cmd_run(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "sync-with") return cmd_sync_with(args);
     if (command == "--help" || command == "help") usage();
     usage(("unknown command " + command).c_str());
   } catch (const pfrdtn::ContractViolation& violation) {
