@@ -1,0 +1,142 @@
+#include "check/harness.hpp"
+
+#include <algorithm>
+
+namespace pfrdtn::check {
+
+namespace {
+
+void accumulate(RunStats& total, const RunStats& stats) {
+  total.syncs += stats.syncs;
+  total.cuts += stats.cuts;
+  total.incomplete += stats.incomplete;
+  total.items_moved += stats.items_moved;
+  total.evictions += stats.evictions;
+  total.bytes += stats.bytes;
+}
+
+/// Re-run a candidate and keep it if it still violates anything,
+/// truncating it right after wherever the (possibly different)
+/// violation now fires.
+bool try_candidate(Scenario& best, Scenario candidate,
+                   std::size_t& used) {
+  ++used;
+  const RunResult result = run_scenario(candidate);
+  if (!result.violation) return false;
+  candidate.events.resize(std::min(candidate.events.size(),
+                                   result.violation->event_index + 1));
+  best = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+Scenario shrink_scenario(const Scenario& failing,
+                         const Violation& violation, std::size_t budget,
+                         std::size_t* runs_used) {
+  Scenario best = failing;
+  best.events.resize(
+      std::min(best.events.size(), violation.event_index + 1));
+  std::size_t used = 0;
+
+  std::size_t chunk = std::max<std::size_t>(1, best.events.size() / 2);
+  for (;;) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < best.events.size() && used < budget;) {
+      Scenario candidate = best;
+      const std::size_t end =
+          std::min(candidate.events.size(), start + chunk);
+      candidate.events.erase(candidate.events.begin() + start,
+                             candidate.events.begin() + end);
+      if (try_candidate(best, std::move(candidate), used)) {
+        removed_any = true;  // same start now addresses the next chunk
+      } else {
+        start += chunk;
+      }
+    }
+    if (used >= budget) break;
+    if (chunk > 1) {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    } else if (!removed_any) {
+      break;  // single-event pass reached a fixpoint
+    }
+  }
+  if (runs_used != nullptr) *runs_used = used;
+  return best;
+}
+
+CheckReport run_check(const CheckOptions& options) {
+  CheckReport report;
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    const std::uint64_t seed = options.seed + i;
+    const Scenario scenario = make_scenario(options.config, seed);
+    RunResult result = run_scenario(scenario, options.log);
+    ++report.runs;
+    if (options.log) {
+      report.run_logs.push_back("seed " + std::to_string(seed));
+      for (std::string& line : result.log)
+        report.run_logs.push_back("  " + std::move(line));
+    }
+    if (!result.violation) {
+      accumulate(report.total, result.stats);
+      continue;
+    }
+    report.passed = false;
+    report.failing_seed = seed;
+    report.shrunk = options.shrink
+                        ? shrink_scenario(scenario, *result.violation,
+                                          options.shrink_budget,
+                                          &report.shrink_runs)
+                        : scenario;
+    // One logged rerun of the final schedule for the report; its
+    // verdict is the one we publish (shrinking may surface a different
+    // probe than the original run did).
+    RunResult final_run = run_scenario(report.shrunk, /*keep_log=*/true);
+    PFRDTN_ENSURE(final_run.violation.has_value());
+    report.violation = final_run.violation;
+    report.failing_log = std::move(final_run.log);
+    return report;
+  }
+  return report;
+}
+
+std::string format_report(const CheckReport& report,
+                          const std::string& replay_hint) {
+  std::string out;
+  if (report.passed) {
+    out += "check passed: " + std::to_string(report.runs) + " run(s), " +
+           std::to_string(report.total.syncs) + " syncs (" +
+           std::to_string(report.total.cuts) + " cut, " +
+           std::to_string(report.total.incomplete) + " incomplete), " +
+           std::to_string(report.total.items_moved) + " items moved, " +
+           std::to_string(report.total.evictions) + " evictions, " +
+           std::to_string(report.total.bytes) + " bytes\n";
+    return out;
+  }
+  out += "INVARIANT VIOLATION (seed " +
+         std::to_string(report.failing_seed) + ")\n";
+  out += "  probe:   " + report.violation->probe + "\n";
+  out += "  detail:  " + report.violation->message + "\n";
+  out += "  at:      event " +
+         std::to_string(report.violation->event_index) +
+         (report.violation->event_index >= report.shrunk.events.size()
+              ? " (quiescence phase)"
+              : "") +
+         "\n";
+  out += "  shrunk to " + std::to_string(report.shrunk.events.size()) +
+         " event(s) in " + std::to_string(report.shrink_runs) +
+         " extra run(s)\n";
+  out += "minimal schedule:\n";
+  for (std::size_t i = 0; i < report.shrunk.events.size(); ++i) {
+    out += "  " + format_event(i, report.shrunk.events[i]) + "\n";
+  }
+  out += "event log of the minimal run:\n";
+  for (const std::string& line : report.failing_log) {
+    out += "  " + line + "\n";
+  }
+  out += "replay: " + replay_hint + "\n";
+  return out;
+}
+
+}  // namespace pfrdtn::check

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file harness.hpp
+/// Driver for the check harness: runs a batch of seeded scenarios over
+/// the real sync stack, and when one trips an invariant, shrinks the
+/// failing schedule (ddmin-style chunk deletion plus truncation at the
+/// violation point) to a minimal event sequence before reporting.
+/// Everything is reproducible from (config, seed): rerunning the same
+/// command yields the same schedules, verdicts, and shrunk result.
+
+#include "check/scenario.hpp"
+
+namespace pfrdtn::check {
+
+struct CheckOptions {
+  ScenarioConfig config;
+  std::uint64_t seed = 1;  ///< first seed; runs use seed .. seed+runs-1
+  std::size_t runs = 1;
+  bool shrink = true;
+  /// Maximum scenario executions the shrinker may spend.
+  std::size_t shrink_budget = 400;
+  /// Collect every run's event log in CheckReport::run_logs (the CLI's
+  /// --log flag; lets two invocations be diffed line by line).
+  bool log = false;
+};
+
+struct CheckReport {
+  bool passed = true;
+  std::size_t runs = 0;         ///< scenarios executed (shrink excluded)
+  std::size_t shrink_runs = 0;  ///< executions spent shrinking
+  RunStats total;               ///< aggregate over passing runs
+  /// With CheckOptions::log: per-run event logs ("seed N" headers
+  /// followed by one line per event), deterministic across reruns.
+  std::vector<std::string> run_logs;
+
+  // Populated when passed == false:
+  std::uint64_t failing_seed = 0;
+  std::optional<Violation> violation;  ///< verdict on the shrunk schedule
+  Scenario shrunk;                     ///< minimal failing schedule
+  std::vector<std::string> failing_log;  ///< event log of the shrunk run
+};
+
+/// Run `runs` consecutive seeds; stop at (and shrink) the first failure.
+CheckReport run_check(const CheckOptions& options);
+
+/// Shrink a failing scenario to a locally minimal event sequence: first
+/// truncate right after the violating event, then delete chunks
+/// (halving granularity down to single events), keeping any candidate
+/// that still violates *some* invariant. `runs_used` reports executions
+/// spent. The result is guaranteed to still fail.
+Scenario shrink_scenario(const Scenario& failing,
+                         const Violation& violation, std::size_t budget,
+                         std::size_t* runs_used);
+
+/// Render a report; `replay_hint` is the command line that reproduces
+/// the failure (printed on violation), e.g. "pfrdtn check --replay 7".
+std::string format_report(const CheckReport& report,
+                          const std::string& replay_hint);
+
+}  // namespace pfrdtn::check

@@ -1,0 +1,108 @@
+#include "check/oracle.hpp"
+
+namespace pfrdtn::check {
+
+namespace {
+
+std::pair<std::uint64_t, std::uint64_t> key_of(const repl::Version& v) {
+  return {v.author.value(), v.counter};
+}
+
+std::string describe(const repl::Version& v) {
+  return "event (author " + v.author.str() + ", counter " +
+         std::to_string(v.counter) + ")";
+}
+
+}  // namespace
+
+void Oracle::note_latest(const repl::Item& item) {
+  const auto it = latest_.find(item.id());
+  if (it == latest_.end() ||
+      item.version().dominates(it->second.version())) {
+    latest_.insert_or_assign(item.id(), item);
+  }
+}
+
+std::optional<std::string> Oracle::on_received(
+    std::size_t replica, const std::vector<repl::Version>& events) {
+  for (const repl::Version& v : events) {
+    const auto key = key_of(v);
+    if (received_[replica].count(key) > 0) {
+      // A duplicate transmission is legitimate exactly once per
+      // deliberate forget.
+      if (forgiven_[replica].erase(key) == 0) {
+        return "replica index " + std::to_string(replica) +
+               " received " + describe(v) +
+               " twice without forgetting it in between";
+      }
+    }
+    received_[replica].insert(key);
+  }
+  return std::nullopt;
+}
+
+void Oracle::forgive(std::size_t replica,
+                     const std::vector<repl::Item>& evicted) {
+  for (const repl::Item& item : evicted)
+    forgiven_[replica].insert(key_of(item.version()));
+}
+
+void Oracle::forgive_all(std::size_t replica) {
+  // A knowledge rebuild may forget arbitrary events; reset the ledger
+  // for this replica rather than track exactly what survived.
+  received_[replica].clear();
+  forgiven_[replica].clear();
+}
+
+std::optional<std::string> Oracle::check_soundness(
+    const std::vector<repl::Replica>& replicas) const {
+  for (const repl::Replica& r : replicas) {
+    if (const std::string internal = r.check_invariants();
+        !internal.empty()) {
+      return internal;
+    }
+    for (const auto& [id, newest] : latest_) {
+      if (!r.filter().matches(newest)) continue;
+      if (!r.knowledge().knows(newest, newest.version())) continue;
+      const auto* entry = r.store().find(id);
+      if (entry == nullptr) {
+        return r.id().str() + " claims knowledge of " +
+               describe(newest.version()) + " for in-filter item " +
+               id.str() + " it does not store";
+      }
+      if (newest.version().dominates(entry->item.version())) {
+        return r.id().str() + " claims knowledge of " +
+               describe(newest.version()) + " but stores " + id.str() +
+               " at a dominated version";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Oracle::check_convergence(
+    const std::vector<repl::Replica>& replicas) const {
+  for (const repl::Replica& r : replicas) {
+    for (const auto& [id, newest] : latest_) {
+      if (!r.filter().matches(newest)) continue;
+      const auto* entry = r.store().find(id);
+      if (entry == nullptr) {
+        return r.id().str() + " is missing in-filter item " + id.str() +
+               " after quiescence";
+      }
+      if (entry->item.version() != newest.version()) {
+        return r.id().str() + " is stale on " + id.str() +
+               " after quiescence (stores " +
+               describe(entry->item.version()) + ", newest is " +
+               describe(newest.version()) + ")";
+      }
+      if (entry->item.deleted() != newest.deleted()) {
+        return r.id().str() + " disagrees on tombstone state of " +
+               id.str() + " after quiescence";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pfrdtn::check

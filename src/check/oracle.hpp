@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file oracle.hpp
+/// The check harness's test oracle: global ground truth the replicas
+/// themselves cannot see. It tracks every item's globally newest
+/// version and, per replica, which update events have ever been
+/// transmitted to it, and turns that into three substrate probes:
+///
+///  * at-most-once delivery — an event reaches a replica a second time
+///    only if the replica deliberately forgot it in between (relay
+///    eviction, discard, or the filter-change knowledge rebuild);
+///  * knowledge soundness — a replica that claims knowledge of an
+///    item's newest version, for an item matching its filter, must
+///    store that item at that version ("a truncated sync never admits
+///    knowledge for items not stored");
+///  * eventual filter consistency — after a fault-free, connected
+///    gossip phase, every replica stores the newest version of every
+///    item matching its filter.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "repl/replica.hpp"
+
+namespace pfrdtn::check {
+
+class Oracle {
+ public:
+  explicit Oracle(std::size_t replica_count)
+      : received_(replica_count), forgiven_(replica_count) {}
+
+  /// Record a local mutation's result (create/update/erase outcome).
+  void note_latest(const repl::Item& item);
+
+  /// Record that `replica` was sent these update events in one sync.
+  /// Returns an at-most-once violation description, if any.
+  std::optional<std::string> on_received(
+      std::size_t replica, const std::vector<repl::Version>& events);
+
+  /// The replica forgot these exact events (relay eviction / discard);
+  /// one re-transmission of each is now legitimate.
+  void forgive(std::size_t replica,
+               const std::vector<repl::Item>& evicted);
+
+  /// The replica rebuilt its knowledge wholesale (filter change);
+  /// anything may legitimately be re-transmitted once.
+  void forgive_all(std::size_t replica);
+
+  /// Knowledge soundness over all replicas against the latest map.
+  [[nodiscard]] std::optional<std::string> check_soundness(
+      const std::vector<repl::Replica>& replicas) const;
+
+  /// Eventual filter consistency (call after quiescence gossip).
+  [[nodiscard]] std::optional<std::string> check_convergence(
+      const std::vector<repl::Replica>& replicas) const;
+
+  [[nodiscard]] const std::map<ItemId, repl::Item>& latest() const {
+    return latest_;
+  }
+
+ private:
+  using EventKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  std::map<ItemId, repl::Item> latest_;
+  /// Per replica: events ever transmitted to it.
+  std::vector<std::set<EventKey>> received_;
+  /// Per replica: forgotten events whose re-transmission is excused.
+  std::vector<std::set<EventKey>> forgiven_;
+};
+
+}  // namespace pfrdtn::check

@@ -1,0 +1,383 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+
+#include "check/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace pfrdtn::check {
+
+namespace {
+
+/// Relay-everything forwarding policy: out-of-filter items travel at
+/// Normal priority, so relay storage, eviction, and policy-extra
+/// truncation are all exercised. Stateless, hence trivially
+/// deterministic.
+class RelayAll : public repl::ForwardingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "relay-all"; }
+  repl::Priority to_send(const repl::SyncContext&,
+                         repl::TransientView) override {
+    return repl::Priority::at(repl::PriorityClass::Normal);
+  }
+};
+
+repl::Filter filter_from_bits(std::uint64_t bits,
+                              std::uint64_t addresses) {
+  std::set<HostId> addrs;
+  for (std::uint64_t a = 0; a < addresses; ++a) {
+    if ((bits >> a) & 1u) addrs.insert(HostId(a + 1));
+  }
+  if (addrs.empty()) addrs.insert(HostId(1 + bits % addresses));
+  return repl::Filter::addresses(std::move(addrs));
+}
+
+std::map<std::string, std::string> dest_meta(std::uint64_t address) {
+  return {{repl::meta::kDest, std::to_string(address)}};
+}
+
+std::string fault_str(const SyncFault& fault) {
+  std::string out;
+  if (fault.cut_after_bytes)
+    out += " cut=" + std::to_string(*fault.cut_after_bytes);
+  if (fault.max_items) out += " cap=" + std::to_string(*fault.max_items);
+  if (fault.bytes_per_second > 0)
+    out += " bps=" + std::to_string(fault.bytes_per_second);
+  return out;
+}
+
+std::string sync_result_str(const repl::SyncStats& stats,
+                            bool transport_failed) {
+  return "sent=" + std::to_string(stats.items_sent) +
+         " new=" + std::to_string(stats.items_new) +
+         " stale=" + std::to_string(stats.items_stale) +
+         " evict=" + std::to_string(stats.evictions) +
+         " bytes=" + std::to_string(stats.request_bytes +
+                                    stats.batch_bytes) +
+         " complete=" + (stats.complete ? "1" : "0") +
+         (transport_failed ? " CUT" : "");
+}
+
+/// Applies one schedule and runs the probes. Owns all mutable state of
+/// a run so run_scenario stays reentrant.
+class Engine {
+ public:
+  Engine(const Scenario& scenario, bool keep_log)
+      : scenario_(scenario),
+        oracle_(scenario.config.replicas),
+        keep_log_(keep_log) {
+    const ScenarioConfig& config = scenario.config;
+    replicas_.reserve(config.replicas);
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      replicas_.emplace_back(
+          ReplicaId(i + 1),
+          filter_from_bits(scenario.initial_filter_bits[i],
+                           config.addresses),
+          repl::ItemStore::Config{config.relay_capacity,
+                                  repl::EvictionOrder::Fifo});
+    }
+  }
+
+  RunResult run() {
+    for (std::size_t i = 0; i < scenario_.events.size(); ++i) {
+      const std::string note = apply(i, scenario_.events[i]);
+      if (keep_log_)
+        result_.log.push_back(format_event(i, scenario_.events[i]) +
+                              note);
+      if (!result_.violation) probe(i);
+      if (result_.violation) return std::move(result_);
+    }
+    quiesce();
+    return std::move(result_);
+  }
+
+ private:
+  void fail(std::size_t index, std::string probe_name,
+            std::string message) {
+    if (result_.violation) return;
+    result_.violation =
+        Violation{index, std::move(probe_name), std::move(message)};
+  }
+
+  /// Post-event probe: per-replica internal invariants plus the
+  /// oracle's knowledge-soundness check.
+  void probe(std::size_t index) {
+    if (auto violation = oracle_.check_soundness(replicas_))
+      fail(index, "knowledge-soundness", *violation);
+  }
+
+  /// Audit one applied sync direction: at-most-once ledger first (the
+  /// batch was built against knowledge that predates these evictions),
+  /// then excuse the events this application forgot.
+  void audit_receives(std::size_t index, std::size_t target,
+                      const repl::SyncResult& applied) {
+    if (auto violation =
+            oracle_.on_received(target, applied.received_events)) {
+      fail(index, "at-most-once", *violation);
+    }
+    oracle_.forgive(target, applied.evicted);
+    result_.stats.items_moved += applied.stats.items_new;
+    result_.stats.evictions += applied.evicted.size();
+    if (!applied.stats.complete) ++result_.stats.incomplete;
+  }
+
+  std::string apply(std::size_t index, const Event& event) {
+    switch (event.kind) {
+      case EventKind::Create:
+        return apply_create(event);
+      case EventKind::Mutate:
+        return apply_mutate(event);
+      case EventKind::SetFilter:
+        return apply_set_filter(event);
+      case EventKind::DiscardRelay:
+        return apply_discard(event);
+      case EventKind::Sync:
+        return apply_sync(index, event);
+    }
+    return "";
+  }
+
+  std::string apply_create(const Event& event) {
+    repl::Replica& r = replicas_[event.actor];
+    const repl::Item& item = r.create(dest_meta(event.address), {'x'});
+    oracle_.note_latest(item);
+    return " -> item " + item.id().str();
+  }
+
+  std::string apply_mutate(const Event& event) {
+    repl::Replica& r = replicas_[event.actor];
+    std::vector<ItemId> ids;
+    r.store().for_each([&](const repl::ItemStore::Entry& entry) {
+      if (!entry.item.deleted()) ids.push_back(entry.item.id());
+    });
+    if (ids.empty()) return " -> no-op (nothing stored)";
+    const ItemId id = ids[event.selector % ids.size()];
+    if (event.erase) {
+      oracle_.note_latest(r.erase(id));
+      return " -> tombstone " + id.str();
+    }
+    const auto metadata = r.store().find(id)->item.metadata();
+    oracle_.note_latest(r.update(id, metadata, {'u'}));
+    return " -> update " + id.str();
+  }
+
+  std::string apply_set_filter(const Event& event) {
+    repl::Replica& r = replicas_[event.actor];
+    r.set_filter(
+        filter_from_bits(event.selector, scenario_.config.addresses));
+    // The rebuild may forget arbitrary events; reset the ledger.
+    oracle_.forgive_all(event.actor);
+    return " -> " + r.filter().str();
+  }
+
+  std::string apply_discard(const Event& event) {
+    repl::Replica& r = replicas_[event.actor];
+    std::vector<ItemId> ids;
+    r.store().for_each([&](const repl::ItemStore::Entry& entry) {
+      if (entry.evictable()) ids.push_back(entry.item.id());
+    });
+    if (ids.empty()) return " -> no-op (no relay copies)";
+    const ItemId id = ids[event.selector % ids.size()];
+    const repl::Item copy = r.store().find(id)->item;
+    r.discard_relay(id);
+    oracle_.forgive(event.actor, {copy});
+    return " -> dropped " + id.str();
+  }
+
+  std::string apply_sync(std::size_t index, const Event& event) {
+    repl::SyncOptions options;
+    if (event.fault.max_items) options.max_items = *event.fault.max_items;
+    options.unsafe_learn_truncated =
+        scenario_.config.inject_learn_truncated;
+    net::LoopbackFaults faults;
+    if (event.fault.cut_after_bytes)
+      faults.cut_after_bytes = *event.fault.cut_after_bytes;
+    faults.bytes_per_second = event.fault.bytes_per_second;
+
+    repl::Replica& target = replicas_[event.actor];
+    repl::Replica& source = replicas_[event.peer];
+    const SimTime now(static_cast<std::int64_t>(index));
+    ++result_.stats.syncs;
+
+    std::string note;
+    if (event.encounter) {
+      const auto outcome = net::encounter_over_loopback(
+          target, source, &policy_, &policy_, now, options, faults);
+      audit_receives(index, event.actor, outcome.a_pulled.result);
+      audit_receives(index, event.peer, outcome.b_applied.result);
+      if (outcome.a_pulled.transport_failed ||
+          outcome.b_applied.transport_failed) {
+        ++result_.stats.cuts;
+      }
+      result_.stats.bytes += outcome.bytes_delivered;
+      note = " | pull: " +
+             sync_result_str(outcome.a_pulled.result.stats,
+                             outcome.a_pulled.transport_failed) +
+             " | push: " +
+             sync_result_str(outcome.b_applied.result.stats,
+                             outcome.b_applied.transport_failed);
+    } else {
+      const auto outcome = net::sync_over_loopback(
+          source, target, &policy_, &policy_, now, options, faults);
+      audit_receives(index, event.actor, outcome.client.result);
+      if (outcome.client.transport_failed) ++result_.stats.cuts;
+      result_.stats.bytes += outcome.bytes_delivered;
+      note = " | " + sync_result_str(outcome.client.result.stats,
+                                     outcome.client.transport_failed);
+    }
+    return note;
+  }
+
+  /// Fault-free, connected all-pairs gossip, then the convergence
+  /// probe. Null policies: the substrate alone must converge.
+  void quiesce() {
+    const std::size_t n = replicas_.size();
+    for (std::size_t round = 0;
+         round < scenario_.config.quiescence_rounds; ++round) {
+      for (std::size_t i = 0; i < n && !result_.violation; ++i) {
+        for (std::size_t j = 0; j < n && !result_.violation; ++j) {
+          if (i == j) continue;
+          const auto outcome = net::sync_over_loopback(
+              replicas_[j], replicas_[i], nullptr, nullptr,
+              SimTime(static_cast<std::int64_t>(
+                  1000000 + scenario_.events.size() + round)),
+              {}, {});
+          audit_receives(scenario_.events.size(), i,
+                         outcome.client.result);
+          if (outcome.client.transport_failed) {
+            fail(scenario_.events.size(), "quiescence",
+                 "fault-free loopback sync failed: " +
+                     outcome.client.error);
+          }
+        }
+      }
+      if (!result_.violation) probe(scenario_.events.size());
+      if (result_.violation) return;
+    }
+    if (auto violation = oracle_.check_convergence(replicas_)) {
+      fail(scenario_.events.size(), "eventual-filter-consistency",
+           *violation);
+    }
+    if (keep_log_) {
+      result_.log.push_back(
+          "quiescence: " + std::to_string(oracle_.latest().size()) +
+          " items, " + std::to_string(result_.stats.syncs) + " syncs, " +
+          std::to_string(result_.stats.cuts) + " cuts, " +
+          std::to_string(result_.stats.bytes) + " bytes" +
+          (result_.violation ? " -> VIOLATION" : " -> converged"));
+    }
+  }
+
+  const Scenario& scenario_;
+  std::vector<repl::Replica> replicas_;
+  RelayAll policy_;
+  Oracle oracle_;
+  RunResult result_;
+  bool keep_log_;
+};
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed) {
+  Scenario scenario;
+  scenario.config = config;
+  scenario.seed = seed;
+  Rng rng(seed);
+
+  const std::uint64_t mask_space =
+      config.addresses >= 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << config.addresses) - 1;
+  const auto random_mask = [&] {
+    const std::uint64_t bits = rng() & mask_space;
+    return bits == 0 ? std::uint64_t{1} << rng.below(config.addresses)
+                     : bits;
+  };
+
+  scenario.initial_filter_bits.reserve(config.replicas);
+  for (std::size_t i = 0; i < config.replicas; ++i)
+    scenario.initial_filter_bits.push_back(random_mask());
+
+  scenario.events.reserve(config.steps);
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    Event event;
+    event.actor =
+        static_cast<std::uint32_t>(rng.below(config.replicas));
+    const double roll = rng.uniform();
+    double band = config.create_rate;
+    if (roll < band) {
+      event.kind = EventKind::Create;
+      event.address = 1 + rng.below(config.addresses);
+    } else if (roll < (band += config.mutate_rate)) {
+      event.kind = EventKind::Mutate;
+      event.selector = rng();
+      event.erase = rng.chance(0.3);
+    } else if (roll < (band += config.filter_change_rate)) {
+      event.kind = EventKind::SetFilter;
+      event.selector = random_mask();
+    } else if (roll < (band += config.discard_rate)) {
+      event.kind = EventKind::DiscardRelay;
+      event.selector = rng();
+    } else {
+      event.kind = EventKind::Sync;
+      event.peer = static_cast<std::uint32_t>(
+          rng.below(config.replicas - 1));
+      if (event.peer >= event.actor) ++event.peer;
+      event.encounter = rng.chance(0.5);
+      if (rng.chance(config.cut_rate)) {
+        // Mixture: half the cuts are early (inside the request or the
+        // first frames), half land anywhere in a large exchange.
+        event.fault.cut_after_bytes = static_cast<std::uint32_t>(
+            rng.chance(0.5) ? 1 + rng.below(256) : 1 + rng.below(4096));
+      }
+      if (rng.chance(config.cap_rate)) {
+        event.fault.max_items =
+            static_cast<std::uint32_t>(1 + rng.below(3));
+      }
+      if (rng.chance(config.throttle_rate)) {
+        event.fault.bytes_per_second = static_cast<std::uint32_t>(
+            256 + rng.below(64 * 1024));
+      }
+    }
+    scenario.events.push_back(event);
+  }
+  return scenario;
+}
+
+RunResult run_scenario(const Scenario& scenario, bool keep_log) {
+  PFRDTN_REQUIRE(scenario.config.replicas >= 2);
+  PFRDTN_REQUIRE(scenario.initial_filter_bits.size() ==
+                 scenario.config.replicas);
+  Engine engine(scenario, keep_log);
+  return engine.run();
+}
+
+std::string format_event(std::size_t index, const Event& event) {
+  std::string line = "#" + std::to_string(index) + " ";
+  switch (event.kind) {
+    case EventKind::Create:
+      line += "create r" + std::to_string(event.actor) + " dest=" +
+              std::to_string(event.address);
+      break;
+    case EventKind::Mutate:
+      line += std::string(event.erase ? "erase" : "update") + " r" +
+              std::to_string(event.actor) + " sel=" +
+              std::to_string(event.selector % 1000);
+      break;
+    case EventKind::SetFilter:
+      line += "set-filter r" + std::to_string(event.actor) + " bits=" +
+              std::to_string(event.selector);
+      break;
+    case EventKind::DiscardRelay:
+      line += "discard r" + std::to_string(event.actor) + " sel=" +
+              std::to_string(event.selector % 1000);
+      break;
+    case EventKind::Sync:
+      line += "sync r" + std::to_string(event.actor) + " <- r" +
+              std::to_string(event.peer) +
+              (event.encounter ? " enc" : "") + fault_str(event.fault);
+      break;
+  }
+  return line;
+}
+
+}  // namespace pfrdtn::check

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Deterministic fault-schedule scenarios for the check harness: N
+/// replicas wired over the fault-injectable loopback transport, driven
+/// by a randomized but fully materialized event schedule (local
+/// updates, filter changes, relay discards, and encounters with
+/// byte-budget cuts, bandwidth caps, and throttling). Every stochastic
+/// decision is resolved at generation time into concrete event fields,
+/// so a schedule replays bit-identically from its (seed, config) pair
+/// and remains executable after the shrinker deletes arbitrary events.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/session.hpp"
+
+namespace pfrdtn::check {
+
+enum class EventKind : std::uint8_t {
+  Create,        ///< actor authors a new item addressed to `address`
+  Mutate,        ///< actor updates (or tombstones) a stored item
+  SetFilter,     ///< actor adopts the address filter in `selector` bits
+  DiscardRelay,  ///< actor drops one relay copy (ack-flooding analogue)
+  Sync,          ///< contact between actor (target) and peer (source)
+};
+
+/// Per-contact fault knobs, all resolved to concrete values.
+struct SyncFault {
+  /// Cut the contact after this many delivered bytes.
+  std::optional<std::uint32_t> cut_after_bytes;
+  /// Bandwidth cap (repl::SyncOptions::max_items) for this contact.
+  std::optional<std::uint32_t> max_items;
+  /// Modeled throughput for transfer-time accounting (0 = infinite).
+  std::uint32_t bytes_per_second = 0;
+};
+
+/// One schedule step. Events are self-contained: `selector` resolves
+/// state-dependent choices (which stored item, which filter) by modulo
+/// at application time, so deleting earlier events never invalidates
+/// later ones.
+struct Event {
+  EventKind kind = EventKind::Create;
+  std::uint32_t actor = 0;     ///< replica index
+  std::uint32_t peer = 0;      ///< sync source replica index
+  std::uint64_t address = 1;   ///< destination address for Create
+  std::uint64_t selector = 0;  ///< item choice / filter address bits
+  bool erase = false;          ///< Mutate: tombstone instead of update
+  bool encounter = false;      ///< Sync: two syncs (pull then push)
+  SyncFault fault;
+};
+
+struct ScenarioConfig {
+  std::size_t replicas = 4;
+  std::size_t steps = 80;
+  std::uint64_t addresses = 4;
+
+  // Event mix (remaining probability mass goes to Sync events).
+  double create_rate = 0.25;
+  double mutate_rate = 0.10;
+  double filter_change_rate = 0.06;
+  double discard_rate = 0.04;
+
+  // Per-sync fault probabilities.
+  double cut_rate = 0.35;  ///< byte-budget cut mid-contact
+  double cap_rate = 0.25;  ///< item-count bandwidth cap
+  double throttle_rate = 0.15;
+
+  /// Relay-store capacity; small values force constant eviction.
+  std::optional<std::size_t> relay_capacity = 3;
+  /// Fault-free all-pairs gossip rounds run after the schedule before
+  /// the eventual-filter-consistency probe.
+  std::size_t quiescence_rounds = 4;
+  /// Inject the knowledge-corruption bug (learn from truncated syncs)
+  /// to prove the harness catches it. See SyncOptions.
+  bool inject_learn_truncated = false;
+};
+
+/// A fully materialized scenario: initial per-replica filters plus the
+/// event schedule, everything derived from (config, seed).
+struct Scenario {
+  ScenarioConfig config;
+  std::uint64_t seed = 0;
+  /// Address bitmask per replica (bit k => hosts address k+1).
+  std::vector<std::uint64_t> initial_filter_bits;
+  std::vector<Event> events;
+};
+
+Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed);
+
+/// A detected invariant violation.
+struct Violation {
+  /// Index of the failing event; events.size() + round for failures
+  /// detected during the quiescence/convergence phase.
+  std::size_t event_index = 0;
+  std::string probe;    ///< which invariant fired
+  std::string message;  ///< human-readable description
+};
+
+struct RunStats {
+  std::size_t syncs = 0;
+  std::size_t cuts = 0;       ///< contacts that died mid-stream
+  std::size_t incomplete = 0; ///< syncs reporting complete == false
+  std::size_t items_moved = 0;
+  std::size_t evictions = 0;
+  std::size_t bytes = 0;
+};
+
+struct RunResult {
+  std::optional<Violation> violation;
+  RunStats stats;
+  /// One line per event (plus quiescence summary) when logging is on;
+  /// deterministic, so two runs of the same scenario compare equal.
+  std::vector<std::string> log;
+};
+
+/// Execute a scenario over the real sync stack (loopback transport +
+/// TargetSession/run_source), probing every invariant after each event.
+RunResult run_scenario(const Scenario& scenario, bool keep_log = false);
+
+/// Render one event as a stable, replay-friendly line.
+std::string format_event(std::size_t index, const Event& event);
+
+}  // namespace pfrdtn::check

@@ -172,6 +172,43 @@ LoopbackSyncOutcome sync_over_loopback(
   return outcome;
 }
 
+LoopbackEncounterOutcome encounter_over_loopback(
+    repl::Replica& a, repl::Replica& b,
+    repl::ForwardingPolicy* a_policy, repl::ForwardingPolicy* b_policy,
+    SimTime now, const repl::SyncOptions& options,
+    const LoopbackFaults& faults) {
+  LoopbackEncounterOutcome outcome;
+  LoopbackLink link(faults);
+
+  // Sync 1: a pulls from b.
+  TargetSession pull(a, a_policy, options);
+  pull.send_request(link.a(), b.id(), now);
+  if (pull.state() == TargetSession::State::RequestSent) {
+    outcome.b_served = run_source(link.b(), b, b_policy, now, options);
+  } else {
+    outcome.b_served.transport_failed = true;
+    outcome.b_served.stats.complete = false;
+    outcome.b_served.error = "request never arrived";
+  }
+  outcome.a_pulled = pull.receive(link.a());
+
+  // Sync 2: roles swap, b pulls from a, on the same contact.
+  TargetSession push(b, b_policy, options);
+  push.send_request(link.b(), a.id(), now);
+  if (push.state() == TargetSession::State::RequestSent) {
+    outcome.a_pushed = run_source(link.a(), a, a_policy, now, options);
+  } else {
+    outcome.a_pushed.transport_failed = true;
+    outcome.a_pushed.stats.complete = false;
+    outcome.a_pushed.error = "request never arrived";
+  }
+  outcome.b_applied = push.receive(link.b());
+
+  outcome.bytes_delivered = link.bytes_delivered();
+  outcome.simulated_seconds = link.simulated_seconds();
+  return outcome;
+}
+
 ClientSessionOutcome run_client_session(Connection& connection,
                                         repl::Replica& self,
                                         repl::ForwardingPolicy* policy,

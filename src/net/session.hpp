@@ -122,6 +122,27 @@ LoopbackSyncOutcome sync_over_loopback(
     const repl::SyncOptions& options = {},
     const LoopbackFaults& faults = {});
 
+/// One full encounter over a single loopback contact: `a` pulls from
+/// `b`, then `a` pushes to `b` — the paper's two one-way syncs per
+/// encounter (Section VI), with both roles alternating on the same
+/// link. Faults span the whole contact, so a byte budget can die
+/// during either sync; the push is still attempted after a cut pull
+/// (its steps fail fast on the dead link), mirroring a real session.
+struct LoopbackEncounterOutcome {
+  NetSyncResult a_pulled;   ///< a as target of the first sync
+  SourceStats b_served;     ///< b as source of the first sync
+  NetSyncResult b_applied;  ///< b as target of the second sync
+  SourceStats a_pushed;     ///< a as source of the second sync
+  std::size_t bytes_delivered = 0;
+  double simulated_seconds = 0.0;
+};
+
+LoopbackEncounterOutcome encounter_over_loopback(
+    repl::Replica& a, repl::Replica& b,
+    repl::ForwardingPolicy* a_policy, repl::ForwardingPolicy* b_policy,
+    SimTime now, const repl::SyncOptions& options = {},
+    const LoopbackFaults& faults = {});
+
 // ---- whole sessions (TCP client/server) ------------------------------
 
 struct ClientSessionOutcome {

@@ -69,6 +69,15 @@ class Knowledge {
     return universal_.remove_extra(v.author, v.counter);
   }
 
+  /// True if forget_exact(v) would succeed. The eviction discipline
+  /// requires this of every evictable relay copy's current version —
+  /// an unforgettable event would make the copy un-re-receivable and,
+  /// propagated through fragment merges, break eventual filter
+  /// consistency (probed by Replica::check_invariants and src/check/).
+  [[nodiscard]] bool can_forget(const Version& v) const {
+    return universal_.removable(v.author, v.counter);
+  }
+
   /// Drop every scoped fragment whose scope matches `item` — required
   /// when evicting a stored copy of `item`, because fragments may claim
   /// knowledge of events for it (see DESIGN.md).

@@ -88,10 +88,24 @@ ApplyOutcome Replica::apply_remote(const Item& incoming,
   const bool in_filter = filter_.matches(incoming);
 
   if (existing != nullptr) {
-    // Either an update to a stored item or a duplicate/stale copy.
-    knowledge_.add_exact(incoming.version());
+    // Either an update to a stored item or a duplicate/stale copy. If
+    // the entry is (or becomes) an evictable relay copy, the event must
+    // be recorded pinned: an unpinned event folds into the version
+    // vector and can no longer be forgotten when the copy is evicted,
+    // leaving knowledge that claims an event for an item we no longer
+    // store — a soundness hole the check harness (src/check/) flagged.
     if (!incoming.version().dominates(existing->item.version())) {
+      if (existing->evictable()) {
+        knowledge_.add_exact_pinned(incoming.version());
+      } else {
+        knowledge_.add_exact(incoming.version());
+      }
       return ApplyOutcome::Stale;
+    }
+    if (!in_filter && !existing->local_origin) {
+      knowledge_.add_exact_pinned(incoming.version());
+    } else {
+      knowledge_.add_exact(incoming.version());
     }
     existing->item.supersede(incoming.version(), incoming.metadata(),
                              incoming.body(), incoming.deleted());
@@ -152,6 +166,13 @@ std::string Replica::check_invariants() const {
     if (entry.in_filter != filter_.matches(entry.item)) {
       violation = "in_filter flag inconsistent for " +
                   entry.item.id().str() + " at " + id_.str();
+    }
+    // Every evictable relay copy must remain forgettable, or its
+    // eviction would strand knowledge of an unstored event.
+    if (entry.evictable() &&
+        !knowledge_.can_forget(entry.item.version())) {
+      violation = "evictable relay copy " + entry.item.id().str() +
+                  " has an unforgettable event at " + id_.str();
     }
   });
   return violation;

@@ -138,6 +138,7 @@ SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
 
 void BatchApplier::apply(const Item& item) {
   ++result_.stats.items_sent;
+  result_.received_events.push_back(item.version());
   const ApplyOutcome outcome =
       target_->apply_remote(item, result_.evicted);
   switch (outcome) {
@@ -157,8 +158,12 @@ SyncResult BatchApplier::finish(bool complete,
                                 const Knowledge& source_knowledge) {
   result_.stats.complete = complete;
   result_.stats.evictions = result_.evicted.size();
-  if (complete && options_.learn_knowledge)
+  // unsafe_learn_truncated deliberately re-opens the truncation hole so
+  // the check harness can demonstrate it detects the corruption.
+  if ((complete || options_.unsafe_learn_truncated) &&
+      options_.learn_knowledge) {
     target_->learn(source_knowledge);
+  }
   return std::move(result_);
 }
 

@@ -56,6 +56,11 @@ struct SyncOptions {
   /// When false, skip knowledge learning even on complete syncs (for
   /// the knowledge-ablation benchmark).
   bool learn_knowledge = true;
+  /// TESTING ONLY — reverts the truncation guard: the target merges the
+  /// source's knowledge even when the batch was incomplete. This is the
+  /// exact knowledge-corruption bug the guard exists to prevent; the
+  /// check harness (src/check/) injects it to prove it would be caught.
+  bool unsafe_learn_truncated = false;
 };
 
 struct SyncStats {
@@ -77,6 +82,11 @@ struct SyncResult {
   std::vector<Item> delivered;
   /// Relay items the target evicted while applying the batch.
   std::vector<Item> evicted;
+  /// The update event of every item copy that fully arrived (new,
+  /// superseding, or stale), in arrival order. The check harness's
+  /// at-most-once probe audits these against what the target was ever
+  /// sent before.
+  std::vector<Version> received_events;
 };
 
 // ---- protocol steps --------------------------------------------------

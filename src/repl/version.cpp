@@ -121,6 +121,15 @@ bool VersionSet::contains(ReplicaId author, std::uint64_t counter) const {
   return it != pinned_.end() && it->second.count(counter) > 0;
 }
 
+bool VersionSet::removable(ReplicaId author,
+                           std::uint64_t counter) const {
+  for (const auto* group : {&pinned_, &extras_}) {
+    const auto it = group->find(author);
+    if (it != group->end() && it->second.count(counter) > 0) return true;
+  }
+  return false;
+}
+
 bool VersionSet::remove_extra(ReplicaId author, std::uint64_t counter) {
   for (auto* group : {&pinned_, &extras_}) {
     const auto it = group->find(author);

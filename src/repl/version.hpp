@@ -144,6 +144,11 @@ class VersionSet {
   /// so the copy can be re-received.
   bool remove_extra(ReplicaId author, std::uint64_t counter);
 
+  /// True if the event is a member that remove_extra could still take
+  /// out (an extra or a pinned extra, not folded into the prefix).
+  [[nodiscard]] bool removable(ReplicaId author,
+                               std::uint64_t counter) const;
+
   /// Union with another set.
   void merge(const VersionSet& other);
 

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Local CI: a plain build plus an ASan+UBSan build, each running the
-# full test suite. Run from anywhere; builds land next to the repo
-# checkout under build-ci/.
+# full test suite (all tiers: fast, slow, e2e), followed by a
+# randomized check-harness stage on each build — a long run on the
+# plain build, a shorter one under the sanitizers. A violation prints
+# the exact replay command. Run from anywhere; builds land next to the
+# repo checkout under build-ci/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +22,27 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure
 }
 
+# Randomized invariant checking over the real sync stack. The seed
+# base moves with the date so every CI day explores fresh schedules,
+# while any failure stays reproducible from the printed replay line.
+run_check_stage() {
+  local name="$1"
+  local runs="$2"
+  local bin="$ROOT/build-ci/$name/tools/pfrdtn"
+  local seed
+  seed="$(date -u +%Y%m%d)"
+  echo "=== [$name] check: $runs randomized schedules (seed $seed) ==="
+  "$bin" check --seed "$seed" --runs "$runs"
+  "$bin" check --seed "$seed" --runs "$((runs / 4))" --cut-rate 0.7 \
+    --storage 1
+}
+
 run_suite plain
 run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
+
+run_check_stage plain 400
+# Sanitized execution is ~10x slower; fewer schedules, same coverage
+# of the memory-safety dimension.
+run_check_stage asan-ubsan 60
 
 echo "CI OK"

@@ -6,6 +6,8 @@
 ///   run           run one emulation (generated or file-based traces)
 ///   serve         host a replica, accepting sync sessions over TCP
 ///   sync-with     synchronize with a serving replica over TCP
+///   check         run randomized fault-schedule invariant checks over
+///                 the real sync stack (see docs/checking.md)
 ///
 /// Examples:
 ///   pfrdtn gen-mobility --days 17 --seed 4 --out mob.txt
@@ -16,6 +18,8 @@
 ///   pfrdtn serve --port 9944 --addr 42
 ///   pfrdtn sync-with --host 10.0.0.2 --port 9944 --addr 7
 ///              --send 42=hello --mode encounter
+///   pfrdtn check --seed 1 --runs 20
+///   pfrdtn check --replay 7    # reproduce + shrink seed 7's failure
 ///
 /// All stochastic inputs are seeded; identical invocations produce
 /// identical results (the TCP subcommands excepted — they talk to
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "check/harness.hpp"
 #include "dtn/registry.hpp"
 #include "net/session.hpp"
 #include "net/tcp.hpp"
@@ -57,6 +62,12 @@ using namespace pfrdtn;
       "  sync-with    --host H --port N [--port-file FILE] --addr A\n"
       "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
       "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
+      "  check        [--seed S] [--runs N] [--replay S] [--log]\n"
+      "               [--replicas N] [--steps N] [--addresses N]\n"
+      "               [--cut-rate X] [--cap-rate X] [--throttle-rate X]\n"
+      "               [--filter-rate X] [--discard-rate X] [--storage N]\n"
+      "               [--quiesce N] [--no-shrink] [--shrink-budget N]\n"
+      "               [--inject-bug learn-truncated]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -452,6 +463,84 @@ int cmd_sync_with(Args& args) {
   return 0;
 }
 
+int cmd_check(Args& args) {
+  check::CheckOptions options;
+  options.runs = 5;
+  // Flags that change schedule generation, re-quoted verbatim into the
+  // replay hint so the printed command regenerates the same schedules.
+  std::string config_flags;
+  const auto config_flag = [&](const std::string& flag,
+                               const char* value) {
+    config_flags += " " + flag + " " + value;
+    return value;
+  };
+
+  while (!args.done()) {
+    const std::string flag = args.next();
+    if (flag == "--seed") {
+      options.seed = parse_u64(args.value("--seed"));
+    } else if (flag == "--runs") {
+      options.runs = parse_u64(args.value("--runs"));
+    } else if (flag == "--replay") {
+      options.seed = parse_u64(args.value("--replay"));
+      options.runs = 1;
+    } else if (flag == "--log") {
+      options.log = true;
+    } else if (flag == "--replicas") {
+      options.config.replicas =
+          parse_u64(config_flag(flag, args.value("--replicas")));
+    } else if (flag == "--steps") {
+      options.config.steps =
+          parse_u64(config_flag(flag, args.value("--steps")));
+    } else if (flag == "--addresses") {
+      options.config.addresses =
+          parse_u64(config_flag(flag, args.value("--addresses")));
+    } else if (flag == "--cut-rate") {
+      options.config.cut_rate =
+          std::atof(config_flag(flag, args.value("--cut-rate")));
+    } else if (flag == "--cap-rate") {
+      options.config.cap_rate =
+          std::atof(config_flag(flag, args.value("--cap-rate")));
+    } else if (flag == "--throttle-rate") {
+      options.config.throttle_rate =
+          std::atof(config_flag(flag, args.value("--throttle-rate")));
+    } else if (flag == "--filter-rate") {
+      options.config.filter_change_rate =
+          std::atof(config_flag(flag, args.value("--filter-rate")));
+    } else if (flag == "--discard-rate") {
+      options.config.discard_rate =
+          std::atof(config_flag(flag, args.value("--discard-rate")));
+    } else if (flag == "--storage") {
+      options.config.relay_capacity =
+          parse_u64(config_flag(flag, args.value("--storage")));
+    } else if (flag == "--quiesce") {
+      options.config.quiescence_rounds =
+          parse_u64(config_flag(flag, args.value("--quiesce")));
+    } else if (flag == "--no-shrink") {
+      options.shrink = false;
+    } else if (flag == "--shrink-budget") {
+      options.shrink_budget = parse_u64(args.value("--shrink-budget"));
+    } else if (flag == "--inject-bug") {
+      const std::string bug = args.value("--inject-bug");
+      if (bug != "learn-truncated") usage("unknown --inject-bug");
+      options.config.inject_learn_truncated = true;
+      config_flags += " --inject-bug learn-truncated";
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (options.config.replicas < 2) usage("check needs --replicas >= 2");
+
+  const check::CheckReport report = check::run_check(options);
+  for (const std::string& line : report.run_logs)
+    std::printf("%s\n", line.c_str());
+  const std::string replay_hint = "pfrdtn check" + config_flags +
+                                  " --replay " +
+                                  std::to_string(report.failing_seed);
+  std::fputs(check::format_report(report, replay_hint).c_str(), stdout);
+  return report.passed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -464,6 +553,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "sync-with") return cmd_sync_with(args);
+    if (command == "check") return cmd_check(args);
     if (command == "--help" || command == "help") usage();
     usage(("unknown command " + command).c_str());
   } catch (const pfrdtn::ContractViolation& violation) {
