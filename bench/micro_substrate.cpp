@@ -71,6 +71,97 @@ void BM_SyncEpidemicRelay(benchmark::State& state) {
 }
 BENCHMARK(BM_SyncEpidemicRelay)->Arg(16)->Arg(128);
 
+Item relay_item(std::uint64_t id, std::uint64_t dest) {
+  return Item(ItemId(id), Version{ReplicaId(1), id, 1}, to(dest), {});
+}
+
+/// Steady-state eviction: a relay store at capacity absorbing a stream
+/// of new relay items, one eviction per put. Victim selection reads the
+/// evictable index (O(log n)) instead of rescanning the arrival order,
+/// so the cost no longer grows with capacity.
+void BM_StoreEvictionAtCapacity(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  ItemStore store(ItemStore::Config{cap, EvictionOrder::Fifo});
+  std::uint64_t next = 1;
+  for (std::size_t i = 0; i < cap; ++i)
+    store.put(relay_item(next++, 2), false, false);
+  for (auto _ : state) {
+    const auto evicted = store.put(relay_item(next++, 2), false, false);
+    benchmark::DoNotOptimize(evicted.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreEvictionAtCapacity)->Arg(256)->Arg(4096);
+
+/// Full refilter of an n-item store where every entry flips sides —
+/// the worst-case filter change, exercising the incremental index
+/// maintenance on every entry.
+void BM_StoreRefilter(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  ItemStore store;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    store.put(relay_item(i, 2 + i % 2), /*in_filter=*/i % 2 == 0, false);
+  bool phase = false;
+  std::vector<Item> evicted;
+  for (auto _ : state) {
+    phase = !phase;
+    const HostId want(phase ? 3 : 2);
+    auto fresh = store.refilter(
+        [&](const Item& item) {
+          const auto& dests = item.dest_addresses();
+          return !dests.empty() && dests[0] == want;
+        },
+        evicted);
+    benchmark::DoNotOptimize(fresh.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_StoreRefilter)->Arg(256)->Arg(4096);
+
+/// Candidate enumeration through the dest inverted index: the cost
+/// tracks the matching set (n/64 items here), not the store size.
+void BM_StoreFilterIndexed(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  ItemStore store;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    store.put(relay_item(i, i % 64), true, false);
+  const Filter filter = Filter::addresses({HostId(7)});
+  for (auto _ : state) {
+    int matches = 0;
+    store.for_filter_matches(filter, [&](const ItemStore::Entry&) {
+      ++matches;
+      return true;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_StoreFilterIndexed)->Arg(1024)->Arg(8192);
+
+/// The same result set selected by a filter no index covers (a
+/// meta-equals predicate), forcing the full-scan fallback: the cost
+/// tracks the store size. Contrast with BM_StoreFilterIndexed.
+void BM_StoreFilterScan(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  ItemStore store;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    store.put(relay_item(i, i % 64), true, false);
+  const Filter filter = Filter::meta_equals(meta::kDest, "7");
+  for (auto _ : state) {
+    int matches = 0;
+    store.for_filter_matches(filter, [&](const ItemStore::Entry&) {
+      ++matches;
+      return true;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_StoreFilterScan)->Arg(1024)->Arg(8192);
+
 void BM_KnowledgeAddAndQuery(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   Item probe(ItemId(1), Version{ReplicaId(1), 1, 1}, to(1), {});

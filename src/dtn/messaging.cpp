@@ -82,14 +82,17 @@ namespace {
 /// first or a relay copy can starve it.
 bool has_pending_delivery(const DtnNode& source, const DtnNode& target) {
   bool pending = false;
-  source.replica().store().for_each(
+  // Enumerate only the entries the target's filter selects (indexed for
+  // address filters) and stop at the first unknown one.
+  source.replica().store().for_filter_matches(
+      target.replica().filter(),
       [&](const repl::ItemStore::Entry& entry) {
-        if (pending) return;
-        if (target.replica().filter().matches(entry.item) &&
-            !target.replica().knowledge().knows(entry.item,
+        if (!target.replica().knowledge().knows(entry.item,
                                                 entry.item.version())) {
           pending = true;
+          return false;  // early exit
         }
+        return true;
       });
   return pending;
 }

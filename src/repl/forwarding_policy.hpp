@@ -57,34 +57,8 @@ struct SyncContext {
   SimTime now;     ///< simulated wall clock
 };
 
-/// Restricted mutable view of an item: policies may read everything but
-/// mutate only the transient (per-copy, unversioned) metadata — the
-/// substrate's "internal interface that avoids generating a new version
-/// number".
-class TransientView {
- public:
-  explicit TransientView(Item& item) : item_(&item) {}
-
-  [[nodiscard]] const Item& item() const { return *item_; }
-
-  [[nodiscard]] std::optional<std::int64_t> get_int(
-      std::string_view key) const {
-    return item_->transient_int(key);
-  }
-  void set_int(std::string key, std::int64_t value) {
-    item_->set_transient_int(std::move(key), value);
-  }
-  [[nodiscard]] std::optional<std::string> get(
-      std::string_view key) const {
-    return item_->transient(key);
-  }
-  void set(std::string key, std::string value) {
-    item_->set_transient(std::move(key), std::move(value));
-  }
-
- private:
-  Item* item_;
-};
+// TransientView — the restricted mutable view policies receive — lives
+// in item.hpp so the item store can hand it out too.
 
 /// Pluggable forwarding policy (the paper's IDTNPolicy). One instance
 /// exists per replica; instances may keep persistent routing state

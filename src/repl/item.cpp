@@ -29,18 +29,59 @@ std::vector<HostId> decode_hosts(std::string_view value) {
   return hosts;
 }
 
-std::optional<std::string> Item::meta(std::string_view key) const {
-  const auto it = metadata_.find(std::string(key));
-  if (it == metadata_.end()) return std::nullopt;
-  return it->second;
+namespace {
+
+/// The wire layout of the replicated part. Kept as the one definition
+/// both Item::serialize and the payload's cached size derive from, so
+/// the cache can never drift from the bytes actually written.
+void serialize_replicated(const Item::Payload& payload, ByteWriter& w) {
+  w.uvarint(payload.id.value());
+  payload.version.serialize(w);
+  w.u8(payload.deleted ? 1 : 0);
+  w.uvarint(payload.metadata.size());
+  for (const auto& [key, value] : payload.metadata) {
+    w.str(key);
+    w.str(value);
+  }
+  w.raw(payload.body);
 }
 
-const std::vector<HostId>& Item::dest_addresses() const {
-  if (!dest_cache_) {
-    const auto value = meta(meta::kDest);
-    dest_cache_ = value ? decode_hosts(*value) : std::vector<HostId>{};
+}  // namespace
+
+Item::PayloadPtr Item::Payload::make(
+    ItemId id, Version version, std::map<std::string, std::string> metadata,
+    std::vector<std::uint8_t> body, bool deleted,
+    std::optional<std::size_t> replicated_wire_size) {
+  auto payload = std::make_shared<Payload>();
+  payload->id = id;
+  payload->version = version;
+  payload->metadata = std::move(metadata);
+  payload->body = std::move(body);
+  payload->deleted = deleted;
+  const auto dest = payload->metadata.find(meta::kDest);
+  if (dest != payload->metadata.end())
+    payload->dest_addresses = decode_hosts(dest->second);
+  if (replicated_wire_size) {
+    payload->replicated_wire_size = *replicated_wire_size;
+  } else {
+    ByteWriter w;
+    serialize_replicated(*payload, w);
+    payload->replicated_wire_size = w.size();
   }
-  return *dest_cache_;
+  return payload;
+}
+
+const Item::PayloadPtr& Item::empty_payload() {
+  static const PayloadPtr payload = Payload::make(
+      ItemId(), Version{}, {}, {}, /*deleted=*/false);
+  return payload;
+}
+
+std::optional<std::string> Item::meta(std::string_view key) const {
+  const auto& metadata = payload_->metadata;
+  const auto it = metadata.find(std::string(key));
+  if (it == metadata.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<std::string> Item::transient(std::string_view key) const {
@@ -63,31 +104,37 @@ std::optional<std::int64_t> Item::transient_int(
 
 void Item::supersede(Version v, std::map<std::string, std::string> md,
                      std::vector<std::uint8_t> body, bool deleted) {
-  PFRDTN_REQUIRE(v.dominates(version_) || !version_.valid());
-  version_ = v;
-  metadata_ = std::move(md);
-  body_ = std::move(body);
-  deleted_ = deleted;
+  adopt_payload(
+      Payload::make(payload_->id, v, std::move(md), std::move(body),
+                    deleted));
+}
+
+void Item::adopt_payload(PayloadPtr payload) {
+  PFRDTN_REQUIRE(payload != nullptr);
+  PFRDTN_REQUIRE(payload->version.dominates(payload_->version) ||
+                 !payload_->version.valid());
+  payload_ = std::move(payload);
   transient_.clear();
-  dest_cache_.reset();
 }
 
 std::size_t Item::wire_size() const {
+  const std::size_t total = payload_->replicated_wire_size;
+  // The common case: no per-copy state, and uvarint(0) is one byte.
+  if (transient_.empty()) return total + 1;
+  // The transient part is per-copy, so its footprint is computed here
+  // rather than cached: uvarint(count) + length-prefixed key/value
+  // pairs, exactly as serialize() writes them.
   ByteWriter w;
-  serialize(w);
-  return w.size();
-}
-
-void Item::serialize(ByteWriter& w) const {
-  w.uvarint(id_.value());
-  version_.serialize(w);
-  w.u8(deleted_ ? 1 : 0);
-  w.uvarint(metadata_.size());
-  for (const auto& [key, value] : metadata_) {
+  w.uvarint(transient_.size());
+  for (const auto& [key, value] : transient_) {
     w.str(key);
     w.str(value);
   }
-  w.raw(body_);
+  return total + w.size();
+}
+
+void Item::serialize(ByteWriter& w) const {
+  serialize_replicated(*payload_, w);
   w.uvarint(transient_.size());
   for (const auto& [key, value] : transient_) {
     w.str(key);
@@ -96,16 +143,22 @@ void Item::serialize(ByteWriter& w) const {
 }
 
 Item Item::deserialize(ByteReader& r) {
-  Item item;
-  item.id_ = ItemId(r.uvarint());
-  item.version_ = Version::deserialize(r);
-  item.deleted_ = r.u8() != 0;
+  const std::size_t before = r.remaining();
+  const ItemId id = ItemId(r.uvarint());
+  const Version version = Version::deserialize(r);
+  const bool deleted = r.u8() != 0;
+  std::map<std::string, std::string> metadata;
   const std::uint64_t md_count = r.uvarint();
   for (std::uint64_t i = 0; i < md_count; ++i) {
     std::string key = r.str();
-    item.metadata_[std::move(key)] = r.str();
+    metadata[std::move(key)] = r.str();
   }
-  item.body_ = r.raw();
+  std::vector<std::uint8_t> body = r.raw();
+  // The replicated bytes just consumed ARE the cached wire size; no
+  // need to re-serialize to fill the payload's cache.
+  const std::size_t replicated_size = before - r.remaining();
+  Item item(Payload::make(id, version, std::move(metadata),
+                          std::move(body), deleted, replicated_size));
   const std::uint64_t tr_count = r.uvarint();
   for (std::uint64_t i = 0; i < tr_count; ++i) {
     std::string key = r.str();

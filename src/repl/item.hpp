@@ -8,9 +8,18 @@
 /// for TTLs, copy budgets and hop counts ("host-specific metadata
 /// fields must be treated differently by the PFR system: updates to
 /// these fields should not be replicated").
+///
+/// The replicated part is an immutable, refcounted Payload shared
+/// between every copy of the same version: copying an Item bumps a
+/// reference count instead of deep-copying the metadata map and body,
+/// so the sync hot path (batch building, batch application, store
+/// insertion) moves pointers, not bytes. Derived values every sync
+/// consults — the parsed `dest` address list and the replicated wire
+/// size — are computed once per payload and shared with it.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -37,33 +46,68 @@ std::vector<HostId> decode_hosts(std::string_view value);
 
 class Item {
  public:
-  Item() = default;
+  /// The immutable replicated part of an item, shared by every copy of
+  /// the same version. Construct only through make(): the cached
+  /// fields (parsed dest addresses, replicated wire size) are derived
+  /// from the replicated fields at construction and must stay in step.
+  struct Payload {
+    ItemId id{};
+    Version version{};
+    std::map<std::string, std::string> metadata;
+    std::vector<std::uint8_t> body;
+    bool deleted = false;
+
+    /// Destination addresses parsed from the `dest` metadata attribute
+    /// (empty for non-message items) — filters consult this on every
+    /// sync candidate scan, the store keys its inverted index on it.
+    std::vector<HostId> dest_addresses;
+    /// Serialized byte count of the replicated part (everything but
+    /// the per-copy transient map), for O(1) traffic accounting.
+    std::size_t replicated_wire_size = 0;
+
+    /// `replicated_wire_size`, when the caller already knows it (the
+    /// deserializer measures the bytes it consumed), skips the scratch
+    /// serialization otherwise needed to fill the cache.
+    static std::shared_ptr<const Payload> make(
+        ItemId id, Version version,
+        std::map<std::string, std::string> metadata,
+        std::vector<std::uint8_t> body, bool deleted,
+        std::optional<std::size_t> replicated_wire_size = std::nullopt);
+  };
+  using PayloadPtr = std::shared_ptr<const Payload>;
+
+  /// Default-constructed items share one invalid empty payload.
+  Item() : payload_(empty_payload()) {}
   Item(ItemId id, Version version, std::map<std::string, std::string> md,
        std::vector<std::uint8_t> body, bool deleted = false)
-      : id_(id),
-        version_(version),
-        metadata_(std::move(md)),
-        body_(std::move(body)),
-        deleted_(deleted) {}
+      : payload_(Payload::make(id, version, std::move(md), std::move(body),
+                               deleted)) {}
+  /// A fresh copy of an existing payload, with empty transient state.
+  explicit Item(PayloadPtr payload) : payload_(std::move(payload)) {}
 
-  [[nodiscard]] ItemId id() const { return id_; }
-  [[nodiscard]] const Version& version() const { return version_; }
-  [[nodiscard]] bool deleted() const { return deleted_; }
+  [[nodiscard]] const PayloadPtr& payload() const { return payload_; }
+
+  [[nodiscard]] ItemId id() const { return payload_->id; }
+  [[nodiscard]] const Version& version() const {
+    return payload_->version;
+  }
+  [[nodiscard]] bool deleted() const { return payload_->deleted; }
 
   [[nodiscard]] const std::map<std::string, std::string>& metadata()
       const {
-    return metadata_;
+    return payload_->metadata;
   }
   [[nodiscard]] std::optional<std::string> meta(
       std::string_view key) const;
   [[nodiscard]] const std::vector<std::uint8_t>& body() const {
-    return body_;
+    return payload_->body;
   }
 
   /// Destination addresses parsed from the `dest` metadata attribute
-  /// (empty for non-message items). Parsed lazily and cached — filters
-  /// consult this on every sync candidate scan.
-  [[nodiscard]] const std::vector<HostId>& dest_addresses() const;
+  /// (empty for non-message items). Cached on the shared payload.
+  [[nodiscard]] const std::vector<HostId>& dest_addresses() const {
+    return payload_->dest_addresses;
+  }
 
   // --- transient, per-copy state (not versioned, not replicated as an
   // update; it is carried on the wire with the copy being transferred
@@ -94,21 +138,53 @@ class Item {
   void supersede(Version v, std::map<std::string, std::string> md,
                  std::vector<std::uint8_t> body, bool deleted);
 
-  /// Approximate wire size of the replicated part, for traffic
-  /// accounting.
+  /// Supersede by adopting another copy's payload (a refcount bump, no
+  /// deep copy) — the remote-apply fast path. Same domination contract
+  /// and transient-dropping semantics as supersede().
+  void adopt_payload(PayloadPtr payload);
+
+  /// Wire size of this copy as transmitted (replicated part, cached on
+  /// the payload, plus this copy's transient fields).
   [[nodiscard]] std::size_t wire_size() const;
 
   void serialize(ByteWriter& w) const;
   static Item deserialize(ByteReader& r);
 
  private:
-  ItemId id_{};
-  Version version_{};
-  std::map<std::string, std::string> metadata_;
-  std::vector<std::uint8_t> body_;
-  bool deleted_ = false;
+  static const PayloadPtr& empty_payload();
+
+  PayloadPtr payload_;
   std::map<std::string, std::string> transient_;
-  mutable std::optional<std::vector<HostId>> dest_cache_;
+};
+
+/// Restricted mutable view of an item: holders may read everything but
+/// mutate only the transient (per-copy, unversioned) metadata — the
+/// substrate's "internal interface that avoids generating a new version
+/// number". Handed to forwarding policies and to store clients; the
+/// shared payload stays immutable behind it by construction.
+class TransientView {
+ public:
+  explicit TransientView(Item& item) : item_(&item) {}
+
+  [[nodiscard]] const Item& item() const { return *item_; }
+
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      std::string_view key) const {
+    return item_->transient_int(key);
+  }
+  void set_int(std::string key, std::int64_t value) {
+    item_->set_transient_int(std::move(key), value);
+  }
+  [[nodiscard]] std::optional<std::string> get(
+      std::string_view key) const {
+    return item_->transient(key);
+  }
+  void set(std::string key, std::string value) {
+    item_->set_transient(std::move(key), std::move(value));
+  }
+
+ private:
+  Item* item_;
 };
 
 }  // namespace pfrdtn::repl

@@ -21,33 +21,36 @@ const Item& Replica::create(std::map<std::string, std::string> metadata,
 const Item& Replica::update(ItemId id,
                             std::map<std::string, std::string> metadata,
                             std::vector<std::uint8_t> body) {
-  auto* entry = store_.find_mutable(id);
+  const auto* entry = store_.find(id);
   PFRDTN_REQUIRE(entry != nullptr);
   PFRDTN_REQUIRE(!entry->item.deleted());
   const Version version{id_, ++next_counter_,
                         entry->item.version().revision + 1};
   knowledge_.add_exact(version);
-  entry->item.supersede(version, std::move(metadata), std::move(body),
-                        /*deleted=*/false);
-  entry->in_filter = filter_.matches(entry->item);
+  auto payload = Item::Payload::make(id, version, std::move(metadata),
+                                     std::move(body), /*deleted=*/false);
+  const bool in_filter = filter_.matches(Item(payload));
   // An update authored here pins the copy against eviction, exactly
   // like a creation would.
-  entry->local_origin = true;
-  return entry->item;
+  store_.supersede(id, std::move(payload), in_filter,
+                   /*make_local_origin=*/true);
+  return store_.find(id)->item;
 }
 
 const Item& Replica::erase(ItemId id) {
-  auto* entry = store_.find_mutable(id);
+  const auto* entry = store_.find(id);
   PFRDTN_REQUIRE(entry != nullptr);
   const Version version{id_, ++next_counter_,
                         entry->item.version().revision + 1};
   knowledge_.add_exact(version);
   // Tombstones keep the metadata so filters still select them and the
   // deletion propagates to every interested replica.
-  entry->item.supersede(version, entry->item.metadata(), {},
-                        /*deleted=*/true);
-  entry->local_origin = true;
-  return entry->item;
+  auto payload = Item::Payload::make(id, version, entry->item.metadata(),
+                                     {}, /*deleted=*/true);
+  const bool in_filter = filter_.matches(Item(payload));
+  store_.supersede(id, std::move(payload), in_filter,
+                   /*make_local_origin=*/true);
+  return store_.find(id)->item;
 }
 
 std::vector<Item> Replica::set_filter(Filter filter) {
@@ -84,7 +87,7 @@ void Replica::rebuild_knowledge() {
 ApplyOutcome Replica::apply_remote(const Item& incoming,
                                    std::vector<Item>& evicted) {
   PFRDTN_REQUIRE(incoming.version().valid());
-  auto* existing = store_.find_mutable(incoming.id());
+  const auto* existing = store_.find(incoming.id());
   const bool in_filter = filter_.matches(incoming);
 
   if (existing != nullptr) {
@@ -107,13 +110,16 @@ ApplyOutcome Replica::apply_remote(const Item& incoming,
     } else {
       knowledge_.add_exact(incoming.version());
     }
-    existing->item.supersede(incoming.version(), incoming.metadata(),
-                             incoming.body(), incoming.deleted());
+    // Adopt the incoming copy's payload — a refcount bump shared with
+    // the sender-side batch, never a re-parse of metadata and body.
+    store_.supersede(incoming.id(), incoming.payload(), in_filter,
+                     /*make_local_origin=*/false);
     // Forwarded transient state (TTL, copy counts) travels with the
     // new copy.
+    auto stored = store_.transient_mutable(incoming.id());
+    PFRDTN_ENSURE(stored.has_value());
     for (const auto& [key, value] : incoming.transient_all())
-      existing->item.set_transient(key, value);
-    existing->in_filter = filter_.matches(existing->item);
+      stored->set(key, value);
     return ApplyOutcome::UpdatedExisting;
   }
 

@@ -81,25 +81,44 @@ SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
     source_policy->process_request(source_ctx, request.routing_state);
 
   std::vector<Candidate> candidates;
-  source.store_mutable().for_each_mutable([&](ItemStore::Entry& entry) {
-    if (request.knowledge.knows(entry.item, entry.item.version()))
-      return;
-    if (request.filter.matches(entry.item)) {
-      candidates.push_back(
-          {entry.item.id(), Priority::at(PriorityClass::Highest),
-           /*matches_filter=*/true, entry.arrival_seq});
-      return;
-    }
-    if (source_policy == nullptr) return;
-    const Priority priority =
-        source_policy->to_send(source_ctx, TransientView(entry.item));
-    if (priority.send()) {
-      PFRDTN_REQUIRE(priority.cls != PriorityClass::Highest);
-      candidates.push_back({entry.item.id(), priority,
-                            /*matches_filter=*/false,
-                            entry.arrival_seq});
-    }
-  });
+  ItemStore& store = source.store_mutable();
+  if (source_policy == nullptr) {
+    // Without a forwarding policy only filter-matching items can enter
+    // the batch, so enumerate exactly those through the store's filter
+    // index (O(matching) for address filters) instead of scanning every
+    // entry. Visit order does not matter: the sort below is a total
+    // order (arrival_seq is unique), so indexed and scan enumeration
+    // yield byte-identical batches.
+    store.for_filter_matches(
+        request.filter, [&](const ItemStore::Entry& entry) {
+          if (!request.knowledge.knows(entry.item,
+                                       entry.item.version())) {
+            candidates.push_back(
+                {entry.item.id(), Priority::at(PriorityClass::Highest),
+                 /*matches_filter=*/true, entry.arrival_seq});
+          }
+          return true;
+        });
+  } else {
+    store.for_each_transient([&](const ItemStore::Entry& entry,
+                                 TransientView stored) {
+      if (request.knowledge.knows(entry.item, entry.item.version()))
+        return;
+      if (request.filter.matches(entry.item)) {
+        candidates.push_back(
+            {entry.item.id(), Priority::at(PriorityClass::Highest),
+             /*matches_filter=*/true, entry.arrival_seq});
+        return;
+      }
+      const Priority priority = source_policy->to_send(source_ctx, stored);
+      if (priority.send()) {
+        PFRDTN_REQUIRE(priority.cls != PriorityClass::Highest);
+        candidates.push_back({entry.item.id(), priority,
+                              /*matches_filter=*/false,
+                              entry.arrival_seq});
+      }
+    });
+  }
 
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
@@ -124,11 +143,15 @@ SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
   batch.source_knowledge = source.knowledge();
   batch.items.reserve(candidates.size());
   for (const Candidate& candidate : candidates) {
-    auto* entry = source.store_mutable().find_mutable(candidate.id);
+    const auto* entry = store.find(candidate.id);
     PFRDTN_ENSURE(entry != nullptr);
-    Item outgoing = entry->item;  // copies transient state too
+    // A payload refcount bump plus the per-copy transient fields — no
+    // metadata/body copy on the hot path.
+    Item outgoing = entry->item;
     if (source_policy && !candidate.matches_filter) {
-      source_policy->on_forward(source_ctx, TransientView(entry->item),
+      auto stored = store.transient_mutable(candidate.id);
+      PFRDTN_ENSURE(stored.has_value());
+      source_policy->on_forward(source_ctx, *stored,
                                 TransientView(outgoing));
     }
     batch.items.push_back(std::move(outgoing));
@@ -207,11 +230,11 @@ std::size_t wire_size(const SyncRequest& request) {
 
 std::size_t wire_size(const SyncBatch& batch) {
   std::size_t total = framed_size(encode_batch_begin(batch).size());
-  for (const Item& item : batch.items) {
-    ByteWriter w;
-    item.serialize(w);
-    total += framed_size(w.size());
-  }
+  // Item::wire_size() is the replicated size cached on the shared
+  // payload plus the copy's transient fields — byte-for-byte what
+  // serialize() would write, without re-serializing metadata and body.
+  for (const Item& item : batch.items)
+    total += framed_size(item.wire_size());
   ByteWriter w;
   batch.source_knowledge.serialize(w);
   total += framed_size(w.size());

@@ -203,8 +203,35 @@ TEST(Replica, InvariantCheckerDetectsCorruption) {
   Replica r = make_replica(1, 5);
   const Item& item = r.create(to(5), {});
   // Corrupt: flip the in_filter flag behind the replica's back.
-  r.store_mutable().find_mutable(item.id())->in_filter = false;
+  r.store_mutable().set_in_filter_for_test(item.id(), false);
   EXPECT_FALSE(r.check_invariants().empty());
+}
+
+TEST(Replica, RefilterDeliveryOrderIsIdenticalAcrossTwins) {
+  // Regression: the newly-matching list a filter change surfaces (the
+  // application sees it as deliveries) used to come from a hash-map
+  // walk, so two identically-seeded replicas could report it in
+  // different orders. The contract is arrival order, same on twins.
+  auto feed = [](Replica& dst) {
+    Replica src = make_replica(1, 5);
+    std::vector<Item> evicted;
+    std::vector<std::uint64_t> arrivals;
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      const Item& m = src.create(to(7 + i % 3), {});
+      dst.apply_remote(m, evicted);
+      arrivals.push_back(m.id().value());
+    }
+    std::vector<std::uint64_t> delivered;
+    for (const Item& item : dst.set_filter(
+             Filter::addresses({HostId(7), HostId(8), HostId(9)}))) {
+      delivered.push_back(item.id().value());
+    }
+    EXPECT_EQ(delivered, arrivals);
+    return delivered;
+  };
+  Replica a = make_replica(2, 1);
+  Replica b = make_replica(3, 1);
+  EXPECT_EQ(feed(a), feed(b));
 }
 
 }  // namespace

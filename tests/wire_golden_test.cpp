@@ -1,0 +1,198 @@
+// Wire-format golden test: serializes a fixed corpus of items,
+// filters, knowledge, requests and batches and compares FNV-1a-64
+// digests against checked-in goldens. The goldens were generated from
+// the pre-shared-payload implementation (PR 3), so a passing run
+// proves the storage refactor left every frame byte-identical. Any
+// intentional format change must regenerate the constants below (run
+// the test; the failure message prints the new digest) and bump the
+// frame version in byte_buffer.hpp.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "repl/sync.hpp"
+
+namespace {
+
+using namespace pfrdtn;
+using namespace pfrdtn::repl;
+
+std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string digest(const std::function<void(ByteWriter&)>& emit) {
+  ByteWriter w;
+  emit(w);
+  return hex64(fnv1a64(w.bytes()));
+}
+
+// ---- fixed corpus ----------------------------------------------------
+
+Item plain_item() {
+  Item item(ItemId(0x700000001ull), Version{ReplicaId(7), 12, 3},
+            {{meta::kSource, "3"},
+             {meta::kDest, "3,17,42"},
+             {meta::kType, "msg"},
+             {meta::kCreated, "86400"},
+             {meta::kTags, "alpha,beta"}},
+            {'h', 'e', 'l', 'l', 'o'});
+  item.set_transient_int("ttl", 7);
+  item.set_transient("hops", "2");
+  return item;
+}
+
+Item tombstone_item() {
+  return Item(ItemId(0x900000002ull), Version{ReplicaId(9), 44, 9},
+              {{meta::kDest, "5"}, {meta::kType, "msg"}}, {},
+              /*deleted=*/true);
+}
+
+Item bare_item() {
+  return Item(ItemId(2), Version{ReplicaId(1), 1, 1}, {}, {});
+}
+
+std::vector<Filter> corpus_filters() {
+  return {
+      Filter::all(),
+      Filter::none(),
+      Filter::addresses({HostId(1), HostId(5), HostId(9)}),
+      Filter::tags({"alpha", "zulu"}),
+      Filter::meta_equals("type", "msg"),
+      Filter::conj(Filter::addresses({HostId(3)}), Filter::tags({"beta"})),
+      Filter::disj(Filter::meta_equals("type", "ack"),
+                   Filter::tags({"gamma"})),
+      Filter::negate(Filter::addresses({HostId(17)})),
+  };
+}
+
+Knowledge corpus_knowledge() {
+  Knowledge k;
+  k.add_authored_prefix(ReplicaId(7), 12);
+  k.add_exact(Version{ReplicaId(9), 44, 9});
+  k.add_exact(Version{ReplicaId(2), 3, 1});
+  k.add_exact_pinned(Version{ReplicaId(5), 8, 2});
+  Knowledge peer;
+  peer.add_authored_prefix(ReplicaId(4), 6);
+  peer.add_exact(Version{ReplicaId(11), 2, 1});
+  k.merge_scoped(peer, Filter::addresses({HostId(3), HostId(17)}));
+  return k;
+}
+
+SyncBatch corpus_batch(bool complete) {
+  SyncBatch batch;
+  batch.source = ReplicaId(9);
+  batch.items = {plain_item(), tombstone_item(), bare_item()};
+  batch.source_knowledge = corpus_knowledge();
+  batch.complete = complete;
+  return batch;
+}
+
+struct Golden {
+  const char* name;
+  std::string actual;
+  const char* expected;
+};
+
+TEST(WireGolden, FramesAreByteIdentical) {
+  const auto filters = corpus_filters();
+  std::vector<Golden> goldens;
+
+  goldens.push_back({"item_plain",
+                     digest([](ByteWriter& w) { plain_item().serialize(w); }),
+                     "3a43e36bdc41b2d0"});
+  goldens.push_back(
+      {"item_tombstone",
+       digest([](ByteWriter& w) { tombstone_item().serialize(w); }),
+       "1dab8699fecfbf2f"});
+  goldens.push_back({"item_bare",
+                     digest([](ByteWriter& w) { bare_item().serialize(w); }),
+                     "f1528bc25cc75702"});
+
+  ByteWriter all_filters;
+  for (const Filter& filter : filters) filter.serialize(all_filters);
+  goldens.push_back({"filters_all_kinds",
+                     hex64(fnv1a64(all_filters.bytes())),
+                     "76a2411e95ec3e79"});
+
+  goldens.push_back(
+      {"knowledge",
+       digest([](ByteWriter& w) { corpus_knowledge().serialize(w); }),
+       "6cb348232800f7c9"});
+
+  // One request per filter kind, all sharing the same knowledge.
+  ByteWriter all_requests;
+  for (const Filter& filter : filters) {
+    SyncRequest request;
+    request.target = ReplicaId(7);
+    request.filter = filter;
+    request.knowledge = corpus_knowledge();
+    request.routing_state = {1, 2, 3};
+    request.serialize(all_requests);
+  }
+  goldens.push_back({"requests_all_filters",
+                     hex64(fnv1a64(all_requests.bytes())),
+                     "02ad2e6cc89463bb"});
+
+  goldens.push_back(
+      {"batch_complete",
+       digest([](ByteWriter& w) { corpus_batch(true).serialize(w); }),
+       "d3b5caf5f162f9a6"});
+  goldens.push_back(
+      {"batch_truncated",
+       digest([](ByteWriter& w) { corpus_batch(false).serialize(w); }),
+       "ab3139378fe4b787"});
+  goldens.push_back({"batch_begin_frame",
+                     hex64(fnv1a64(encode_batch_begin(corpus_batch(true)))),
+                     "15f2d2188e6a0474"});
+
+  for (const Golden& golden : goldens) {
+    EXPECT_EQ(golden.actual, golden.expected)
+        << "wire format drifted for corpus entry '" << golden.name << "'";
+  }
+
+  // Framed footprints (header + payload sizes) must not drift either:
+  // byte accounting feeds the paper's bandwidth figures.
+  SyncRequest request;
+  request.target = ReplicaId(7);
+  request.filter = filters[2];
+  request.knowledge = corpus_knowledge();
+  EXPECT_EQ(wire_size(request), 40u);
+  EXPECT_EQ(wire_size(corpus_batch(true)), 193u);
+}
+
+// The corpus round-trips: goldens prove stability, this proves the
+// bytes still decode to equal values.
+TEST(WireGolden, CorpusRoundTrips) {
+  ByteWriter w;
+  corpus_batch(true).serialize(w);
+  ByteReader r(w.bytes());
+  const SyncBatch copy = SyncBatch::deserialize(r);
+  EXPECT_TRUE(r.done());
+  ASSERT_EQ(copy.items.size(), 3u);
+  EXPECT_EQ(copy.items[0].id(), plain_item().id());
+  EXPECT_EQ(copy.items[0].transient_int("ttl"), 7);
+  EXPECT_EQ(copy.items[0].meta(meta::kDest), "3,17,42");
+  EXPECT_TRUE(copy.items[1].deleted());
+  EXPECT_EQ(copy.items[2].version(), bare_item().version());
+
+  ByteWriter w2;
+  copy.serialize(w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Run the substrate micro-benchmarks (bench/micro_substrate) and write
+# BENCH_substrate.json: the current numbers next to the recorded
+# pre-refactor baseline, plus the per-benchmark speedup, so the
+# shared-payload / indexed-store gains on the sync hot path stay
+# measurable instead of anecdotal.
+#
+# Usage: tools/bench_substrate.sh [output.json]
+#   BUILD_DIR=...       build tree holding bench/micro_substrate
+#                       (default: <repo>/build)
+#   BENCH_MIN_TIME=...  forwarded as --benchmark_min_time (a plain
+#                       seconds double, e.g. 0.01 for a smoke run;
+#                       unset for full accuracy)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/BENCH_substrate.json}"
+BENCH="$BUILD/bench/micro_substrate"
+MIN_TIME="${BENCH_MIN_TIME:-}"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not built" >&2
+  echo "  cmake -B $BUILD -S $ROOT && cmake --build $BUILD --target micro_substrate" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+"$BENCH" --benchmark_out="$TMP" --benchmark_out_format=json \
+  ${MIN_TIME:+--benchmark_min_time="$MIN_TIME"} >&2
+
+python3 - "$TMP" "$OUT" << 'PY'
+import json
+import sys
+
+# Pre-refactor real-time numbers (ns) for the sync hot path, measured
+# at commit d7dc239 (deep-copy items, counter/victim rescans, no dest
+# index) on the reference container, default build type. Kept inline so
+# the speedup column survives machine moves as an honest-but-approximate
+# comparison; re-baseline here if the reference hardware changes.
+BASELINE_NS = {
+    "BM_SyncColdTarget/16": 22375,
+    "BM_SyncColdTarget/128": 155595,
+    "BM_SyncColdTarget/512": 576465,
+    "BM_SyncNothingNew/16": 966,
+    "BM_SyncNothingNew/128": 2208,
+    "BM_SyncNothingNew/512": 7091,
+    "BM_SyncEpidemicRelay/16": 25638,
+    "BM_SyncEpidemicRelay/128": 200934,
+}
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+
+current_ns = {
+    b["name"]: b["real_time"]
+    for b in current.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+}
+speedup = {
+    name: round(BASELINE_NS[name] / current_ns[name], 2)
+    for name in BASELINE_NS
+    if current_ns.get(name)
+}
+
+with open(sys.argv[2], "w") as f:
+    json.dump(
+        {
+            "baseline_pre_refactor_ns": BASELINE_NS,
+            "speedup_vs_baseline": speedup,
+            "current": current,
+        },
+        f,
+        indent=2,
+    )
+    f.write("\n")
+PY
+
+echo "wrote $OUT"

@@ -22,6 +22,36 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure
 }
 
+# Benchmarks are code too: build the micro-benchmark binary and run it
+# briefly so bench/ cannot bit-rot against substrate API changes. The
+# tiny min-time keeps this a compile-and-run smoke, not a measurement —
+# tools/bench_substrate.sh is the measuring entry point.
+run_bench_smoke() {
+  local dir="$ROOT/build-ci/plain"
+  echo "=== [plain] bench smoke ==="
+  cmake --build "$dir" --target micro_substrate -j "$JOBS"
+  "$dir/bench/micro_substrate" --benchmark_min_time=0.01 > /dev/null
+}
+
+# The check harness must be a pure function of its seed: replay the
+# same fixed-seed corpus twice and require byte-identical summaries.
+# This is what makes the printed replay commands, the shrinker, and
+# cross-change corpus comparisons trustworthy.
+run_check_replay() {
+  local bin="$ROOT/build-ci/plain/tools/pfrdtn"
+  echo "=== [plain] check: fixed-seed corpus replays identically ==="
+  local first second
+  first="$("$bin" check --seed 1876 --runs 50)"
+  second="$("$bin" check --seed 1876 --runs 50)"
+  if [[ "$first" != "$second" ]]; then
+    echo "fixed-seed check corpus diverged between runs:" >&2
+    echo "  1st: $first" >&2
+    echo "  2nd: $second" >&2
+    exit 1
+  fi
+  echo "$first"
+}
+
 # Randomized invariant checking over the real sync stack. The seed
 # base moves with the date so every CI day explores fresh schedules,
 # while any failure stays reproducible from the printed replay line.
@@ -40,6 +70,8 @@ run_check_stage() {
 run_suite plain
 run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
 
+run_bench_smoke
+run_check_replay
 run_check_stage plain 400
 # Sanitized execution is ~10x slower; fewer schedules, same coverage
 # of the memory-safety dimension.
