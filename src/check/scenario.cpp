@@ -1,8 +1,11 @@
 #include "check/scenario.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "check/oracle.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/durability.hpp"
 #include "util/rng.hpp"
 
 namespace pfrdtn::check {
@@ -76,6 +79,22 @@ class Engine {
           repl::ItemStore::Config{config.relay_capacity,
                                   repl::EvictionOrder::Fifo});
     }
+    // Every replica persists through the crash-simulating MemEnv;
+    // fsync-per-record, so the digest probe in apply_crash may demand
+    // that recovery reproduces the pre-crash state *exactly*. The sink
+    // is write-only (no behavior feedback), so schedules without crash
+    // events run identically to a durability-free harness.
+    dur_options_.sync_every_records = 1;
+    dur_options_.checkpoint_every_bytes = 4096;
+    dur_options_.unsafe_skip_fsync = config.inject_skip_fsync;
+    envs_.reserve(config.replicas);
+    durabilities_.reserve(config.replicas);
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      envs_.push_back(std::make_unique<persist::MemEnv>());
+      durabilities_.push_back(
+          std::make_unique<persist::Durability>(*envs_[i], dur_options_));
+      durabilities_[i]->attach(replicas_[i]);
+    }
   }
 
   RunResult run() {
@@ -133,6 +152,8 @@ class Engine {
         return apply_discard(event);
       case EventKind::Sync:
         return apply_sync(index, event);
+      case EventKind::CrashRestart:
+        return apply_crash(index, event);
     }
     return "";
   }
@@ -228,6 +249,85 @@ class Engine {
     return note;
   }
 
+  /// Append deterministic torn-tail bytes to the crashed log, modeling
+  /// the in-flight sectors that happened to reach the medium. Every
+  /// mode produces an *invalid* suffix, so a correct recovery truncates
+  /// it and the digest probe still demands exact state equality.
+  void inject_torn_tail(persist::MemEnv& env, const Event& event) {
+    if (event.crash_torn_mode == kTornNone) return;
+    Rng rng(scenario_.seed ^ event.selector ^ 0x746f726eULL);
+    std::vector<std::uint8_t> payload(1 + rng.below(40));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    switch (event.crash_torn_mode) {
+      case kTornGarbage: {
+        env.corrupt_append(persist::kWalFile, payload);
+        break;
+      }
+      case kTornShortRecord: {
+        std::vector<std::uint8_t> record =
+            persist::encode_wal_record(payload);
+        record.resize(1 + rng.below(record.size() - 1));
+        env.corrupt_append(persist::kWalFile, record);
+        break;
+      }
+      case kTornBitFlip:
+      default: {
+        std::vector<std::uint8_t> record =
+            persist::encode_wal_record(payload);
+        const std::size_t bit = rng.below(record.size() * 8);
+        record[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        env.corrupt_append(persist::kWalFile, record);
+        break;
+      }
+    }
+  }
+
+  std::string apply_crash(std::size_t index, const Event& event) {
+    const std::size_t who = event.actor;
+    const std::uint64_t pre = persist::state_digest(replicas_[who]);
+    durabilities_[who]->detach();
+    persist::MemEnv& env = *envs_[who];
+    env.crash();
+    inject_torn_tail(env, event);
+
+    std::optional<persist::RecoveredReplica> recovered;
+    try {
+      recovered = persist::recover(env);
+    } catch (const ContractViolation& e) {
+      fail(index, "crash-recovery",
+           "recovery threw at r" + std::to_string(who) + ": " + e.what());
+      return " -> RECOVERY FAILED";
+    }
+    if (!recovered) {
+      fail(index, "crash-recovery",
+           "no checkpoint found after crash at r" + std::to_string(who));
+      return " -> RECOVERY FAILED";
+    }
+    // The acknowledgement contract: every hook returned with its record
+    // fsynced, so recovery must reproduce the pre-crash state exactly —
+    // anything less is silently forgotten acknowledged state.
+    const std::uint64_t post = persist::state_digest(recovered->replica);
+    if (post != pre) {
+      fail(index, "durability",
+           "recovery forgot acknowledged state at r" +
+               std::to_string(who) + " (digest " + std::to_string(pre) +
+               " -> " + std::to_string(post) + ", " +
+               std::to_string(recovered->stats.wal_records_replayed) +
+               " records replayed)");
+      return " -> STATE LOST";
+    }
+    const std::string note =
+        " -> recovered (replayed=" +
+        std::to_string(recovered->stats.wal_records_replayed) +
+        " torn_bytes=" +
+        std::to_string(recovered->stats.wal_bytes_truncated) + ")";
+    replicas_[who] = std::move(recovered->replica);
+    durabilities_[who] =
+        std::make_unique<persist::Durability>(env, dur_options_);
+    durabilities_[who]->attach(replicas_[who]);
+    return note;
+  }
+
   /// Fault-free, connected all-pairs gossip, then the convergence
   /// probe. Null policies: the substrate alone must converge.
   void quiesce() {
@@ -274,6 +374,11 @@ class Engine {
   Oracle oracle_;
   RunResult result_;
   bool keep_log_;
+  // Declared after replicas_: the sinks detach (and flush) in their
+  // destructors while the replicas are still alive.
+  persist::DurabilityOptions dur_options_;
+  std::vector<std::unique_ptr<persist::MemEnv>> envs_;
+  std::vector<std::unique_ptr<persist::Durability>> durabilities_;
 };
 
 }  // namespace
@@ -316,6 +421,12 @@ Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed) {
       event.selector = random_mask();
     } else if (roll < (band += config.discard_rate)) {
       event.kind = EventKind::DiscardRelay;
+      event.selector = rng();
+    } else if (roll < (band += config.crash_rate)) {
+      // Unreachable at crash_rate == 0, and then consumes no draws —
+      // schedules from crash-unaware configs stay bit-identical.
+      event.kind = EventKind::CrashRestart;
+      event.crash_torn_mode = static_cast<std::uint8_t>(rng.below(4));
       event.selector = rng();
     } else {
       event.kind = EventKind::Sync;
@@ -375,6 +486,11 @@ std::string format_event(std::size_t index, const Event& event) {
       line += "sync r" + std::to_string(event.actor) + " <- r" +
               std::to_string(event.peer) +
               (event.encounter ? " enc" : "") + fault_str(event.fault);
+      break;
+    case EventKind::CrashRestart:
+      line += "crash r" + std::to_string(event.actor) + " torn=" +
+              std::to_string(event.crash_torn_mode) + " sel=" +
+              std::to_string(event.selector % 1000);
       break;
   }
   return line;

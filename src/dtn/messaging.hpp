@@ -25,6 +25,12 @@ class DtnNode {
   explicit DtnNode(ReplicaId id, repl::ItemStore::Config store_config = {})
       : replica_(id, repl::Filter::none(), store_config) {}
 
+  /// Adopt a recovered replica (crash restart from a state directory;
+  /// see src/persist/). The node-level delivered-message ledger is not
+  /// persisted, so already-delivered messages re-report after recovery
+  /// — app-level exactly-once is per process lifetime.
+  explicit DtnNode(repl::Replica replica) : replica_(std::move(replica)) {}
+
   [[nodiscard]] ReplicaId id() const { return replica_.id(); }
   [[nodiscard]] repl::Replica& replica() { return replica_; }
   [[nodiscard]] const repl::Replica& replica() const { return replica_; }

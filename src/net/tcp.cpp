@@ -39,6 +39,16 @@ void set_io_timeouts(int fd, const TcpOptions& options) {
 TcpConnection::TcpConnection(int fd, TcpOptions options) : fd_(fd) {
   PFRDTN_REQUIRE(fd_ >= 0);
   set_io_timeouts(fd_, options);
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0 &&
+      addr.sin_family == AF_INET) {
+    char ip[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+    peer_ = std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+  } else {
+    peer_ = "unknown";
+  }
 }
 
 TcpConnection::~TcpConnection() { close(); }

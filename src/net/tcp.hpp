@@ -32,9 +32,15 @@ class TcpConnection : public Connection {
   void write(const std::uint8_t* data, std::size_t size) override;
   void read(std::uint8_t* data, std::size_t size) override;
   void close() override;
+  /// "ip:port" of the remote endpoint, captured at construction (still
+  /// meaningful after the peer disconnects mid-session).
+  [[nodiscard]] std::string peer_description() const override {
+    return peer_;
+  }
 
  private:
   int fd_;
+  std::string peer_;
 };
 
 /// Listening socket. Port 0 binds an ephemeral port; port() reports

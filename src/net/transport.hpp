@@ -42,6 +42,12 @@ class Connection {
 
   /// Release the endpoint; further reads/writes throw TransportError.
   virtual void close() = 0;
+
+  /// Human-readable remote endpoint ("10.0.0.2:9944") for log lines;
+  /// transports without a meaningful address return a fixed label.
+  [[nodiscard]] virtual std::string peer_description() const {
+    return "peer";
+  }
 };
 
 using ConnectionPtr = std::unique_ptr<Connection>;

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Atomic checkpoints of full replica state, and the exact state codec
+/// they share with the crash probes.
+///
+/// The state payload captures everything `repl::Replica` owns —
+/// identity, authoring counters, filter, knowledge (via the
+/// structure-preserving exact codec, so local-only pinning survives),
+/// and the store with each entry's flags and arrival_seq. Recovery
+/// from a checkpoint is therefore byte-faithful: the recovered replica
+/// serializes back to the identical payload, which is also how the
+/// check harness asserts "recovery forgot nothing" (state_digest).
+///
+/// File layout (written via StorageEnv::write_file_durable, i.e.
+/// write-temp + fsync + rename; a crash yields old or new, never a
+/// torn mixture):
+///
+///   magic   u32 LE 0x50434650 ("PFCP")
+///   version u8
+///   epoch   u64 LE   (pairs the checkpoint with its WAL)
+///   length  u32 LE   payload byte count
+///   crc     u32 LE   CRC-32 of the payload
+///   payload
+
+#include <cstdint>
+#include <vector>
+
+#include "repl/replica.hpp"
+
+namespace pfrdtn::persist {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x50434650u;  // "PFCP"
+inline constexpr std::uint8_t kCheckpointVersion = 1;
+inline constexpr std::size_t kCheckpointHeaderSize = 4 + 1 + 8 + 4 + 4;
+/// A payload length above this is a corrupt header, not a checkpoint.
+inline constexpr std::uint32_t kMaxCheckpointPayload = 256u << 20;
+
+/// Serialize the complete replica state (the checkpoint payload).
+std::vector<std::uint8_t> encode_replica_state(
+    const repl::Replica& replica);
+
+/// Rebuild a replica from a state payload. Throws ContractViolation on
+/// any malformed or internally inconsistent input (including state
+/// that fails Replica::check_invariants) — recovery rejects corrupt
+/// state rather than loading it.
+repl::Replica decode_replica_state(const std::vector<std::uint8_t>& bytes);
+
+/// FNV-1a 64-bit digest of the exact state payload. Two replicas with
+/// equal digests build byte-identical sync batches.
+std::uint64_t state_digest(const repl::Replica& replica);
+std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes);
+
+/// Whole checkpoint file bytes for `replica` at `epoch`.
+std::vector<std::uint8_t> encode_checkpoint(std::uint64_t epoch,
+                                            const repl::Replica& replica);
+
+struct DecodedCheckpoint {
+  std::uint64_t epoch = 0;
+  repl::Replica replica;
+};
+
+/// Parse + validate a checkpoint file (magic, version, length, CRC,
+/// then the state payload). Throws ContractViolation on corruption.
+DecodedCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace pfrdtn::persist

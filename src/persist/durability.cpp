@@ -1,0 +1,230 @@
+#include "persist/durability.hpp"
+
+#include <csignal>
+
+#include "util/byte_buffer.hpp"
+#include "util/require.hpp"
+
+namespace pfrdtn::persist {
+
+namespace {
+
+std::vector<std::uint8_t> encode_item_record(WalRecordKind kind,
+                                             const repl::Item& item) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  item.serialize(w);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_local_put(const repl::Item& item) {
+  return encode_item_record(WalRecordKind::LocalPut, item);
+}
+
+std::vector<std::uint8_t> encode_apply_remote(const repl::Item& item) {
+  return encode_item_record(WalRecordKind::ApplyRemote, item);
+}
+
+std::vector<std::uint8_t> encode_set_filter(const repl::Filter& filter) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WalRecordKind::SetFilter));
+  filter.serialize(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_discard_relay(ItemId id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WalRecordKind::DiscardRelay));
+  w.uvarint(id.value());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_learn(
+    const repl::Knowledge& knowledge) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WalRecordKind::Learn));
+  // Exact codec: replay must merge the same fragment structure the
+  // live replica merged, not the wire codec's refolded approximation.
+  knowledge.serialize_exact(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_policy_state(
+    ItemId id, const std::map<std::string, std::string>& all) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WalRecordKind::PolicyState));
+  w.uvarint(id.value());
+  w.uvarint(all.size());
+  for (const auto& [key, value] : all) {
+    w.str(key);
+    w.str(value);
+  }
+  return w.take();
+}
+
+void apply_wal_record(repl::Replica& replica,
+                      const std::vector<std::uint8_t>& payload) {
+  PFRDTN_REQUIRE(replica.mutation_sink() == nullptr);
+  ByteReader r(payload);
+  const std::uint8_t kind = r.u8();
+  switch (static_cast<WalRecordKind>(kind)) {
+    case WalRecordKind::LocalPut:
+      replica.replay_local_put(repl::Item::deserialize(r));
+      break;
+    case WalRecordKind::ApplyRemote: {
+      const repl::Item incoming = repl::Item::deserialize(r);
+      std::vector<repl::Item> evicted;
+      replica.apply_remote(incoming, evicted);
+      break;
+    }
+    case WalRecordKind::SetFilter:
+      replica.set_filter(repl::Filter::deserialize(r));
+      break;
+    case WalRecordKind::DiscardRelay:
+      replica.discard_relay(ItemId(r.uvarint()));
+      break;
+    case WalRecordKind::Learn:
+      replica.learn(repl::Knowledge::deserialize_exact(r));
+      break;
+    case WalRecordKind::PolicyState: {
+      const ItemId id(r.uvarint());
+      const std::uint64_t n = r.uvarint();
+      PFRDTN_REQUIRE(n <= r.remaining());
+      std::map<std::string, std::string> all;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        all[std::move(key)] = r.str();
+      }
+      replica.replay_policy_state(id, std::move(all));
+      break;
+    }
+    default:
+      PFRDTN_REQUIRE(!"unknown WAL record kind");
+  }
+  PFRDTN_REQUIRE(r.done());
+}
+
+Durability::Durability(StorageEnv& env, DurabilityOptions options)
+    : env_(env),
+      options_(options),
+      wal_(env, kWalFile, options.sync_every_records,
+           options.unsafe_skip_fsync) {}
+
+Durability::~Durability() { detach(); }
+
+void Durability::attach(repl::Replica& replica) {
+  PFRDTN_REQUIRE(replica_ == nullptr);
+  PFRDTN_REQUIRE(replica.mutation_sink() == nullptr);
+  if (env_.exists(kCheckpointFile)) {
+    // The caller recovered `replica` from this env; resume the WAL
+    // after its last valid record (dropping any torn tail on disk).
+    const DecodedCheckpoint ck =
+        decode_checkpoint(env_.read_file(kCheckpointFile));
+    epoch_ = ck.epoch;
+    const WalScan scan = scan_wal_file(env_, kWalFile);
+    if (scan.valid_header && scan.epoch == epoch_) {
+      wal_.resume(scan);
+    } else {
+      wal_.reset(epoch_);  // stale or missing log: start clean
+    }
+  } else {
+    // Fresh state directory: the current replica state becomes the
+    // initial checkpoint, durable before the first record is logged.
+    epoch_ = 1;
+    env_.write_file_durable(kCheckpointFile,
+                            encode_checkpoint(epoch_, replica));
+    wal_.reset(epoch_);
+    ++checkpoints_written_;
+  }
+  replica_ = &replica;
+  replica.set_mutation_sink(this);
+}
+
+void Durability::detach() {
+  if (replica_ == nullptr) return;
+  flush();
+  replica_->set_mutation_sink(nullptr);
+  replica_ = nullptr;
+}
+
+void Durability::flush() { wal_.flush(); }
+
+void Durability::checkpoint_now() {
+  PFRDTN_REQUIRE(replica_ != nullptr);
+  const std::uint64_t next_epoch = epoch_ + 1;
+  env_.write_file_durable(kCheckpointFile,
+                          encode_checkpoint(next_epoch, *replica_));
+  epoch_ = next_epoch;
+  // Only after the checkpoint is durable may the log be reset: a crash
+  // between the two leaves an old-epoch log that recovery ignores.
+  wal_.reset(epoch_);
+  ++checkpoints_written_;
+}
+
+void Durability::log(std::vector<std::uint8_t> payload) {
+  PFRDTN_REQUIRE(replica_ != nullptr);
+  wal_.append(payload);
+  ++records_logged_;
+  if (options_.kill_after_records != 0 &&
+      records_logged_ >= options_.kill_after_records) {
+    // Deterministic crash point for e2e tests: die with the record
+    // durable but the mutation's caller never told. flush() first so
+    // "acknowledged" matches what recovery will find.
+    wal_.flush();
+    std::raise(SIGKILL);
+  }
+  if (wal_.log_bytes() >= options_.checkpoint_every_bytes)
+    checkpoint_now();
+}
+
+void Durability::on_local_put(const repl::Item& stored) {
+  log(encode_local_put(stored));
+}
+
+void Durability::on_apply_remote(const repl::Item& incoming) {
+  log(encode_apply_remote(incoming));
+}
+
+void Durability::on_set_filter(const repl::Filter& filter) {
+  log(encode_set_filter(filter));
+}
+
+void Durability::on_discard_relay(ItemId id) {
+  log(encode_discard_relay(id));
+}
+
+void Durability::on_learn(const repl::Knowledge& source_knowledge) {
+  log(encode_learn(source_knowledge));
+}
+
+void Durability::on_policy_state(
+    ItemId id, const std::map<std::string, std::string>& all) {
+  log(encode_policy_state(id, all));
+}
+
+std::optional<RecoveredReplica> recover(StorageEnv& env) {
+  if (!env.exists(kCheckpointFile)) return std::nullopt;
+  DecodedCheckpoint ck = decode_checkpoint(env.read_file(kCheckpointFile));
+  RecoveryStats stats;
+  stats.epoch = ck.epoch;
+  const WalScan scan = scan_wal_file(env, kWalFile);
+  if (scan.valid_header && scan.epoch == ck.epoch) {
+    for (const auto& record : scan.records) {
+      apply_wal_record(ck.replica, record);
+      ++stats.wal_records_replayed;
+    }
+    stats.wal_bytes_valid = scan.valid_bytes;
+    stats.wal_bytes_truncated = scan.torn_bytes;
+  } else {
+    // Missing, foreign, or pre-checkpoint log: the checkpoint already
+    // contains everything it recorded.
+    stats.wal_stale = true;
+  }
+  const std::string violation = ck.replica.check_invariants();
+  PFRDTN_REQUIRE(violation.empty());
+  return RecoveredReplica{std::move(ck.replica), std::move(stats)};
+}
+
+}  // namespace pfrdtn::persist

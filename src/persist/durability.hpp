@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file durability.hpp
+/// Crash-durable replica state: a `Durability` sink on the replica's
+/// mutation funnel writes one WAL record per mutation (fsynced before
+/// the mutation is considered acknowledged) and periodically rolls the
+/// log into an atomic checkpoint; `recover()` rebuilds the replica
+/// after a crash by loading the checkpoint and replaying the log.
+///
+/// Epoch guard: a checkpoint at epoch E+1 is made durable *before* the
+/// WAL is reset with an epoch-E+1 header. A crash between the two
+/// leaves an epoch-E log next to an epoch-E+1 checkpoint; recovery
+/// replays the WAL only when the epochs match, so stale records are
+/// never applied twice.
+///
+/// Acknowledgement contract: once a hook returns with the record
+/// fsynced (every `sync_every_records` records; default every record),
+/// the mutation survives any crash. What recovery restores is exactly
+/// the checkpoint state plus every fsynced record — the check harness
+/// asserts this with a state digest taken at the crash point.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.hpp"
+#include "persist/env.hpp"
+#include "persist/wal.hpp"
+#include "repl/replica.hpp"
+
+namespace pfrdtn::persist {
+
+inline constexpr const char* kCheckpointFile = "checkpoint.bin";
+inline constexpr const char* kWalFile = "wal.log";
+
+/// WAL record payloads: kind byte + the mutation's replay input.
+enum class WalRecordKind : std::uint8_t {
+  LocalPut = 1,     ///< Item (create/update/erase result)
+  ApplyRemote = 2,  ///< Item (the incoming copy, transients included)
+  SetFilter = 3,    ///< Filter
+  DiscardRelay = 4, ///< ItemId
+  Learn = 5,        ///< Knowledge (exact codec)
+  PolicyState = 6,  ///< ItemId + full transient map
+};
+
+std::vector<std::uint8_t> encode_local_put(const repl::Item& item);
+std::vector<std::uint8_t> encode_apply_remote(const repl::Item& item);
+std::vector<std::uint8_t> encode_set_filter(const repl::Filter& filter);
+std::vector<std::uint8_t> encode_discard_relay(ItemId id);
+std::vector<std::uint8_t> encode_learn(const repl::Knowledge& knowledge);
+std::vector<std::uint8_t> encode_policy_state(
+    ItemId id, const std::map<std::string, std::string>& all);
+
+/// Replay one record against `replica`. Throws ContractViolation on a
+/// malformed payload (a CRC-valid record can still be foreign bytes in
+/// a fuzzed log). The replica must have no mutation sink attached.
+void apply_wal_record(repl::Replica& replica,
+                      const std::vector<std::uint8_t>& payload);
+
+struct DurabilityOptions {
+  /// Fsync the log every N records; 1 = every mutation is durable
+  /// before its hook returns (the acknowledgement contract above).
+  std::size_t sync_every_records = 1;
+  /// Roll the WAL into a checkpoint once it exceeds this many bytes.
+  std::size_t checkpoint_every_bytes = 1 << 20;
+  /// Injectable durability bug for the check harness / --inject-bug
+  /// skip-fsync: records are written but never fsynced, so a crash
+  /// silently loses acknowledged mutations. See WalWriter.
+  bool unsafe_skip_fsync = false;
+  /// Debug hook for crash e2e tests: raise SIGKILL immediately after
+  /// the Nth WAL record is appended (0 = disabled). Gives scripts a
+  /// deterministic mid-batch crash point.
+  std::size_t kill_after_records = 0;
+};
+
+/// The WAL-writing mutation sink. Lifecycle:
+///
+///   FsEnv env(dir);
+///   auto recovered = recover(env);          // nullopt on first boot
+///   repl::Replica replica = recovered ? std::move(recovered->replica)
+///                                     : make_fresh(...);
+///   Durability durability(env, options);
+///   durability.attach(replica);             // truncates any torn tail
+///   ... mutate via the replica funnel ...
+///
+/// attach() assumes `replica` matches the on-disk state (it was just
+/// recovered from this env, or the env is fresh). On a fresh env it
+/// writes the initial checkpoint; on an existing one it resumes the
+/// WAL after the last valid record.
+class Durability final : public repl::ReplicaMutationSink {
+ public:
+  Durability(StorageEnv& env, DurabilityOptions options = {});
+  ~Durability() override;
+
+  Durability(const Durability&) = delete;
+  Durability& operator=(const Durability&) = delete;
+
+  void attach(repl::Replica& replica);
+  /// Flush pending records and stop observing. Safe when not attached.
+  void detach();
+  [[nodiscard]] bool attached() const { return replica_ != nullptr; }
+
+  /// Fsync any batched records now (no-op at sync_every_records=1).
+  void flush();
+  /// Snapshot the replica into a new checkpoint epoch and reset the WAL.
+  void checkpoint_now();
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t records_logged() const {
+    return records_logged_;
+  }
+  [[nodiscard]] std::size_t checkpoints_written() const {
+    return checkpoints_written_;
+  }
+
+  // ReplicaMutationSink
+  void on_local_put(const repl::Item& stored) override;
+  void on_apply_remote(const repl::Item& incoming) override;
+  void on_set_filter(const repl::Filter& filter) override;
+  void on_discard_relay(ItemId id) override;
+  void on_learn(const repl::Knowledge& source_knowledge) override;
+  void on_policy_state(
+      ItemId id,
+      const std::map<std::string, std::string>& all) override;
+
+ private:
+  void log(std::vector<std::uint8_t> payload);
+
+  StorageEnv& env_;
+  DurabilityOptions options_;
+  WalWriter wal_;
+  repl::Replica* replica_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t records_logged_ = 0;
+  std::size_t checkpoints_written_ = 0;
+};
+
+struct RecoveryStats {
+  std::uint64_t epoch = 0;
+  std::size_t wal_records_replayed = 0;
+  std::size_t wal_bytes_valid = 0;
+  std::size_t wal_bytes_truncated = 0;  ///< torn tail dropped
+  bool wal_stale = false;  ///< log missing or from an older epoch
+};
+
+struct RecoveredReplica {
+  repl::Replica replica;
+  RecoveryStats stats;
+};
+
+/// Rebuild replica state from `env`. Returns nullopt when no checkpoint
+/// exists (a fresh state directory). Throws ContractViolation when the
+/// checkpoint is corrupt, a CRC-valid WAL record fails to replay, or
+/// the recovered state fails Replica::check_invariants — corruption is
+/// rejected, never loaded. A torn WAL tail (short write at the crash
+/// point) is not corruption: it is truncated at the last valid record.
+std::optional<RecoveredReplica> recover(StorageEnv& env);
+
+}  // namespace pfrdtn::persist

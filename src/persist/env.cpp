@@ -1,0 +1,239 @@
+#include "persist/env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::persist {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what,
+                          const std::string& path) {
+  throw ContractViolation(what + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+void make_dirs(const std::string& dir) {
+  // mkdir -p: create each path component, tolerating ones that exist.
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      io_fail("mkdir", prefix);
+  }
+}
+
+}  // namespace
+
+// ---- FsEnv -----------------------------------------------------------
+
+FsEnv::FsEnv(std::string dir) : dir_(std::move(dir)) {
+  PFRDTN_REQUIRE(!dir_.empty());
+  make_dirs(dir_);
+}
+
+FsEnv::~FsEnv() {
+  for (const auto& [name, fd] : fds_) ::close(fd);
+}
+
+std::string FsEnv::path(const std::string& name) const {
+  PFRDTN_REQUIRE(!name.empty() &&
+                 name.find('/') == std::string::npos);
+  return dir_ + "/" + name;
+}
+
+bool FsEnv::exists(const std::string& name) const {
+  struct stat st{};
+  return ::stat(path(name).c_str(), &st) == 0;
+}
+
+std::size_t FsEnv::file_size(const std::string& name) const {
+  struct stat st{};
+  if (::stat(path(name).c_str(), &st) != 0) return 0;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+std::vector<std::uint8_t> FsEnv::read_file(
+    const std::string& name) const {
+  const std::string p = path(name);
+  const int fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) io_fail("open", p);
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_fail("read", p);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+int FsEnv::append_fd(const std::string& name) {
+  const auto it = fds_.find(name);
+  if (it != fds_.end()) return it->second;
+  const std::string p = path(name);
+  const int fd =
+      ::open(p.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail("open", p);
+  fds_[name] = fd;
+  return fd;
+}
+
+void FsEnv::close_fd(const std::string& name) {
+  const auto it = fds_.find(name);
+  if (it == fds_.end()) return;
+  ::close(it->second);
+  fds_.erase(it);
+}
+
+void FsEnv::append(const std::string& name, const std::uint8_t* data,
+                   std::size_t size) {
+  const int fd = append_fd(name);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write", path(name));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void FsEnv::sync(const std::string& name) {
+  if (::fsync(append_fd(name)) != 0) io_fail("fsync", path(name));
+}
+
+void FsEnv::sync_dir() const {
+  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) io_fail("open", dir_);
+  // Directory fsync makes the rename/create durable; some filesystems
+  // reject it (EINVAL) and guarantee the ordering anyway.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    ::close(fd);
+    io_fail("fsync", dir_);
+  }
+  ::close(fd);
+}
+
+void FsEnv::write_file_durable(const std::string& name,
+                               const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp_name = name + ".tmp";
+  const std::string tmp = path(tmp_name);
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail("open", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_fail("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_fail("fsync", tmp);
+  }
+  ::close(fd);
+  close_fd(name);  // any cached append fd now points at the old inode
+  if (::rename(tmp.c_str(), path(name).c_str()) != 0)
+    io_fail("rename", tmp);
+  sync_dir();
+}
+
+void FsEnv::truncate(const std::string& name, std::size_t size) {
+  if (file_size(name) <= size) return;
+  close_fd(name);
+  if (::truncate(path(name).c_str(),
+                 static_cast<off_t>(size)) != 0)
+    io_fail("truncate", path(name));
+}
+
+void FsEnv::remove(const std::string& name) {
+  close_fd(name);
+  if (::unlink(path(name).c_str()) != 0 && errno != ENOENT)
+    io_fail("unlink", path(name));
+}
+
+// ---- MemEnv ----------------------------------------------------------
+
+bool MemEnv::exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+std::size_t MemEnv::file_size(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.bytes.size();
+}
+
+std::vector<std::uint8_t> MemEnv::read_file(
+    const std::string& name) const {
+  const auto it = files_.find(name);
+  PFRDTN_REQUIRE(it != files_.end());
+  return it->second.bytes;
+}
+
+void MemEnv::append(const std::string& name, const std::uint8_t* data,
+                    std::size_t size) {
+  auto& file = files_[name];
+  file.bytes.insert(file.bytes.end(), data, data + size);
+}
+
+void MemEnv::sync(const std::string& name) {
+  auto& file = files_[name];
+  file.durable = file.bytes.size();
+}
+
+void MemEnv::write_file_durable(const std::string& name,
+                                const std::vector<std::uint8_t>& bytes) {
+  auto& file = files_[name];
+  file.bytes = bytes;
+  file.durable = file.bytes.size();
+}
+
+void MemEnv::truncate(const std::string& name, std::size_t size) {
+  const auto it = files_.find(name);
+  if (it == files_.end() || it->second.bytes.size() <= size) return;
+  it->second.bytes.resize(size);
+  it->second.durable = std::min(it->second.durable, size);
+}
+
+void MemEnv::remove(const std::string& name) { files_.erase(name); }
+
+void MemEnv::crash() {
+  for (auto& [name, file] : files_) file.bytes.resize(file.durable);
+}
+
+std::size_t MemEnv::durable_size(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.durable;
+}
+
+void MemEnv::corrupt_append(const std::string& name,
+                            const std::vector<std::uint8_t>& bytes) {
+  auto& file = files_[name];
+  file.bytes.insert(file.bytes.end(), bytes.begin(), bytes.end());
+  file.durable = file.bytes.size();
+}
+
+}  // namespace pfrdtn::persist

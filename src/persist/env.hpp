@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file env.hpp
+/// Storage environment for the persistence layer: the handful of file
+/// operations the WAL and checkpoint writers need, behind an interface
+/// so the check harness can run them against a crash-simulating
+/// in-memory backend (MemEnv) while the CLI uses real POSIX files
+/// (FsEnv). The durability contract is the interface's whole point:
+///
+///   - append() makes bytes *visible* but not durable;
+///   - sync() makes every byte appended so far durable (fsync);
+///   - write_file_durable() atomically replaces a file with contents
+///     that are fully durable once the call returns (write to a
+///     temporary, fsync it, rename over the target, fsync the
+///     directory) — a crash yields either the old file or the new one,
+///     never a mixture;
+///   - truncate() is treated as durable immediately (metadata op).
+///
+/// MemEnv models exactly that: each file carries a durable watermark
+/// advanced only by sync()/write_file_durable(), and crash() rolls
+/// every file back to its durable prefix — the state a machine would
+/// reboot with after power loss.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pfrdtn::persist {
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+  /// Size in bytes; 0 if the file does not exist.
+  [[nodiscard]] virtual std::size_t file_size(
+      const std::string& name) const = 0;
+  /// Whole-file read; throws ContractViolation if the file is missing.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_file(
+      const std::string& name) const = 0;
+
+  /// Append bytes (creating the file if needed). Visible, not durable.
+  virtual void append(const std::string& name, const std::uint8_t* data,
+                      std::size_t size) = 0;
+  /// Make everything appended to `name` so far durable.
+  virtual void sync(const std::string& name) = 0;
+  /// Atomically replace `name` with `bytes`, durable on return.
+  virtual void write_file_durable(
+      const std::string& name, const std::vector<std::uint8_t>& bytes) = 0;
+  /// Shrink the file to `size` bytes (no-op if already smaller).
+  virtual void truncate(const std::string& name, std::size_t size) = 0;
+  virtual void remove(const std::string& name) = 0;
+};
+
+/// Real files under a directory, POSIX fsync/rename semantics.
+class FsEnv final : public StorageEnv {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit FsEnv(std::string dir);
+  ~FsEnv() override;
+
+  FsEnv(const FsEnv&) = delete;
+  FsEnv& operator=(const FsEnv&) = delete;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] std::size_t file_size(
+      const std::string& name) const override;
+  [[nodiscard]] std::vector<std::uint8_t> read_file(
+      const std::string& name) const override;
+  void append(const std::string& name, const std::uint8_t* data,
+              std::size_t size) override;
+  void sync(const std::string& name) override;
+  void write_file_durable(
+      const std::string& name,
+      const std::vector<std::uint8_t>& bytes) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  void remove(const std::string& name) override;
+
+ private:
+  [[nodiscard]] std::string path(const std::string& name) const;
+  /// Cached append descriptor for `name` (opened O_APPEND on demand).
+  int append_fd(const std::string& name);
+  void close_fd(const std::string& name);
+  void sync_dir() const;
+
+  std::string dir_;
+  std::map<std::string, int> fds_;
+};
+
+/// In-memory files with an explicit durable watermark per file, for
+/// deterministic crash simulation in tests and the check harness.
+class MemEnv final : public StorageEnv {
+ public:
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] std::size_t file_size(
+      const std::string& name) const override;
+  [[nodiscard]] std::vector<std::uint8_t> read_file(
+      const std::string& name) const override;
+  void append(const std::string& name, const std::uint8_t* data,
+              std::size_t size) override;
+  void sync(const std::string& name) override;
+  void write_file_durable(
+      const std::string& name,
+      const std::vector<std::uint8_t>& bytes) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  void remove(const std::string& name) override;
+
+  /// Simulate power loss: every file rolls back to its durable prefix.
+  void crash();
+
+  /// Bytes of `name` that would survive crash() right now.
+  [[nodiscard]] std::size_t durable_size(const std::string& name) const;
+
+  /// Post-crash torn-tail injection: bytes that made it to the medium
+  /// out of an append that was in flight when the power died. Appended
+  /// raw, durable (they are already "on disk" when recovery runs).
+  void corrupt_append(const std::string& name,
+                      const std::vector<std::uint8_t>& bytes);
+
+ private:
+  struct MemFile {
+    std::vector<std::uint8_t> bytes;
+    std::size_t durable = 0;
+  };
+  std::map<std::string, MemFile> files_;
+};
+
+}  // namespace pfrdtn::persist

@@ -125,6 +125,11 @@ class Item {
   transient_all() const {
     return transient_;
   }
+  /// Replace the whole transient map (WAL replay of a logged
+  /// policy-state snapshot; see src/persist/).
+  void replace_transients(std::map<std::string, std::string> all) {
+    transient_ = std::move(all);
+  }
 
   /// Convenience accessors for integer-valued transient fields.
   [[nodiscard]] std::optional<std::int64_t> transient_int(

@@ -98,4 +98,31 @@ Knowledge Knowledge::deserialize(ByteReader& r) {
   return k;
 }
 
+void Knowledge::serialize_exact(ByteWriter& w) const {
+  universal_.serialize_exact(w);
+  w.uvarint(fragments_.size());
+  for (const Fragment& fragment : fragments_) {
+    fragment.scope.serialize(w);
+    fragment.versions.serialize_exact(w);
+  }
+}
+
+Knowledge Knowledge::deserialize_exact(ByteReader& r) {
+  Knowledge k;
+  k.universal_ = VersionSet::deserialize_exact(r);
+  const std::uint64_t n = r.uvarint();
+  PFRDTN_REQUIRE(n <= kMaxFragments);
+  k.fragments_.reserve(n);
+  // Fragments are restored verbatim, bypassing add_fragment()'s
+  // dedup/subsumption so the recovered vector matches the snapshotted
+  // one element for element.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Filter scope = Filter::deserialize(r);
+    VersionSet versions = VersionSet::deserialize_exact(r);
+    k.fragments_.push_back(
+        Fragment{std::move(scope), std::move(versions)});
+  }
+  return k;
+}
+
 }  // namespace pfrdtn::repl

@@ -103,6 +103,14 @@ class Knowledge {
   void serialize(ByteWriter& w) const;
   static Knowledge deserialize(ByteReader& r);
 
+  /// Structure-preserving codec for checkpoints (src/persist/): keeps
+  /// pinned extras pinned and fragments verbatim (order, structure),
+  /// where the wire codec re-canonicalizes both. A recovered replica
+  /// must be byte-identical to the one that crashed, including the
+  /// local-only pinning that keeps evictable relay copies forgettable.
+  void serialize_exact(ByteWriter& w) const;
+  static Knowledge deserialize_exact(ByteReader& r);
+
  private:
   void add_fragment(Fragment fragment);
   void enforce_fragment_cap();

@@ -15,7 +15,9 @@ const Item& Replica::create(std::map<std::string, std::string> metadata,
   auto evicted = store_.put(std::move(item), in_filter,
                             /*local_origin=*/true);
   PFRDTN_ENSURE(evicted.empty());  // local items are never evictable
-  return store_.find(id)->item;
+  const Item& stored = store_.find(id)->item;
+  if (sink_ != nullptr) sink_->on_local_put(stored);
+  return stored;
 }
 
 const Item& Replica::update(ItemId id,
@@ -34,7 +36,9 @@ const Item& Replica::update(ItemId id,
   // like a creation would.
   store_.supersede(id, std::move(payload), in_filter,
                    /*make_local_origin=*/true);
-  return store_.find(id)->item;
+  const Item& stored = store_.find(id)->item;
+  if (sink_ != nullptr) sink_->on_local_put(stored);
+  return stored;
 }
 
 const Item& Replica::erase(ItemId id) {
@@ -50,7 +54,9 @@ const Item& Replica::erase(ItemId id) {
   const bool in_filter = filter_.matches(Item(payload));
   store_.supersede(id, std::move(payload), in_filter,
                    /*make_local_origin=*/true);
-  return store_.find(id)->item;
+  const Item& stored = store_.find(id)->item;
+  if (sink_ != nullptr) sink_->on_local_put(stored);
+  return stored;
 }
 
 std::vector<Item> Replica::set_filter(Filter filter) {
@@ -67,6 +73,7 @@ std::vector<Item> Replica::set_filter(Filter filter) {
   // eventual filter consistency (this is the substrate's analogue of
   // Cimbiosys's move-in handling).
   rebuild_knowledge();
+  if (sink_ != nullptr) sink_->on_set_filter(filter_);
   return newly_matching;
 }
 
@@ -86,6 +93,15 @@ void Replica::rebuild_knowledge() {
 
 ApplyOutcome Replica::apply_remote(const Item& incoming,
                                    std::vector<Item>& evicted) {
+  const ApplyOutcome outcome = apply_remote_impl(incoming, evicted);
+  // Logged after the mutation so a checkpoint triggered inside the
+  // sink snapshots the applied state (and clears this record with it).
+  if (sink_ != nullptr) sink_->on_apply_remote(incoming);
+  return outcome;
+}
+
+ApplyOutcome Replica::apply_remote_impl(const Item& incoming,
+                                        std::vector<Item>& evicted) {
   PFRDTN_REQUIRE(incoming.version().valid());
   const auto* existing = store_.find(incoming.id());
   const bool in_filter = filter_.matches(incoming);
@@ -144,7 +160,52 @@ bool Replica::discard_relay(ItemId id) {
   const Item item = entry->item;
   store_.remove(id);
   forget_evicted({item});
+  if (sink_ != nullptr) sink_->on_discard_relay(id);
   return true;
+}
+
+void Replica::note_policy_state(ItemId id) {
+  if (sink_ == nullptr) return;
+  const auto* entry = store_.find(id);
+  if (entry == nullptr) return;
+  sink_->on_policy_state(id, entry->item.transient_all());
+}
+
+void Replica::restore_counters(std::uint64_t next_counter,
+                               std::uint64_t next_item_seq) {
+  PFRDTN_REQUIRE(next_counter >= next_counter_);
+  PFRDTN_REQUIRE(next_item_seq >= next_item_seq_);
+  next_counter_ = next_counter;
+  next_item_seq_ = next_item_seq;
+}
+
+void Replica::replay_local_put(Item item) {
+  const Version version = item.version();
+  PFRDTN_REQUIRE(version.author == id_);
+  PFRDTN_REQUIRE(version.valid());
+  knowledge_.add_exact(version);
+  const bool in_filter = filter_.matches(item);
+  const ItemId id = item.id();
+  if (store_.contains(id)) {
+    store_.supersede(id, item.payload(), in_filter,
+                     /*make_local_origin=*/true);
+  } else {
+    auto evicted = store_.put(std::move(item), in_filter,
+                              /*local_origin=*/true);
+    PFRDTN_ENSURE(evicted.empty());
+  }
+  // Advance the authoring counters past the replayed event: a
+  // recovered replica must never reissue a (author, counter) pair.
+  if (version.counter > next_counter_) next_counter_ = version.counter;
+  if ((id.value() >> 32) == id_.value()) {
+    const std::uint64_t seq = id.value() & 0xFFFFFFFFu;
+    if (seq >= next_item_seq_) next_item_seq_ = seq + 1;
+  }
+}
+
+void Replica::replay_policy_state(
+    ItemId id, std::map<std::string, std::string> all) {
+  store_.replace_transients(id, std::move(all));
 }
 
 void Replica::forget_evicted(const std::vector<Item>& evicted) {

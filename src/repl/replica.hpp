@@ -25,6 +25,33 @@ enum class ApplyOutcome {
   Stale,            ///< we already store this or a dominating version
 };
 
+/// Observer of the replica's mutation funnel, notified *after* each
+/// mutation completes. src/persist/ implements this to write-ahead-log
+/// every state change; the hooks carry exactly the inputs needed to
+/// replay the mutation deterministically (evictions, refilters and
+/// knowledge folds re-derive identically on replay, so they are not
+/// logged separately). Hook implementations must not mutate the
+/// replica.
+class ReplicaMutationSink {
+ public:
+  virtual ~ReplicaMutationSink() = default;
+
+  /// A local create/update/erase produced `stored` (already in the
+  /// store; includes the tombstone case).
+  virtual void on_local_put(const Item& stored) = 0;
+  /// apply_remote() ran on `incoming` (transient fields included).
+  /// Called for every outcome — a Stale copy still folds knowledge.
+  virtual void on_apply_remote(const Item& incoming) = 0;
+  virtual void on_set_filter(const Filter& filter) = 0;
+  /// discard_relay() removed a copy (only called when it returned true).
+  virtual void on_discard_relay(ItemId id) = 0;
+  virtual void on_learn(const Knowledge& source_knowledge) = 0;
+  /// A forwarding policy changed a stored copy's transient state
+  /// during batch building; `all` is the copy's full transient map.
+  virtual void on_policy_state(
+      ItemId id, const std::map<std::string, std::string>& all) = 0;
+};
+
 class Replica {
  public:
   Replica(ReplicaId id, Filter filter, ItemStore::Config store_config = {})
@@ -79,7 +106,48 @@ class Replica {
   /// sync, scoped to this replica's filter.
   void learn(const Knowledge& source_knowledge) {
     knowledge_.merge_scoped(source_knowledge, filter_);
+    if (sink_ != nullptr) sink_->on_learn(source_knowledge);
   }
+
+  // ---- durability hooks (src/persist/) ----
+
+  /// Attach (or detach, with nullptr) a mutation observer. The sink
+  /// sees mutations from this point on; attach only after recovery so
+  /// replayed mutations are not re-logged.
+  void set_mutation_sink(ReplicaMutationSink* sink) { sink_ = sink; }
+  [[nodiscard]] ReplicaMutationSink* mutation_sink() const {
+    return sink_;
+  }
+
+  /// Log a stored copy's transient state after a policy mutated it on
+  /// the batch-building path (the one store mutation that bypasses the
+  /// funnel above). No-op when the item is not stored or no sink is
+  /// attached.
+  void note_policy_state(ItemId id);
+
+  [[nodiscard]] std::uint64_t next_counter() const {
+    return next_counter_;
+  }
+  [[nodiscard]] std::uint64_t next_item_seq() const {
+    return next_item_seq_;
+  }
+  /// Restore the authoring counters from a checkpoint. Monotonic:
+  /// counters never move backwards (a reused (author, counter) pair
+  /// would corrupt knowledge system-wide).
+  void restore_counters(std::uint64_t next_counter,
+                        std::uint64_t next_item_seq);
+  /// Overwrite knowledge from a checkpoint's exact codec.
+  void restore_knowledge(Knowledge knowledge) {
+    knowledge_ = std::move(knowledge);
+  }
+
+  /// WAL replay of on_local_put: re-insert the logged item exactly as
+  /// create/update/erase stored it (local origin, knowledge event,
+  /// counters advanced past the logged version).
+  void replay_local_put(Item item);
+  /// WAL replay of on_policy_state.
+  void replay_policy_state(ItemId id,
+                           std::map<std::string, std::string> all);
 
   /// Check the store/knowledge soundness invariant for every stored
   /// item and, via `latest` (a map from item id to the globally newest
@@ -88,6 +156,9 @@ class Replica {
   [[nodiscard]] std::string check_invariants() const;
 
  private:
+  ApplyOutcome apply_remote_impl(const Item& incoming,
+                                 std::vector<Item>& evicted);
+
   /// Fix knowledge after relay evictions so copies can be re-received.
   void forget_evicted(const std::vector<Item>& evicted);
 
@@ -101,6 +172,7 @@ class Replica {
   ItemStore store_;
   std::uint64_t next_counter_ = 0;
   std::uint64_t next_item_seq_ = 0;
+  ReplicaMutationSink* sink_ = nullptr;
 };
 
 }  // namespace pfrdtn::repl

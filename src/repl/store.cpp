@@ -76,6 +76,14 @@ std::optional<TransientView> ItemStore::transient_mutable(ItemId id) {
   return TransientView(it->second.item);
 }
 
+bool ItemStore::replace_transients(
+    ItemId id, std::map<std::string, std::string> all) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  it->second.item.replace_transients(std::move(all));
+  return true;
+}
+
 std::vector<Item> ItemStore::refilter(
     const std::function<bool(const Item&)>& matches,
     std::vector<Item>& evicted) {
@@ -158,6 +166,28 @@ bool ItemStore::for_filter_matches(
     if (filter.matches(entry.item) && !fn(entry)) break;
   }
   return false;
+}
+
+void ItemStore::restore_entry(Item item, bool in_filter,
+                              bool local_origin,
+                              std::uint64_t arrival_seq) {
+  const ItemId id = item.id();
+  PFRDTN_REQUIRE(id.valid());
+  PFRDTN_REQUIRE(entries_.count(id) == 0);
+  PFRDTN_REQUIRE(order_.count(arrival_seq) == 0);
+  auto& entry = entries_[id];
+  entry.item = std::move(item);
+  entry.in_filter = in_filter;
+  entry.local_origin = local_origin;
+  entry.arrival_seq = arrival_seq;
+  order_.emplace(arrival_seq, id);
+  index(entry);
+  if (next_seq_ <= arrival_seq) next_seq_ = arrival_seq + 1;
+}
+
+void ItemStore::set_next_arrival_seq(std::uint64_t seq) {
+  PFRDTN_REQUIRE(seq >= next_seq_);
+  next_seq_ = seq;
 }
 
 void ItemStore::set_in_filter_for_test(ItemId id, bool in_filter) {

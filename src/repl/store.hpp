@@ -98,6 +98,12 @@ class ItemStore {
   /// Nullopt when the item is not stored.
   std::optional<TransientView> transient_mutable(ItemId id);
 
+  /// Replace a stored copy's whole transient map (WAL replay of a
+  /// policy-state snapshot). Indexes are unaffected: no index depends
+  /// on transient state. Returns false when the item is not stored.
+  bool replace_transients(ItemId id,
+                          std::map<std::string, std::string> all);
+
   /// Re-evaluate in_filter flags after a filter change.
   /// `matches` is the new filter predicate. Returns the items that
   /// changed from relay to filter store (newly "delivered" locally) in
@@ -143,6 +149,24 @@ class ItemStore {
   void set_relay_capacity(std::optional<std::size_t> capacity) {
     config_.relay_capacity = capacity;
   }
+
+  // ---- checkpoint support (src/persist/) ----
+  //
+  // Recovery must reproduce the pre-crash store *exactly*, including
+  // each entry's arrival_seq (the deterministic tie-break that makes
+  // post-recovery sync batches byte-identical) and the next sequence
+  // number future arrivals will take.
+
+  /// Re-insert a snapshotted entry verbatim: no capacity enforcement,
+  /// no fresh sequence number. The id and arrival_seq must be unused.
+  void restore_entry(Item item, bool in_filter, bool local_origin,
+                     std::uint64_t arrival_seq);
+
+  [[nodiscard]] std::uint64_t next_arrival_seq() const {
+    return next_seq_;
+  }
+  /// Restore the arrival counter; must not reuse a live sequence.
+  void set_next_arrival_seq(std::uint64_t seq);
 
  private:
   /// Add/remove `entry` to the flag-derived indexes (counters,

@@ -153,6 +153,10 @@ SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
       PFRDTN_ENSURE(stored.has_value());
       source_policy->on_forward(source_ctx, *stored,
                                 TransientView(outgoing));
+      // on_forward charges per-copy routing state (TTL, copy budgets)
+      // on the stored copy — a store mutation outside the replica
+      // funnel, so the durability sink is told explicitly.
+      source.note_policy_state(candidate.id);
     }
     batch.items.push_back(std::move(outgoing));
   }

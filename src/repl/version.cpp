@@ -242,4 +242,61 @@ VersionSet VersionSet::deserialize(ByteReader& r) {
   return vs;
 }
 
+void VersionSet::serialize_exact(ByteWriter& w) const {
+  vv_.serialize(w);
+  serialize_extras(w, extras_);
+  serialize_extras(w, pinned_);
+}
+
+namespace {
+
+/// Decode one delta-encoded extras group map, validating that every
+/// counter is strictly ascending and strictly above the prefix.
+std::map<ReplicaId, std::set<std::uint64_t>> deserialize_extras_exact(
+    ByteReader& r, const VersionVector& vv) {
+  std::map<ReplicaId, std::set<std::uint64_t>> out;
+  const std::uint64_t groups = r.uvarint();
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const ReplicaId author(r.uvarint());
+    PFRDTN_REQUIRE(author.valid());
+    PFRDTN_REQUIRE(out.count(author) == 0);
+    const std::uint64_t n = r.uvarint();
+    PFRDTN_REQUIRE(n <= r.remaining());  // each delta needs >= 1 byte
+    auto& counters = out[author];
+    std::uint64_t counter = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t delta = r.uvarint();
+      PFRDTN_REQUIRE(delta >= 1);  // strictly ascending, >= 1
+      PFRDTN_REQUIRE(counter <= ~std::uint64_t{0} - delta);
+      counter += delta;
+      PFRDTN_REQUIRE(counter > vv.max_counter(author));
+      counters.insert(counter);
+    }
+    if (counters.empty()) out.erase(author);
+  }
+  return out;
+}
+
+}  // namespace
+
+VersionSet VersionSet::deserialize_exact(ByteReader& r) {
+  VersionSet vs;
+  vs.vv_ = VersionVector::deserialize(r);
+  vs.extras_ = deserialize_extras_exact(r, vs.vv_);
+  vs.pinned_ = deserialize_extras_exact(r, vs.vv_);
+  // Extras and pinned must be disjoint, and the smallest unpinned
+  // extra must not sit directly on the prefix (compact() would have
+  // folded it) — a decoded set violating either is not one this code
+  // ever wrote.
+  for (const auto& [author, counters] : vs.extras_) {
+    PFRDTN_REQUIRE(*counters.begin() !=
+                   vs.vv_.max_counter(author) + 1);
+    const auto pinned_it = vs.pinned_.find(author);
+    if (pinned_it == vs.pinned_.end()) continue;
+    for (const std::uint64_t counter : counters)
+      PFRDTN_REQUIRE(pinned_it->second.count(counter) == 0);
+  }
+  return vs;
+}
+
 }  // namespace pfrdtn::repl

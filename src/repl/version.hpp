@@ -170,6 +170,18 @@ class VersionSet {
   void serialize(ByteWriter& w) const;
   static VersionSet deserialize(ByteReader& r);
 
+  /// Structure-preserving codec for checkpoints (src/persist/). The
+  /// wire codec above deliberately erases pinned-ness and refolds
+  /// extras on decode — fine between replicas, but a recovered replica
+  /// must get back the *same* structure or its evictable relay copies
+  /// would no longer be forgettable (can_forget) after a restart.
+  /// deserialize_exact validates the structural invariants (ascending
+  /// counters, extras strictly above the vector prefix, extras and
+  /// pinned disjoint) and throws ContractViolation on anything else,
+  /// so a corrupt checkpoint is rejected rather than loaded.
+  void serialize_exact(ByteWriter& w) const;
+  static VersionSet deserialize_exact(ByteReader& r);
+
  private:
   void compact(ReplicaId author);
   static std::size_t count_of(

@@ -1,0 +1,269 @@
+// The Durability sink end to end on MemEnv: the acknowledgement
+// contract (crash after any fsynced record recovers exactly the state
+// at that record), fsync batching semantics, checkpoint rotation with
+// the epoch guard, stale-log rejection, torn-tail resume, and the
+// skip-fsync injected bug actually losing acknowledged state.
+
+#include "persist/durability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "repl/sync.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace pfrdtn::persist {
+namespace {
+
+using repl::Filter;
+using repl::Item;
+using repl::Replica;
+
+std::map<std::string, std::string> to(std::uint64_t dest) {
+  return {{repl::meta::kDest, std::to_string(dest)}};
+}
+
+Replica make_replica(std::uint64_t id, std::uint64_t addr) {
+  return Replica(ReplicaId(id), Filter::addresses({HostId(addr)}));
+}
+
+std::uint64_t recovered_digest(MemEnv env /* by value: crash a copy */) {
+  env.crash();
+  const auto recovered = recover(env);
+  EXPECT_TRUE(recovered.has_value());
+  return state_digest(recovered->replica);
+}
+
+TEST(Recovery, FreshAttachWritesInitialCheckpoint) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+  EXPECT_EQ(durability.epoch(), 1u);
+  EXPECT_TRUE(env.exists(kCheckpointFile));
+  EXPECT_TRUE(env.exists(kWalFile));
+
+  const auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(state_digest(recovered->replica), state_digest(replica));
+  EXPECT_EQ(recovered->stats.epoch, 1u);
+  EXPECT_EQ(recovered->stats.wal_records_replayed, 0u);
+}
+
+TEST(Recovery, NoCheckpointMeansFreshStart) {
+  MemEnv env;
+  EXPECT_FALSE(recover(env).has_value());
+}
+
+TEST(Recovery, CrashAfterEveryMutationRecoversThatExactState) {
+  // The acknowledgement contract, exhaustively: after each funnel
+  // mutation returns (sync_every_records=1, so each record is fsynced),
+  // a crash at that instant must recover the exact post-mutation state.
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Replica peer = make_replica(2, 5);
+  Durability durability(env);
+  durability.attach(replica);
+
+  std::vector<Item> evicted;
+  const auto check = [&](const char* what) {
+    ASSERT_EQ(recovered_digest(env), state_digest(replica)) << what;
+  };
+
+  const Item& a = replica.create(to(5), {'a'});
+  check("create in filter");
+  const Item& b = replica.create(to(9), {'b'});
+  check("create relay");
+  replica.update(a.id(), to(5), {'a', '2'});
+  check("update");
+  replica.erase(b.id());
+  check("erase");
+  const Item& remote = peer.create(to(5), {'r'});
+  replica.apply_remote(remote, evicted);
+  check("apply_remote");
+  const Item& passing = peer.create(to(7), {'p'});
+  replica.apply_remote(passing, evicted);
+  replica.discard_relay(passing.id());
+  check("discard_relay");
+  replica.set_filter(Filter::addresses({HostId(5), HostId(6)}));
+  check("set_filter");
+  replica.learn(peer.knowledge());
+  check("learn");
+}
+
+TEST(Recovery, FsyncBatchingAcksOnlySyncedRecords) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  DurabilityOptions options;
+  options.sync_every_records = 3;
+  Durability durability(env, options);
+  durability.attach(replica);
+
+  replica.create(to(5), {'1'});
+  replica.create(to(5), {'2'});
+  const std::uint64_t digest_after_two = state_digest(replica);
+  replica.create(to(5), {'3'});  // completes the batch: fsync
+  const std::uint64_t digest_after_three = state_digest(replica);
+  replica.create(to(5), {'4'});  // pending, not yet durable
+  replica.create(to(5), {'5'});  // pending
+
+  // A crash now forgets the two unsynced records — they were never
+  // acknowledged — but keeps the full synced batch.
+  EXPECT_EQ(recovered_digest(env), digest_after_three);
+  EXPECT_NE(digest_after_three, digest_after_two);
+
+  // flush() extends the contract to everything appended.
+  durability.flush();
+  EXPECT_EQ(recovered_digest(env), state_digest(replica));
+}
+
+TEST(Recovery, SkipFsyncBugLosesAcknowledgedState) {
+  // The injectable bug behind `check --inject-bug skip-fsync`: hooks
+  // acknowledge records that were never made durable, so a crash rolls
+  // the replica back to the initial checkpoint.
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  const std::uint64_t empty_digest = state_digest(replica);
+  DurabilityOptions options;
+  options.unsafe_skip_fsync = true;
+  Durability durability(env, options);
+  durability.attach(replica);
+
+  replica.create(to(5), {'a'});
+  durability.flush();
+  ASSERT_NE(state_digest(replica), empty_digest);
+  EXPECT_EQ(recovered_digest(env), empty_digest);  // state lost
+}
+
+TEST(Recovery, CheckpointRotationAdvancesEpochAndResetsLog) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  DurabilityOptions options;
+  options.checkpoint_every_bytes = 1;  // roll after every mutation
+  Durability durability(env, options);
+  durability.attach(replica);
+  ASSERT_EQ(durability.checkpoints_written(), 1u);
+
+  replica.create(to(5), {'a'});
+  replica.create(to(5), {'b'});
+  EXPECT_EQ(durability.epoch(), 3u);  // initial + one roll per create
+  EXPECT_EQ(durability.checkpoints_written(), 3u);
+
+  const auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->stats.epoch, 3u);
+  EXPECT_EQ(recovered->stats.wal_records_replayed, 0u);
+  EXPECT_EQ(state_digest(recovered->replica), state_digest(replica));
+}
+
+TEST(Recovery, ExplicitCheckpointNowIsCrashSafe) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+  replica.create(to(5), {'a'});
+  durability.checkpoint_now();
+  replica.create(to(5), {'b'});
+
+  EXPECT_EQ(recovered_digest(env), state_digest(replica));
+  const auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->stats.epoch, 2u);
+  EXPECT_EQ(recovered->stats.wal_records_replayed, 1u);  // only 'b'
+}
+
+TEST(Recovery, StaleEpochLogIsIgnored) {
+  // Epoch guard: a log left over from before a checkpoint roll (crash
+  // between checkpoint publish and WAL reset) must not replay on top
+  // of the newer checkpoint.
+  MemEnv env;
+  Replica old_state = make_replica(1, 5);
+  {
+    Durability durability(env);
+    durability.attach(old_state);
+    old_state.create(to(5), {'a'});  // epoch-1 WAL record
+    durability.detach();
+  }
+  Replica new_state =
+      decode_replica_state(encode_replica_state(old_state));
+  new_state.create(to(5), {'b'});
+  // Publish the epoch-2 checkpoint but "crash" before the WAL reset:
+  // the epoch-1 log with its record is still on disk.
+  env.write_file_durable(kCheckpointFile,
+                         encode_checkpoint(2, new_state));
+
+  const auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->stats.wal_stale);
+  EXPECT_EQ(recovered->stats.wal_records_replayed, 0u);
+  EXPECT_EQ(state_digest(recovered->replica), state_digest(new_state));
+}
+
+TEST(Recovery, TornTailIsTruncatedAndLoggingResumes) {
+  MemEnv env;
+  std::uint64_t digest_before_crash = 0;
+  {
+    Replica replica = make_replica(1, 5);
+    Durability durability(env);
+    durability.attach(replica);
+    replica.create(to(5), {'a'});
+    digest_before_crash = state_digest(replica);
+    durability.detach();
+  }
+  // Power cut mid-append: garbage bytes after the valid prefix.
+  env.crash();
+  env.corrupt_append(kWalFile, {0x13, 0x37, 0xFF, 0x00, 0xAB});
+
+  auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->stats.wal_bytes_truncated, 5u);
+  EXPECT_EQ(state_digest(recovered->replica), digest_before_crash);
+
+  // attach() truncates the tail; the next record lands cleanly.
+  Replica replica = std::move(recovered->replica);
+  Durability durability(env);
+  durability.attach(replica);
+  replica.create(to(5), {'b'});
+  EXPECT_EQ(recovered_digest(env), state_digest(replica));
+}
+
+TEST(Recovery, RecoveredReplicaSyncsByteIdentically) {
+  // Crash + recovery must be invisible to the peer: the recovered
+  // replica answers a sync request with the byte-identical batch the
+  // never-crashed replica would send.
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+  for (int i = 0; i < 4; ++i)
+    replica.create(to(5), {static_cast<std::uint8_t>('a' + i)});
+
+  env.crash();
+  auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+
+  Replica target = make_replica(9, 5);
+  const repl::SyncRequest request =
+      repl::make_request(target, nullptr, replica.id(), SimTime(0));
+  ByteWriter a, b;
+  repl::build_batch(replica, nullptr, request, SimTime(0)).serialize(a);
+  repl::build_batch(recovered->replica, nullptr, request, SimTime(0))
+      .serialize(b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(Recovery, DetachStopsLogging) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+  replica.create(to(5), {'a'});
+  const std::uint64_t digest_at_detach = state_digest(replica);
+  durability.detach();
+  EXPECT_FALSE(durability.attached());
+  replica.create(to(5), {'b'});  // unobserved: not durable
+
+  EXPECT_EQ(recovered_digest(env), digest_at_detach);
+}
+
+}  // namespace
+}  // namespace pfrdtn::persist

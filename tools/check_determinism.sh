@@ -6,7 +6,10 @@
 #      learn-truncated) is detected, exits nonzero, reproduces
 #      byte-identically (including the shrunk schedule), and shrinks to
 #      a small schedule;
-#   3. clean runs exit zero.
+#   3. clean runs exit zero;
+#   4. with crash events enabled, the injected durability bug
+#      (--inject-bug skip-fsync) is caught by the crash probe,
+#      reproduces byte-identically, and also shrinks small.
 set -euo pipefail
 
 bin="$1"
@@ -35,6 +38,32 @@ events="$(sed -n 's/.*shrunk to \([0-9]*\) event(s).*/\1/p' "$tmp/bug1")"
 }
 
 # 3. Clean runs exit zero (already implied by set -e above, but make
-# the passing verdict explicit).
+# the passing verdict explicit). Crash-restart events with the real
+# durability config are invisible: the run still passes.
 grep -q "check passed" "$tmp/clean1"
-echo "check-cli determinism OK (bug shrunk to $events events)"
+"$bin" check --seed 5 --runs 3 --crash-rate 0.3 > "$tmp/crash_clean"
+grep -q "check passed" "$tmp/crash_clean"
+
+# 4. The injected fsync-skipping bug loses acknowledged state at a
+# crash; the durability probe must catch, reproduce, and shrink it.
+rc=0
+"$bin" check --replay 1 --crash-rate 0.3 --inject-bug skip-fsync --log \
+  > "$tmp/fsync1" || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1, got $rc"; exit 1; }
+"$bin" check --replay 1 --crash-rate 0.3 --inject-bug skip-fsync --log \
+  > "$tmp/fsync2" || true
+diff "$tmp/fsync1" "$tmp/fsync2"
+grep -q "INVARIANT VIOLATION" "$tmp/fsync1"
+grep -Eq "probe: *(durability|crash-recovery)" "$tmp/fsync1"
+grep -q \
+  "replay: pfrdtn check --crash-rate 0.3 --inject-bug skip-fsync --replay 1" \
+  "$tmp/fsync1"
+fsync_events="$(sed -n 's/.*shrunk to \([0-9]*\) event(s).*/\1/p' \
+  "$tmp/fsync1")"
+[ -n "$fsync_events" ] && [ "$fsync_events" -le 20 ] || {
+  echo "skip-fsync shrunk schedule too large: '$fsync_events' events"
+  exit 1
+}
+
+echo "check-cli determinism OK (bugs shrunk to $events and" \
+  "$fsync_events events)"

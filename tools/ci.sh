@@ -65,6 +65,29 @@ run_check_stage() {
   "$bin" check --seed "$seed" --runs "$runs"
   "$bin" check --seed "$seed" --runs "$((runs / 4))" --cut-rate 0.7 \
     --storage 1
+  # Crash-restart events against the WAL + checkpoint recovery path:
+  # every crash must recover the exact acknowledged state (the
+  # durability probe digests state before and after).
+  "$bin" check --seed "$seed" --runs "$((runs / 4))" --crash-rate 0.2 \
+    --cut-rate 0.3
+}
+
+# The durability oracle must actually bite: with fsync skipped, a
+# fixed-seed crash schedule has to fail with a durability violation
+# and shrink to a small reproduction. Guards against the crash probe
+# silently degrading into a no-op.
+run_durability_oracle_proof() {
+  local name="$1"
+  local bin="$ROOT/build-ci/$name/tools/pfrdtn"
+  echo "=== [$name] check: skip-fsync bug is caught ==="
+  local rc=0
+  "$bin" check --seed 1 --runs 10 --crash-rate 0.3 \
+    --inject-bug skip-fsync > /dev/null || rc=$?
+  if [[ "$rc" -ne 1 ]]; then
+    echo "skip-fsync injection was not detected (exit $rc)" >&2
+    exit 1
+  fi
+  echo "durability oracle caught the injected fsync skip"
 }
 
 run_suite plain
@@ -76,5 +99,7 @@ run_check_stage plain 400
 # Sanitized execution is ~10x slower; fewer schedules, same coverage
 # of the memory-safety dimension.
 run_check_stage asan-ubsan 60
+run_durability_oracle_proof plain
+run_durability_oracle_proof asan-ubsan
 
 echo "CI OK"

@@ -6,6 +6,7 @@
 ///   run           run one emulation (generated or file-based traces)
 ///   serve         host a replica, accepting sync sessions over TCP
 ///   sync-with     synchronize with a serving replica over TCP
+///   state-digest  print the digest of a crash-durable state directory
 ///   check         run randomized fault-schedule invariant checks over
 ///                 the real sync stack (see docs/checking.md)
 ///
@@ -25,19 +26,24 @@
 /// identical results (the TCP subcommands excepted — they talk to
 /// real peers).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/harness.hpp"
 #include "dtn/registry.hpp"
 #include "net/session.hpp"
 #include "net/tcp.hpp"
+#include "persist/durability.hpp"
 #include "sim/experiment.hpp"
 #include "trace/trace_io.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -59,15 +65,19 @@ using namespace pfrdtn;
       "               [--scale X]\n"
       "  serve        --port N [--port-file FILE] --addr A [--addr A]...\n"
       "               [--id N] [--max-sessions N] [--bandwidth N]\n"
+      "               [--state-dir DIR] [--kill-after-records N]\n"
       "  sync-with    --host H --port N [--port-file FILE] --addr A\n"
       "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
       "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
+      "               [--state-dir DIR] [--retries N] [--retry-base-ms N]\n"
+      "  state-digest --state-dir DIR\n"
       "  check        [--seed S] [--runs N] [--replay S] [--log]\n"
       "               [--replicas N] [--steps N] [--addresses N]\n"
       "               [--cut-rate X] [--cap-rate X] [--throttle-rate X]\n"
       "               [--filter-rate X] [--discard-rate X] [--storage N]\n"
-      "               [--quiesce N] [--no-shrink] [--shrink-budget N]\n"
-      "               [--inject-bug learn-truncated]\n"
+      "               [--crash-rate X] [--quiesce N] [--no-shrink]\n"
+      "               [--shrink-budget N]\n"
+      "               [--inject-bug learn-truncated|skip-fsync]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -297,14 +307,64 @@ void report_sync(const char* label, const repl::SyncStats& stats) {
       stats.complete ? 1 : 0, stats.request_bytes, stats.batch_bytes);
 }
 
+/// A DtnNode plus its (optional) crash-durable state. When `state_dir`
+/// is non-empty: recover the replica if a checkpoint exists, else start
+/// fresh, and attach the WAL sink either way — every later mutation is
+/// durable before the funnel returns.
+struct DurableNode {
+  std::unique_ptr<persist::FsEnv> env;
+  std::unique_ptr<persist::Durability> durability;
+  std::optional<dtn::DtnNode> node;
+};
+
+DurableNode make_durable_node(const std::string& state_dir,
+                              std::uint64_t id, bool id_explicit,
+                              persist::DurabilityOptions options = {}) {
+  DurableNode out;
+  if (state_dir.empty()) {
+    out.node.emplace(ReplicaId(id));
+    return out;
+  }
+  out.env = std::make_unique<persist::FsEnv>(state_dir);
+  if (auto recovered = persist::recover(*out.env)) {
+    std::printf(
+        "recovered replica %llu from %s: epoch=%llu replayed=%zu "
+        "torn_bytes=%zu%s\n",
+        static_cast<unsigned long long>(recovered->replica.id().value()),
+        state_dir.c_str(),
+        static_cast<unsigned long long>(recovered->stats.epoch),
+        recovered->stats.wal_records_replayed,
+        recovered->stats.wal_bytes_truncated,
+        recovered->stats.wal_stale ? " (stale log ignored)" : "");
+    if (id_explicit && recovered->replica.id().value() != id) {
+      std::fprintf(stderr,
+                   "warning: --id %llu ignored; state directory holds "
+                   "replica %llu\n",
+                   static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(
+                       recovered->replica.id().value()));
+    }
+    out.node.emplace(std::move(recovered->replica));
+  } else {
+    out.node.emplace(ReplicaId(id));
+  }
+  out.durability =
+      std::make_unique<persist::Durability>(*out.env, options);
+  out.durability->attach(out.node->replica());
+  return out;
+}
+
 int cmd_serve(Args& args) {
   std::uint16_t port = 0;
   bool have_port = false;
   std::string port_file;
+  std::string state_dir;
   std::set<HostId> addrs;
   std::uint64_t id = 1;
+  bool id_explicit = false;
   std::size_t max_sessions = 0;  // 0 = serve forever
   repl::SyncOptions sync_options;
+  persist::DurabilityOptions durability_options;
 
   while (!args.done()) {
     const std::string flag = args.next();
@@ -317,23 +377,37 @@ int cmd_serve(Args& args) {
       addrs.insert(HostId(parse_u64(args.value("--addr"))));
     } else if (flag == "--id") {
       id = parse_u64(args.value("--id"));
+      id_explicit = true;
     } else if (flag == "--max-sessions") {
       max_sessions = parse_u64(args.value("--max-sessions"));
     } else if (flag == "--bandwidth") {
       sync_options.max_items = parse_u64(args.value("--bandwidth"));
+    } else if (flag == "--state-dir") {
+      state_dir = args.value("--state-dir");
+    } else if (flag == "--kill-after-records") {
+      durability_options.kill_after_records =
+          parse_u64(args.value("--kill-after-records"));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
   }
   if (!have_port) usage("serve requires --port (0 = ephemeral)");
   if (addrs.empty()) usage("serve requires at least one --addr");
+  if (durability_options.kill_after_records != 0 && state_dir.empty())
+    usage("--kill-after-records requires --state-dir");
 
-  dtn::DtnNode node{ReplicaId(id)};
-  node.set_addresses(addrs, {}, SimTime(0));
+  DurableNode durable =
+      make_durable_node(state_dir, id, id_explicit, durability_options);
+  dtn::DtnNode& node = *durable.node;
+  // After recovery the node-level delivered ledger is empty (it is not
+  // persisted), so recovered messages addressed to us re-report here —
+  // delivery is at-least-once across restarts, never lost.
+  report_delivered(node.set_addresses(addrs, {}, SimTime(0)));
 
   net::TcpListener listener(port);
   std::printf("serving replica %llu on port %u\n",
-              static_cast<unsigned long long>(id), listener.port());
+              static_cast<unsigned long long>(node.id().value()),
+              listener.port());
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream out(port_file);
@@ -342,15 +416,26 @@ int cmd_serve(Args& args) {
   }
 
   std::size_t sessions = 0;
+  std::size_t accept_failures = 0;
   while (max_sessions == 0 || sessions < max_sessions) {
     net::ConnectionPtr connection;
     try {
       connection = listener.accept();
+      accept_failures = 0;
     } catch (const net::TransportError& failure) {
+      // Transient accept errors (EMFILE, aborted handshakes) must not
+      // take the server down; only a persistently broken listener does.
       std::fprintf(stderr, "accept failed: %s\n", failure.what());
-      return 1;
+      if (++accept_failures >= 8) {
+        std::fprintf(stderr,
+                     "giving up after %zu consecutive accept failures\n",
+                     accept_failures);
+        return 1;
+      }
+      continue;
     }
     ++sessions;
+    const std::string peer = connection->peer_description();
     try {
       const auto outcome = net::serve_session(
           *connection, node.replica(), node.policy(), SimTime(0),
@@ -368,8 +453,12 @@ int cmd_serve(Args& args) {
           outcome.applied.result.delivered, SimTime(0)));
     } catch (const ContractViolation& violation) {
       // A malformed peer must not take the server down.
-      std::fprintf(stderr, "session %zu: protocol error: %s\n", sessions,
-                   violation.what());
+      std::fprintf(stderr, "session %zu [%s]: protocol error: %s\n",
+                   sessions, peer.c_str(), violation.what());
+    } catch (const net::TransportError& failure) {
+      // Nor a peer that vanishes mid-handshake — routine in a DTN.
+      std::fprintf(stderr, "session %zu [%s]: transport error: %s\n",
+                   sessions, peer.c_str(), failure.what());
     }
     std::printf("store=%zu\n", node.replica().store().size());
     std::fflush(stdout);
@@ -377,12 +466,46 @@ int cmd_serve(Args& args) {
   return 0;
 }
 
+/// Connect with a bounded retry budget and jittered exponential
+/// backoff: in a DTN encounter the peer's listener may come up moments
+/// after we notice the contact, so ECONNREFUSED must not abort the
+/// whole encounter. Jitter desynchronizes nodes retrying after the
+/// same contact event.
+net::ConnectionPtr connect_with_retries(const std::string& host,
+                                        std::uint16_t port,
+                                        const net::TcpOptions& options,
+                                        std::size_t retries,
+                                        std::uint64_t base_ms) {
+  Rng jitter(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  std::uint64_t delay_ms = base_ms == 0 ? 1 : base_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return net::tcp_connect(host, port, options);
+    } catch (const net::TransportError& failure) {
+      if (attempt >= retries) throw;
+      const std::uint64_t sleep_ms =
+          delay_ms / 2 + jitter.below(delay_ms / 2 + 1);
+      std::fprintf(stderr,
+                   "connect attempt %zu failed: %s; retrying in %llums\n",
+                   attempt + 1, failure.what(),
+                   static_cast<unsigned long long>(sleep_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      delay_ms *= 2;
+    }
+  }
+}
+
 int cmd_sync_with(Args& args) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::string port_file;
+  std::string state_dir;
   std::optional<std::uint64_t> addr;
   std::uint64_t id = 2;
+  bool id_explicit = false;
+  std::size_t retries = 4;
+  std::uint64_t retry_base_ms = 100;
   net::SyncMode mode = net::SyncMode::Encounter;
   net::TcpOptions tcp_options;
   repl::SyncOptions sync_options;
@@ -400,6 +523,13 @@ int cmd_sync_with(Args& args) {
       addr = parse_u64(args.value("--addr"));
     } else if (flag == "--id") {
       id = parse_u64(args.value("--id"));
+      id_explicit = true;
+    } else if (flag == "--state-dir") {
+      state_dir = args.value("--state-dir");
+    } else if (flag == "--retries") {
+      retries = parse_u64(args.value("--retries"));
+    } else if (flag == "--retry-base-ms") {
+      retry_base_ms = parse_u64(args.value("--retry-base-ms"));
     } else if (flag == "--send") {
       const std::string kv = args.value("--send");
       const auto eq = kv.find('=');
@@ -436,13 +566,15 @@ int cmd_sync_with(Args& args) {
   }
   if (port == 0) usage("sync-with requires --port or --port-file");
 
-  dtn::DtnNode node{ReplicaId(id)};
+  DurableNode durable = make_durable_node(state_dir, id, id_explicit);
+  dtn::DtnNode& node = *durable.node;
   node.set_addresses({HostId(*addr)}, {}, SimTime(0));
   for (const auto& [dest, body] : sends)
     node.send(HostId(*addr), {HostId(dest)}, body, SimTime(0));
 
   try {
-    const auto connection = net::tcp_connect(host, port, tcp_options);
+    const auto connection = connect_with_retries(
+        host, port, tcp_options, retries, retry_base_ms);
     const auto outcome = net::run_client_session(
         *connection, node.replica(), node.policy(), mode, SimTime(0),
         sync_options);
@@ -460,6 +592,41 @@ int cmd_sync_with(Args& args) {
     std::fprintf(stderr, "error: %s\n", failure.what());
     return 1;
   }
+  return 0;
+}
+
+int cmd_state_digest(Args& args) {
+  std::string state_dir;
+  while (!args.done()) {
+    const std::string flag = args.next();
+    if (flag == "--state-dir") {
+      state_dir = args.value("--state-dir");
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (state_dir.empty()) usage("state-digest requires --state-dir");
+
+  persist::FsEnv env(state_dir);
+  const auto recovered = persist::recover(env);
+  if (!recovered) {
+    std::fprintf(stderr, "no checkpoint in %s\n", state_dir.c_str());
+    return 1;
+  }
+  const repl::Replica& replica = recovered->replica;
+  // The digest line is the comparison key for crash e2e tests: two
+  // state directories with equal digests hold byte-identical replica
+  // state and will build byte-identical sync batches.
+  std::printf("digest=%016llx\n",
+              static_cast<unsigned long long>(
+                  persist::state_digest(replica)));
+  std::printf("replica=%llu items=%zu relay=%zu next_counter=%llu "
+              "epoch=%llu replayed=%zu\n",
+              static_cast<unsigned long long>(replica.id().value()),
+              replica.store().size(), replica.store().relay_count(),
+              static_cast<unsigned long long>(replica.next_counter()),
+              static_cast<unsigned long long>(recovered->stats.epoch),
+              recovered->stats.wal_records_replayed);
   return 0;
 }
 
@@ -513,6 +680,9 @@ int cmd_check(Args& args) {
     } else if (flag == "--storage") {
       options.config.relay_capacity =
           parse_u64(config_flag(flag, args.value("--storage")));
+    } else if (flag == "--crash-rate") {
+      options.config.crash_rate =
+          std::atof(config_flag(flag, args.value("--crash-rate")));
     } else if (flag == "--quiesce") {
       options.config.quiescence_rounds =
           parse_u64(config_flag(flag, args.value("--quiesce")));
@@ -522,9 +692,14 @@ int cmd_check(Args& args) {
       options.shrink_budget = parse_u64(args.value("--shrink-budget"));
     } else if (flag == "--inject-bug") {
       const std::string bug = args.value("--inject-bug");
-      if (bug != "learn-truncated") usage("unknown --inject-bug");
-      options.config.inject_learn_truncated = true;
-      config_flags += " --inject-bug learn-truncated";
+      if (bug == "learn-truncated") {
+        options.config.inject_learn_truncated = true;
+      } else if (bug == "skip-fsync") {
+        options.config.inject_skip_fsync = true;
+      } else {
+        usage("unknown --inject-bug");
+      }
+      config_flags += " --inject-bug " + bug;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -553,6 +728,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "sync-with") return cmd_sync_with(args);
+    if (command == "state-digest") return cmd_state_digest(args);
     if (command == "check") return cmd_check(args);
     if (command == "--help" || command == "help") usage();
     usage(("unknown command " + command).c_str());
