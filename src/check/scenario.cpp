@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "check/oracle.hpp"
+#include "net/chaos.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/durability.hpp"
 #include "util/rng.hpp"
@@ -11,6 +12,59 @@
 namespace pfrdtn::check {
 
 namespace {
+
+/// Attacks the harness drives against a victim's serve_session. All of
+/// net::ChaosAttack except LyingCountShort: that script delivers a
+/// well-formed item authored by the chaos replica before violating the
+/// count contract, which would poison the oracle's ledger with an item
+/// it never witnessed. Selected by `event.selector % size`, so the
+/// list may only ever grow at the end (replay stability).
+constexpr net::ChaosAttack kHarnessAttacks[] = {
+    net::ChaosAttack::OversizeRequest,
+    net::ChaosAttack::OversizeItem,
+    net::ChaosAttack::LyingCountHuge,
+    net::ChaosAttack::OutOfOrderFrame,
+    net::ChaosAttack::GiantKnowledge,
+    net::ChaosAttack::GiantPolicyBlob,
+    net::ChaosAttack::ByteTrickle,
+    net::ChaosAttack::BadMagic,
+    net::ChaosAttack::CloseAfterHello,
+    net::ChaosAttack::CloseMidHeader,
+    net::ChaosAttack::CloseMidBatch,
+};
+
+constexpr std::size_t kHarnessAttackCount =
+    sizeof(kHarnessAttacks) / sizeof(kHarnessAttacks[0]);
+
+net::ChaosAttack harness_attack(const Event& event) {
+  return kHarnessAttacks[event.selector % kHarnessAttackCount];
+}
+
+/// Tight limits for adversary sessions, so every attack payload stays
+/// tiny and the whole sweep runs in microseconds. The victim's honest
+/// syncs never go through these — they use the default limits.
+net::ResourceLimits adversary_limits() {
+  net::ResourceLimits limits;
+  limits.max_request_bytes = 4096;
+  limits.max_item_bytes = 2048;
+  limits.max_batch_end_bytes = 2048;
+  limits.max_batch_items = 8;
+  limits.max_knowledge_entries = 64;
+  limits.max_policy_blob_bytes = 256;
+  limits.max_decode_elements = 512;
+  limits.session_byte_ceiling = 16u << 10;
+  return limits;
+}
+
+/// Per-write latency and session deadline for adversary links, in
+/// simulated seconds. A byte-trickling peer makes 46 writes (6 dribbled
+/// bytes + 40 empty stall writes), charging 5.75s against a 2.0s
+/// deadline; every honest attack script finishes well under it.
+constexpr double kAdversaryLatencySeconds = 0.125;
+constexpr double kAdversaryDeadlineSeconds = 2.0;
+/// The deadline probe's ceiling: the crossing write may overshoot by
+/// up to two latency charges (one per side of the link).
+constexpr double kAdversaryDeadlineSlack = 2 * kAdversaryLatencySeconds;
 
 /// Relay-everything forwarding policy: out-of-filter items travel at
 /// Normal priority, so relay storage, eviction, and policy-extra
@@ -154,6 +208,8 @@ class Engine {
         return apply_sync(index, event);
       case EventKind::CrashRestart:
         return apply_crash(index, event);
+      case EventKind::Adversary:
+        return apply_adversary(index, event);
     }
     return "";
   }
@@ -247,6 +303,70 @@ class Engine {
                                      outcome.client.transport_failed);
     }
     return note;
+  }
+
+  /// One scripted hostile peer attacks the actor's serve_session over
+  /// a deadline-armed loopback link: the attacker pre-writes its whole
+  /// script (the link buffers; half-duplex, same as the sync drives),
+  /// then the victim serves until it rejects, the link dies, or the
+  /// batch ends. Two probes: violation-class attacks must end in a
+  /// rejection (ContractViolation / ResourceLimitError), and no attack
+  /// may hold the session past the deadline in simulated time.
+  std::string apply_adversary(std::size_t index, const Event& event) {
+    const net::ChaosAttack attack = harness_attack(event);
+    const net::ResourceLimits limits =
+        scenario_.config.inject_skip_limit_check
+            ? net::ResourceLimits::unlimited()
+            : adversary_limits();
+    net::LoopbackFaults faults;
+    faults.latency_seconds = kAdversaryLatencySeconds;
+    if (!scenario_.config.inject_no_deadline)
+      faults.deadline_seconds = kAdversaryDeadlineSeconds;
+    net::LoopbackLink link(faults);
+
+    net::ChaosPeerOptions chaos;
+    chaos.limits = adversary_limits();  // size payloads past the caps
+    chaos.read_replies = false;         // sequential drive: server not run yet
+    const net::ChaosOutcome sent =
+        net::run_chaos_attack(link.a(), attack, chaos);
+
+    bool rejected = false;
+    std::string reason;
+    try {
+      const auto outcome = net::serve_session(
+          link.b(), replicas_[event.actor], &policy_,
+          SimTime(static_cast<std::int64_t>(index)), {}, limits);
+      if (outcome.transport_failed) reason = outcome.error;
+    } catch (const ContractViolation& violation) {
+      rejected = true;
+      reason = violation.what();
+    }
+
+    if (net::chaos_attack_is_violation(attack) && !rejected) {
+      fail(index, "adversary-containment",
+           std::string("attack ") + net::chaos_attack_name(attack) +
+               " on r" + std::to_string(event.actor) +
+               " was not rejected (" +
+               (reason.empty() ? "session completed" : reason) + ")");
+    } else if (!net::chaos_attack_is_violation(attack) && rejected) {
+      fail(index, "adversary-containment",
+           std::string("attack ") + net::chaos_attack_name(attack) +
+               " on r" + std::to_string(event.actor) +
+               " looks like a dying link but was rejected as a"
+               " violation: " + reason);
+    }
+    const double elapsed = link.simulated_seconds();
+    if (!result_.violation &&
+        elapsed > kAdversaryDeadlineSeconds + kAdversaryDeadlineSlack) {
+      fail(index, "adversary-deadline",
+           std::string("attack ") + net::chaos_attack_name(attack) +
+               " held r" + std::to_string(event.actor) + "'s session " +
+               std::to_string(elapsed) + "s of simulated time, past the " +
+               std::to_string(kAdversaryDeadlineSeconds) + "s deadline");
+    }
+    return " -> " + std::string(rejected ? "rejected" : "absorbed") +
+           " bytes_in=" + std::to_string(sent.bytes_sent) +
+           " t=" + std::to_string(elapsed);
   }
 
   /// Append deterministic torn-tail bytes to the crashed log, modeling
@@ -428,6 +548,10 @@ Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed) {
       event.kind = EventKind::CrashRestart;
       event.crash_torn_mode = static_cast<std::uint8_t>(rng.below(4));
       event.selector = rng();
+    } else if (roll < (band += config.adversary_rate)) {
+      // Same replay-stability contract as the crash band above.
+      event.kind = EventKind::Adversary;
+      event.selector = rng();
     } else {
       event.kind = EventKind::Sync;
       event.peer = static_cast<std::uint32_t>(
@@ -491,6 +615,10 @@ std::string format_event(std::size_t index, const Event& event) {
       line += "crash r" + std::to_string(event.actor) + " torn=" +
               std::to_string(event.crash_torn_mode) + " sel=" +
               std::to_string(event.selector % 1000);
+      break;
+    case EventKind::Adversary:
+      line += "adversary r" + std::to_string(event.actor) + " attack=" +
+              net::chaos_attack_name(harness_attack(event));
       break;
   }
   return line;

@@ -61,6 +61,16 @@ bool DtnNode::try_deliver(const repl::Item& item, SimTime now,
   }
   if (!addressed_here) return false;
   if (!delivered_.insert(item.id()).second) return false;
+  if (delivery_sink_) {
+    try {
+      delivery_sink_(item.id());
+    } catch (...) {
+      // The ledger write failed: withdraw the delivery so the message
+      // re-reports later rather than vanishing unreported.
+      delivered_.erase(item.id());
+      throw;
+    }
+  }
   if (policy_) policy_->note_delivered(item.id(), now);
   out.push_back(std::move(*message));
   return true;

@@ -26,9 +26,10 @@ class DtnNode {
       : replica_(id, repl::Filter::none(), store_config) {}
 
   /// Adopt a recovered replica (crash restart from a state directory;
-  /// see src/persist/). The node-level delivered-message ledger is not
-  /// persisted, so already-delivered messages re-report after recovery
-  /// — app-level exactly-once is per process lifetime.
+  /// see src/persist/). Seed the delivered-message ledger from
+  /// RecoveredReplica::delivered and wire set_delivery_sink back into
+  /// persist::Durability::note_delivered to make delivery reporting
+  /// exactly-once across crashes, not just per process lifetime.
   explicit DtnNode(repl::Replica replica) : replica_(std::move(replica)) {}
 
   [[nodiscard]] ReplicaId id() const { return replica_.id(); }
@@ -76,6 +77,21 @@ class DtnNode {
     return delivered_.count(id) > 0;
   }
 
+  /// Pre-mark messages as already delivered (recovered ledger): they
+  /// will never re-report. Call before any delivery can happen.
+  void seed_delivered(const std::set<ItemId>& ids) {
+    delivered_.insert(ids.begin(), ids.end());
+  }
+
+  /// Observer invoked once per first-time delivery, before the message
+  /// is handed to the application. A durability layer persists the id
+  /// here; if persisting throws, the ledger entry is rolled back and
+  /// the message is NOT reported — it re-reports after recovery
+  /// instead of being lost (at-least-once degraded, never dropped).
+  void set_delivery_sink(std::function<void(ItemId)> sink) {
+    delivery_sink_ = std::move(sink);
+  }
+
  private:
   /// The node's filter: hosted ∪ extra addresses.
   [[nodiscard]] repl::Filter make_filter() const;
@@ -88,6 +104,7 @@ class DtnNode {
   std::set<HostId> hosted_;
   std::set<HostId> extra_;
   std::unordered_set<ItemId> delivered_;
+  std::function<void(ItemId)> delivery_sink_;
 };
 
 /// How one one-way sync is executed. Defaults to the in-process

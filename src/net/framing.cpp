@@ -31,4 +31,35 @@ Frame expect_frame(Connection& connection, repl::SyncFrame type) {
   return frame;
 }
 
+std::size_t write_frame(Connection& connection, repl::SyncFrame type,
+                        const std::vector<std::uint8_t>& payload,
+                        SessionBudget& budget) {
+  budget.charge(framed_size(payload.size()));
+  return write_frame(connection, type, payload);
+}
+
+Frame read_frame(Connection& connection, SessionBudget& budget) {
+  std::uint8_t header_bytes[kFrameHeaderSize];
+  connection.read(header_bytes, kFrameHeaderSize);
+  const FrameHeader header = decode_frame_header(header_bytes);
+  // Admission before allocation: the length field is attacker data
+  // until this call passes.
+  budget.admit_frame(header.type, header.length);
+  Frame frame;
+  frame.type = static_cast<repl::SyncFrame>(header.type);
+  frame.payload.resize(header.length);
+  if (header.length > 0)
+    connection.read(frame.payload.data(), header.length);
+  frame.wire_bytes = framed_size(header.length);
+  budget.charge(frame.wire_bytes);
+  return frame;
+}
+
+Frame expect_frame(Connection& connection, repl::SyncFrame type,
+                   SessionBudget& budget) {
+  Frame frame = read_frame(connection, budget);
+  PFRDTN_REQUIRE(frame.type == type);
+  return frame;
+}
+
 }  // namespace pfrdtn::net

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "net/limits.hpp"
 #include "net/transport.hpp"
 #include "repl/sync.hpp"
 
@@ -33,5 +34,24 @@ Frame read_frame(Connection& connection);
 /// Read one frame and require the given type (protocol step mismatch
 /// is a ContractViolation — the peer is broken, not the link).
 Frame expect_frame(Connection& connection, repl::SyncFrame type);
+
+// ---- budgeted variants -----------------------------------------------
+//
+// The hardened session boundary: the same operations, accounted against
+// a SessionBudget. On read, the decoded header is admitted (per-type
+// payload cap, unknown-type rejection, session byte ceiling) BEFORE the
+// payload buffer is allocated — an eight-byte header from a hostile
+// peer can no longer command a 64 MiB allocation. Writes charge the
+// same ceiling so a session serving a greedy peer is bounded in both
+// directions. Breaches throw ResourceLimitError.
+
+std::size_t write_frame(Connection& connection, repl::SyncFrame type,
+                        const std::vector<std::uint8_t>& payload,
+                        SessionBudget& budget);
+
+Frame read_frame(Connection& connection, SessionBudget& budget);
+
+Frame expect_frame(Connection& connection, repl::SyncFrame type,
+                   SessionBudget& budget);
 
 }  // namespace pfrdtn::net

@@ -1,0 +1,82 @@
+#include "net/limits.hpp"
+
+#include <limits>
+
+namespace pfrdtn::net {
+
+const char* frame_type_name(std::uint8_t type) {
+  switch (static_cast<repl::SyncFrame>(type)) {
+    case repl::SyncFrame::Hello:
+      return "Hello";
+    case repl::SyncFrame::Request:
+      return "Request";
+    case repl::SyncFrame::BatchBegin:
+      return "BatchBegin";
+    case repl::SyncFrame::BatchItem:
+      return "BatchItem";
+    case repl::SyncFrame::BatchEnd:
+      return "BatchEnd";
+  }
+  return "unknown";
+}
+
+std::uint32_t ResourceLimits::frame_payload_cap(std::uint8_t type) const {
+  switch (static_cast<repl::SyncFrame>(type)) {
+    case repl::SyncFrame::Hello:
+      return max_hello_bytes;
+    case repl::SyncFrame::Request:
+      return max_request_bytes;
+    case repl::SyncFrame::BatchBegin:
+      return max_batch_begin_bytes;
+    case repl::SyncFrame::BatchItem:
+      return max_item_bytes;
+    case repl::SyncFrame::BatchEnd:
+      return max_batch_end_bytes;
+  }
+  throw ContractViolation("unknown frame type " + std::to_string(type));
+}
+
+ResourceLimits ResourceLimits::unlimited() {
+  ResourceLimits limits;
+  limits.max_hello_bytes = kMaxFramePayload;
+  limits.max_request_bytes = kMaxFramePayload;
+  limits.max_batch_begin_bytes = kMaxFramePayload;
+  limits.max_item_bytes = kMaxFramePayload;
+  limits.max_batch_end_bytes = kMaxFramePayload;
+  limits.max_batch_items = std::numeric_limits<std::uint64_t>::max();
+  limits.max_knowledge_entries = std::numeric_limits<std::size_t>::max();
+  limits.max_policy_blob_bytes = std::numeric_limits<std::size_t>::max();
+  limits.max_decode_elements = std::numeric_limits<std::size_t>::max();
+  limits.session_byte_ceiling = std::numeric_limits<std::uint64_t>::max();
+  return limits;
+}
+
+void SessionBudget::admit_frame(std::uint8_t type,
+                                std::uint32_t payload_length) const {
+  // frame_payload_cap rejects unknown type bytes before any cap check.
+  const std::uint32_t cap = limits_.frame_payload_cap(type);
+  if (payload_length > cap) {
+    throw ResourceLimitError(
+        std::string(frame_type_name(type)) + " frame of " +
+        std::to_string(payload_length) + " bytes exceeds the " +
+        std::to_string(cap) + "-byte cap");
+  }
+  const std::uint64_t framed = framed_size(payload_length);
+  if (framed > limits_.session_byte_ceiling - bytes_) {
+    throw ResourceLimitError(
+        "frame would push the session past its " +
+        std::to_string(limits_.session_byte_ceiling) +
+        "-byte ceiling (" + std::to_string(bytes_) + " bytes used)");
+  }
+}
+
+void SessionBudget::charge(std::size_t wire_bytes) {
+  if (wire_bytes > limits_.session_byte_ceiling - bytes_) {
+    throw ResourceLimitError(
+        "session byte ceiling of " +
+        std::to_string(limits_.session_byte_ceiling) + " bytes exceeded");
+  }
+  bytes_ += wire_bytes;
+}
+
+}  // namespace pfrdtn::net

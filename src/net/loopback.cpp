@@ -27,6 +27,10 @@ struct LoopbackLink::State {
       seconds += static_cast<double>(bytes) /
                  static_cast<double>(faults.bytes_per_second);
   }
+
+  [[nodiscard]] bool past_deadline() const {
+    return faults.deadline_seconds && seconds > *faults.deadline_seconds;
+  }
 };
 
 class LoopbackLink::Endpoint : public Connection {
@@ -48,6 +52,15 @@ class LoopbackLink::Endpoint : public Connection {
       throw TransportError(
           "loopback: contact window closed after " +
           std::to_string(state_->delivered) + " bytes");
+    }
+    // The write that pushes simulated time past the session deadline
+    // still delivers (it was in flight), but the link is cut for
+    // everything after it — the loopback analogue of the TCP deadline.
+    if (state_->past_deadline()) {
+      state_->cut = true;
+      throw TransportError(
+          "loopback: session deadline exceeded after " +
+          std::to_string(state_->seconds) + " simulated seconds");
     }
   }
 

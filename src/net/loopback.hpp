@@ -30,6 +30,11 @@ struct LoopbackFaults {
   std::size_t bytes_per_second = 0;
   /// Modeled fixed delay charged per write (store-and-forward hop).
   double latency_seconds = 0.0;
+  /// Absolute session deadline in simulated seconds: the write whose
+  /// transfer-time charge crosses it cuts the link, mirroring the TCP
+  /// wall-clock deadline so slow-loris behaviour is testable
+  /// deterministically inside the check harness.
+  std::optional<double> deadline_seconds;
 };
 
 class LoopbackLink {

@@ -1,0 +1,58 @@
+#include "net/quarantine.hpp"
+
+#include <algorithm>
+
+namespace pfrdtn::net {
+
+AdmitDecision QuarantineTable::admit(const std::string& peer,
+                                     std::uint64_t now_ms) {
+  AdmitDecision decision;
+  const auto it = entries_.find(peer);
+  if (it == entries_.end()) return decision;
+  Entry& entry = it->second;
+  decision.strikes = entry.strikes;
+  if (now_ms >= entry.until_ms) {
+    // Window elapsed: admit, but keep the strike count so a repeat
+    // offender escalates instead of starting over.
+    decision.rejections = entry.rejections;
+    return decision;
+  }
+  entry.rejections += 1;
+  total_rejections_ += 1;
+  decision.rejected = true;
+  decision.retry_after_ms = entry.until_ms - now_ms;
+  decision.rejections = entry.rejections;
+  return decision;
+}
+
+std::uint64_t QuarantineTable::punish(const std::string& peer,
+                                      std::uint64_t now_ms) {
+  Entry& entry = entries_[peer];
+  entry.strikes += 1;
+  // min(base << (strikes-1), max), without shifting past 63 bits.
+  const std::size_t doublings =
+      std::min<std::size_t>(entry.strikes - 1, 40);
+  std::uint64_t window = options_.base_backoff_ms;
+  for (std::size_t i = 0; i < doublings && window < options_.max_backoff_ms;
+       ++i) {
+    window *= 2;
+  }
+  window = std::min(window, options_.max_backoff_ms);
+  // Jitter in [window/2, window] de-synchronizes retry storms from
+  // many peers punished at once.
+  const std::uint64_t half = window / 2;
+  window = half + (half > 0 ? jitter_.below(half + 1) : 0);
+  entry.until_ms = now_ms + window;
+  return window;
+}
+
+void QuarantineTable::reward(const std::string& peer) {
+  entries_.erase(peer);
+}
+
+std::size_t QuarantineTable::strikes(const std::string& peer) const {
+  const auto it = entries_.find(peer);
+  return it == entries_.end() ? 0 : it->second.strikes;
+}
+
+}  // namespace pfrdtn::net

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file quarantine.hpp
+/// Per-peer quarantine for `pfrdtn serve`: peers whose sessions end in
+/// a protocol violation or resource-limit breach earn capped
+/// exponential backoff with jitter, and their reconnects are refused
+/// cheaply at accept time — before any frame is read or buffer
+/// allocated on their behalf. Transport failures (cuts, timeouts) do
+/// NOT strike a peer: a dying radio link is the normal case in a DTN,
+/// not hostility.
+///
+/// Time is injected as a milliseconds-since-start counter so the table
+/// is deterministic under test; jitter comes from a seeded Rng for the
+/// same reason. The table is keyed by whatever string the caller
+/// chooses — serve uses the peer IP with the ephemeral port stripped,
+/// since the port changes on every reconnect.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace pfrdtn::net {
+
+struct QuarantineOptions {
+  /// First strike's backoff; doubles per further strike.
+  std::uint64_t base_backoff_ms = 1000;
+  /// Backoff cap — strikes beyond the cap stop extending the window.
+  std::uint64_t max_backoff_ms = 60000;
+  /// Seed for the jitter stream.
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Verdict of an accept-time admission check.
+struct AdmitDecision {
+  bool rejected = false;
+  std::uint64_t retry_after_ms = 0;  ///< remaining quarantine window
+  std::size_t strikes = 0;
+  std::size_t rejections = 0;  ///< times this peer was refused so far
+};
+
+class QuarantineTable {
+ public:
+  explicit QuarantineTable(QuarantineOptions options = {})
+      : options_(options), jitter_(options.jitter_seed) {}
+
+  /// Accept-time check: is `peer` currently quarantined at `now_ms`?
+  /// Counts the rejection when it is. O(log peers), no allocation on
+  /// the hot accept path beyond the map lookup.
+  AdmitDecision admit(const std::string& peer, std::uint64_t now_ms);
+
+  /// Record a violation by `peer` at `now_ms`: one more strike, and a
+  /// fresh quarantine window of min(base << (strikes-1), max) plus
+  /// jitter in [window/2, window]. Returns the window length applied.
+  std::uint64_t punish(const std::string& peer, std::uint64_t now_ms);
+
+  /// A cleanly completed session clears the peer's record entirely.
+  void reward(const std::string& peer);
+
+  [[nodiscard]] std::size_t strikes(const std::string& peer) const;
+  [[nodiscard]] std::size_t total_rejections() const {
+    return total_rejections_;
+  }
+  [[nodiscard]] std::size_t quarantined_peers() const {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::size_t strikes = 0;
+    std::size_t rejections = 0;
+    std::uint64_t until_ms = 0;
+  };
+
+  QuarantineOptions options_;
+  Rng jitter_;
+  std::map<std::string, Entry> entries_;
+  std::size_t total_rejections_ = 0;
+};
+
+}  // namespace pfrdtn::net

@@ -24,6 +24,19 @@ std::vector<std::uint8_t> serialize_knowledge(
   return w.take();
 }
 
+/// Semantic cap on a decoded peer knowledge, applied right after the
+/// codec returns and before any of it is merged or stored.
+void check_knowledge_weight(const repl::Knowledge& knowledge,
+                            const ResourceLimits& limits) {
+  const std::size_t weight = knowledge.weight();
+  if (weight > limits.max_knowledge_entries) {
+    throw ResourceLimitError(
+        "peer knowledge weight " + std::to_string(weight) +
+        " exceeds the " + std::to_string(limits.max_knowledge_entries) +
+        "-entry cap");
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_hello(const HelloInfo& hello) {
@@ -46,31 +59,44 @@ HelloInfo decode_hello(const std::vector<std::uint8_t>& payload) {
 
 SourceStats run_source(Connection& connection, repl::Replica& source,
                        repl::ForwardingPolicy* source_policy, SimTime now,
-                       const repl::SyncOptions& options) {
+                       const repl::SyncOptions& options,
+                       SessionBudget* budget) {
+  SessionBudget local_budget;
+  SessionBudget& b = budget != nullptr ? *budget : local_budget;
   SourceStats outcome;
   try {
     const Frame request_frame =
-        expect_frame(connection, repl::SyncFrame::Request);
+        expect_frame(connection, repl::SyncFrame::Request, b);
     outcome.stats.request_bytes = request_frame.wire_bytes;
     ByteReader reader(request_frame.payload);
+    reader.set_element_budget(b.limits().max_decode_elements);
     const repl::SyncRequest request =
         repl::SyncRequest::deserialize(reader);
     PFRDTN_REQUIRE(reader.done());
+    check_knowledge_weight(request.knowledge, b.limits());
+    if (request.routing_state.size() > b.limits().max_policy_blob_bytes) {
+      throw ResourceLimitError(
+          "request policy blob of " +
+          std::to_string(request.routing_state.size()) +
+          " bytes exceeds the " +
+          std::to_string(b.limits().max_policy_blob_bytes) + "-byte cap");
+    }
 
     const repl::SyncBatch batch =
         repl::build_batch(source, source_policy, request, now, options);
     outcome.stats.complete = batch.complete;
     outcome.stats.batch_bytes +=
         write_frame(connection, repl::SyncFrame::BatchBegin,
-                    repl::encode_batch_begin(batch));
+                    repl::encode_batch_begin(batch), b);
     for (const repl::Item& item : batch.items) {
-      outcome.stats.batch_bytes += write_frame(
-          connection, repl::SyncFrame::BatchItem, serialize_item(item));
+      outcome.stats.batch_bytes +=
+          write_frame(connection, repl::SyncFrame::BatchItem,
+                      serialize_item(item), b);
       ++outcome.stats.items_sent;
     }
     outcome.stats.batch_bytes +=
         write_frame(connection, repl::SyncFrame::BatchEnd,
-                    serialize_knowledge(batch.source_knowledge));
+                    serialize_knowledge(batch.source_knowledge), b);
   } catch (const TransportError& failure) {
     outcome.transport_failed = true;
     outcome.stats.complete = false;
@@ -86,7 +112,7 @@ void TargetSession::send_request(Connection& connection,
       repl::make_request(*target_, policy_, source_id, now);
   try {
     request_bytes_ = write_frame(connection, repl::SyncFrame::Request,
-                                 serialize_request(request));
+                                 serialize_request(request), budget());
     state_ = State::RequestSent;
   } catch (const TransportError& failure) {
     state_ = State::Failed;
@@ -105,19 +131,27 @@ NetSyncResult TargetSession::receive(Connection& connection) {
     return outcome;
   }
   PFRDTN_REQUIRE(state_ == State::RequestSent);
+  const ResourceLimits& limits = budget().limits();
   std::size_t batch_bytes = 0;
   try {
     const Frame begin_frame =
-        expect_frame(connection, repl::SyncFrame::BatchBegin);
+        expect_frame(connection, repl::SyncFrame::BatchBegin, budget());
     batch_bytes += begin_frame.wire_bytes;
     const repl::BatchBeginInfo begin =
         repl::decode_batch_begin(begin_frame.payload);
+    if (begin.count > limits.max_batch_items) {
+      throw ResourceLimitError(
+          "batch announces " + std::to_string(begin.count) +
+          " items, above the " +
+          std::to_string(limits.max_batch_items) + "-item cap");
+    }
     std::uint64_t received = 0;
     for (;;) {
-      const Frame frame = read_frame(connection);
+      const Frame frame = read_frame(connection, budget());
       batch_bytes += frame.wire_bytes;
       if (frame.type == repl::SyncFrame::BatchItem) {
         ByteReader reader(frame.payload);
+        reader.set_element_budget(limits.max_decode_elements);
         const repl::Item item = repl::Item::deserialize(reader);
         PFRDTN_REQUIRE(reader.done());
         ++received;
@@ -128,9 +162,11 @@ NetSyncResult TargetSession::receive(Connection& connection) {
       PFRDTN_REQUIRE(frame.type == repl::SyncFrame::BatchEnd);
       PFRDTN_REQUIRE(received == begin.count);
       ByteReader reader(frame.payload);
+      reader.set_element_budget(limits.max_decode_elements);
       const repl::Knowledge source_knowledge =
           repl::Knowledge::deserialize(reader);
       PFRDTN_REQUIRE(reader.done());
+      check_knowledge_weight(source_knowledge, limits);
       outcome.result = applier.finish(begin.complete, source_knowledge);
       state_ = State::Done;
       break;
@@ -213,13 +249,16 @@ ClientSessionOutcome run_client_session(Connection& connection,
                                         repl::Replica& self,
                                         repl::ForwardingPolicy* policy,
                                         SyncMode mode, SimTime now,
-                                        const repl::SyncOptions& options) {
+                                        const repl::SyncOptions& options,
+                                        const ResourceLimits& limits) {
   ClientSessionOutcome outcome;
+  SessionBudget budget(limits);
   try {
     outcome.overhead_bytes +=
         write_frame(connection, repl::SyncFrame::Hello,
-                    encode_hello({self.id(), mode}));
-    const Frame answer = expect_frame(connection, repl::SyncFrame::Hello);
+                    encode_hello({self.id(), mode}), budget);
+    const Frame answer =
+        expect_frame(connection, repl::SyncFrame::Hello, budget);
     outcome.overhead_bytes += answer.wire_bytes;
     outcome.server = decode_hello(answer.payload).replica;
   } catch (const TransportError& failure) {
@@ -229,7 +268,7 @@ ClientSessionOutcome run_client_session(Connection& connection,
   }
 
   if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
-    TargetSession session(self, policy, options);
+    TargetSession session(self, policy, options, &budget);
     session.send_request(connection, outcome.server, now);
     outcome.pull = session.receive(connection);
     if (outcome.pull.transport_failed) {
@@ -239,7 +278,8 @@ ClientSessionOutcome run_client_session(Connection& connection,
     }
   }
   if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
-    outcome.push = run_source(connection, self, policy, now, options);
+    outcome.push =
+        run_source(connection, self, policy, now, options, &budget);
     if (outcome.push.transport_failed) {
       outcome.transport_failed = true;
       outcome.error = outcome.push.error;
@@ -252,13 +292,16 @@ ServerSessionOutcome serve_session(Connection& connection,
                                    repl::Replica& self,
                                    repl::ForwardingPolicy* policy,
                                    SimTime now,
-                                   const repl::SyncOptions& options) {
+                                   const repl::SyncOptions& options,
+                                   const ResourceLimits& limits) {
   ServerSessionOutcome outcome;
+  SessionBudget budget(limits);
   try {
-    const Frame hello = expect_frame(connection, repl::SyncFrame::Hello);
+    const Frame hello =
+        expect_frame(connection, repl::SyncFrame::Hello, budget);
     outcome.hello = decode_hello(hello.payload);
     write_frame(connection, repl::SyncFrame::Hello,
-                encode_hello({self.id(), outcome.hello.mode}));
+                encode_hello({self.id(), outcome.hello.mode}), budget);
   } catch (const TransportError& failure) {
     outcome.transport_failed = true;
     outcome.error = failure.what();
@@ -267,7 +310,8 @@ ServerSessionOutcome serve_session(Connection& connection,
 
   const SyncMode mode = outcome.hello.mode;
   if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
-    outcome.served = run_source(connection, self, policy, now, options);
+    outcome.served =
+        run_source(connection, self, policy, now, options, &budget);
     if (outcome.served.transport_failed) {
       outcome.transport_failed = true;
       outcome.error = outcome.served.error;
@@ -275,7 +319,7 @@ ServerSessionOutcome serve_session(Connection& connection,
     }
   }
   if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
-    TargetSession session(self, policy, options);
+    TargetSession session(self, policy, options, &budget);
     session.send_request(connection, outcome.hello.replica, now);
     outcome.applied = session.receive(connection);
     if (outcome.applied.transport_failed) {

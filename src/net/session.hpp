@@ -64,10 +64,14 @@ struct SourceStats {
 
 /// Run the source role once: wait for the peer's Request frame, build
 /// the batch (policy consulted, bandwidth cap applied), stream it.
-/// Link failures are absorbed into the returned stats.
+/// Link failures are absorbed into the returned stats. All peer input
+/// is accounted against `budget` (default-constructed locally when
+/// null, i.e. enforced under the default ResourceLimits); breaches
+/// throw ResourceLimitError like any other protocol violation.
 SourceStats run_source(Connection& connection, repl::Replica& source,
                        repl::ForwardingPolicy* source_policy, SimTime now,
-                       const repl::SyncOptions& options = {});
+                       const repl::SyncOptions& options = {},
+                       SessionBudget* budget = nullptr);
 
 /// The target role as a resumable state machine, so a sequential
 /// driver (the loopback path) can interleave it with the source role
@@ -76,10 +80,17 @@ class TargetSession {
  public:
   enum class State { Idle, RequestSent, Done, Failed };
 
+  /// `budget` spans the session this target role belongs to; when null
+  /// a local budget with the default ResourceLimits is used, so every
+  /// path through here is resource-bounded.
   TargetSession(repl::Replica& target,
                 repl::ForwardingPolicy* target_policy,
-                repl::SyncOptions options = {})
-      : target_(&target), policy_(target_policy), options_(options) {}
+                repl::SyncOptions options = {},
+                SessionBudget* budget = nullptr)
+      : target_(&target),
+        policy_(target_policy),
+        options_(options),
+        budget_(budget) {}
 
   /// Step 1: build this replica's request and send it. A link failure
   /// moves the session to Failed instead of throwing; receive() then
@@ -95,9 +106,15 @@ class TargetSession {
   [[nodiscard]] State state() const { return state_; }
 
  private:
+  [[nodiscard]] SessionBudget& budget() {
+    return budget_ != nullptr ? *budget_ : local_budget_;
+  }
+
   repl::Replica* target_;
   repl::ForwardingPolicy* policy_;
   repl::SyncOptions options_;
+  SessionBudget* budget_;
+  SessionBudget local_budget_;
   State state_ = State::Idle;
   std::size_t request_bytes_ = 0;
   std::string error_;
@@ -154,11 +171,14 @@ struct ClientSessionOutcome {
   std::string error;
 };
 
-/// Drive one session as the connecting client.
+/// Drive one session as the connecting client. One SessionBudget built
+/// from `limits` spans the whole session, so the byte ceiling
+/// accumulates across the hello exchange and every sync.
 ClientSessionOutcome run_client_session(
     Connection& connection, repl::Replica& self,
     repl::ForwardingPolicy* policy, SyncMode mode, SimTime now,
-    const repl::SyncOptions& options = {});
+    const repl::SyncOptions& options = {},
+    const ResourceLimits& limits = {});
 
 struct ServerSessionOutcome {
   HelloInfo hello;      ///< who connected and what they asked for
@@ -168,11 +188,16 @@ struct ServerSessionOutcome {
   std::string error;
 };
 
-/// Serve one session on an accepted connection.
+/// Serve one session on an accepted connection. The peer is untrusted:
+/// every frame is admitted against one SessionBudget built from
+/// `limits` before its payload is allocated, and a breach propagates
+/// as ResourceLimitError (a ContractViolation) for the caller to
+/// contain — and, in `pfrdtn serve`, to quarantine the peer over.
 ServerSessionOutcome serve_session(Connection& connection,
                                    repl::Replica& self,
                                    repl::ForwardingPolicy* policy,
                                    SimTime now,
-                                   const repl::SyncOptions& options = {});
+                                   const repl::SyncOptions& options = {},
+                                   const ResourceLimits& limits = {});
 
 }  // namespace pfrdtn::net

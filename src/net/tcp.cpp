@@ -36,7 +36,10 @@ void set_io_timeouts(int fd, const TcpOptions& options) {
 
 }  // namespace
 
-TcpConnection::TcpConnection(int fd, TcpOptions options) : fd_(fd) {
+TcpConnection::TcpConnection(int fd, TcpOptions options)
+    : fd_(fd),
+      options_(options),
+      started_(std::chrono::steady_clock::now()) {
   PFRDTN_REQUIRE(fd_ >= 0);
   set_io_timeouts(fd_, options);
   sockaddr_in addr{};
@@ -53,10 +56,56 @@ TcpConnection::TcpConnection(int fd, TcpOptions options) : fd_(fd) {
 
 TcpConnection::~TcpConnection() { close(); }
 
+void TcpConnection::wait_ready(short events, const char* op) {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  const auto elapsed = duration_cast<milliseconds>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count();
+  int budget = options_.io_timeout_ms;
+  bool deadline_bounded = false;
+  if (options_.session_deadline_ms > 0) {
+    const long long remaining = options_.session_deadline_ms - elapsed;
+    if (remaining <= 0)
+      throw TransportError(std::string("tcp: ") + op +
+                           " aborted: session deadline exceeded");
+    if (remaining < budget) {
+      budget = static_cast<int>(remaining);
+      deadline_bounded = true;
+    }
+  }
+  if (options_.min_bytes_per_second > 0 &&
+      elapsed > options_.min_progress_grace_ms) {
+    // Bytes-per-elapsed-second, evaluated before each op so a peer
+    // that keeps the link "alive" with a trickle is still cut.
+    const auto floor = options_.min_bytes_per_second *
+                       static_cast<std::size_t>(elapsed) / 1000;
+    if (bytes_moved_ < floor)
+      throw TransportError(
+          std::string("tcp: ") + op + " aborted: peer below minimum " +
+          "progress (" + std::to_string(bytes_moved_) + " bytes in " +
+          std::to_string(elapsed) + "ms)");
+  }
+  pollfd pfd{fd_, events, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, budget);
+    if (ready > 0) return;
+    if (ready == 0) {
+      if (deadline_bounded)
+        throw TransportError(std::string("tcp: ") + op +
+                             " aborted: session deadline exceeded");
+      throw TransportError(std::string("tcp: ") + op + " timed out");
+    }
+    if (errno == EINTR) continue;
+    fail(std::string("tcp: poll before ") + op + " failed");
+  }
+}
+
 void TcpConnection::write(const std::uint8_t* data, std::size_t size) {
   if (fd_ < 0) throw TransportError("tcp: write on closed connection");
   std::size_t sent = 0;
   while (sent < size) {
+    wait_ready(POLLOUT, "write");
     const ssize_t n =
         ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
@@ -66,6 +115,7 @@ void TcpConnection::write(const std::uint8_t* data, std::size_t size) {
       fail("tcp: write failed");
     }
     sent += static_cast<std::size_t>(n);
+    bytes_moved_ += static_cast<std::size_t>(n);
   }
 }
 
@@ -73,6 +123,7 @@ void TcpConnection::read(std::uint8_t* data, std::size_t size) {
   if (fd_ < 0) throw TransportError("tcp: read on closed connection");
   std::size_t got = 0;
   while (got < size) {
+    wait_ready(POLLIN, "read");
     const ssize_t n = ::recv(fd_, data + got, size - got, 0);
     if (n == 0)
       throw TransportError("tcp: connection closed by peer mid-read");
@@ -83,6 +134,7 @@ void TcpConnection::read(std::uint8_t* data, std::size_t size) {
       fail("tcp: read failed");
     }
     got += static_cast<std::size_t>(n);
+    bytes_moved_ += static_cast<std::size_t>(n);
   }
 }
 

@@ -6,6 +6,7 @@
 /// network. All failures (refused, reset, timed out, EOF) surface as
 /// TransportError; the session layer turns them into incomplete syncs.
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -18,6 +19,17 @@ struct TcpOptions {
   /// Per-read / per-write timeout; a peer that stalls longer than this
   /// mid-sync counts as a closed contact.
   int io_timeout_ms = 10000;
+  /// Absolute session deadline, armed when the connection object is
+  /// constructed; 0 disables. Per-op timeouts alone cannot stop a
+  /// slow-loris peer — one byte every io_timeout_ms resets the per-op
+  /// clock forever — so every read/write also polls against this
+  /// wall-clock deadline and throws TransportError once it passes.
+  int session_deadline_ms = 0;
+  /// Minimum progress: after min_progress_grace_ms the session must
+  /// have moved at least this many bytes per second (both directions
+  /// combined) or the next I/O throws TransportError. 0 disables.
+  std::size_t min_bytes_per_second = 0;
+  int min_progress_grace_ms = 2000;
 };
 
 /// An established TCP connection (takes ownership of the fd).
@@ -39,8 +51,16 @@ class TcpConnection : public Connection {
   }
 
  private:
+  /// Poll fd_ for `events` (POLLIN/POLLOUT) within the per-op timeout
+  /// AND the session deadline; also enforces the minimum-progress rate.
+  /// `op` names the operation for error messages ("read"/"write").
+  void wait_ready(short events, const char* op);
+
   int fd_;
   std::string peer_;
+  TcpOptions options_;
+  std::chrono::steady_clock::time_point started_;
+  std::size_t bytes_moved_ = 0;
 };
 
 /// Listening socket. Port 0 binds an ephemeral port; port() reports

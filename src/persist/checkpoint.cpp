@@ -126,8 +126,20 @@ std::uint64_t state_digest(const repl::Replica& replica) {
 }
 
 std::vector<std::uint8_t> encode_checkpoint(
-    std::uint64_t epoch, const repl::Replica& replica) {
-  const std::vector<std::uint8_t> payload = encode_replica_state(replica);
+    std::uint64_t epoch, const repl::Replica& replica,
+    const std::set<ItemId>& delivered) {
+  // Version-2 payload: the v1 state bytes length-prefixed, then the
+  // delivered-message ledger as delta-encoded sorted ids.
+  const std::vector<std::uint8_t> state = encode_replica_state(replica);
+  ByteWriter w;
+  w.raw(state);  // uvarint length + state bytes
+  w.uvarint(delivered.size());
+  std::uint64_t prev = 0;
+  for (const ItemId id : delivered) {  // std::set iterates ascending
+    w.uvarint(id.value() - prev);
+    prev = id.value();
+  }
+  const std::vector<std::uint8_t> payload = w.take();
   PFRDTN_REQUIRE(payload.size() <= kMaxCheckpointPayload);
   std::vector<std::uint8_t> out;
   out.reserve(kCheckpointHeaderSize + payload.size());
@@ -154,7 +166,21 @@ DecodedCheckpoint decode_checkpoint(
   std::vector<std::uint8_t> payload(bytes.begin() + kCheckpointHeaderSize,
                                     bytes.end());
   PFRDTN_REQUIRE(crc32(payload) == crc);
-  return DecodedCheckpoint{epoch, decode_replica_state(payload)};
+
+  ByteReader r(payload);
+  const std::vector<std::uint8_t> state = r.raw();
+  DecodedCheckpoint out{epoch, decode_replica_state(state), {}};
+  const std::uint64_t count = r.uvarint();
+  PFRDTN_REQUIRE(count <= r.remaining());
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = prev + r.uvarint();
+    PFRDTN_REQUIRE(i == 0 || id > prev);  // strictly ascending
+    out.delivered.insert(ItemId(id));
+    prev = id;
+  }
+  PFRDTN_REQUIRE(r.done());
+  return out;
 }
 
 }  // namespace pfrdtn::persist

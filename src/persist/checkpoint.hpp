@@ -22,8 +22,15 @@
 ///   length  u32 LE   payload byte count
 ///   crc     u32 LE   CRC-32 of the payload
 ///   payload
+///
+/// Version 2 payloads wrap the replica state with the node-level
+/// delivered-message ledger (uvarint state length, state bytes, then
+/// uvarint id count + delta-encoded sorted item ids), so app-level
+/// exactly-once delivery survives a crash. The inner state codec —
+/// and therefore state_digest — is unchanged from version 1.
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "repl/replica.hpp"
@@ -31,7 +38,7 @@
 namespace pfrdtn::persist {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x50434650u;  // "PFCP"
-inline constexpr std::uint8_t kCheckpointVersion = 1;
+inline constexpr std::uint8_t kCheckpointVersion = 2;
 inline constexpr std::size_t kCheckpointHeaderSize = 4 + 1 + 8 + 4 + 4;
 /// A payload length above this is a corrupt header, not a checkpoint.
 inline constexpr std::uint32_t kMaxCheckpointPayload = 256u << 20;
@@ -51,13 +58,16 @@ repl::Replica decode_replica_state(const std::vector<std::uint8_t>& bytes);
 std::uint64_t state_digest(const repl::Replica& replica);
 std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes);
 
-/// Whole checkpoint file bytes for `replica` at `epoch`.
-std::vector<std::uint8_t> encode_checkpoint(std::uint64_t epoch,
-                                            const repl::Replica& replica);
+/// Whole checkpoint file bytes for `replica` at `epoch`, carrying the
+/// node's delivered-message ledger alongside the state payload.
+std::vector<std::uint8_t> encode_checkpoint(
+    std::uint64_t epoch, const repl::Replica& replica,
+    const std::set<ItemId>& delivered = {});
 
 struct DecodedCheckpoint {
   std::uint64_t epoch = 0;
   repl::Replica replica;
+  std::set<ItemId> delivered;  ///< message ids already reported
 };
 
 /// Parse + validate a checkpoint file (magic, version, length, CRC,

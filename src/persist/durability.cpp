@@ -64,6 +64,31 @@ std::vector<std::uint8_t> encode_policy_state(
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_delivered(ItemId id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WalRecordKind::Delivered));
+  w.uvarint(id.value());
+  return w.take();
+}
+
+namespace {
+
+bool is_delivered_record(const std::vector<std::uint8_t>& payload) {
+  return !payload.empty() &&
+         static_cast<WalRecordKind>(payload[0]) ==
+             WalRecordKind::Delivered;
+}
+
+ItemId decode_delivered_record(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  r.u8();  // kind, checked by the caller
+  const ItemId id(r.uvarint());
+  PFRDTN_REQUIRE(r.done());
+  return id;
+}
+
+}  // namespace
+
 void apply_wal_record(repl::Replica& replica,
                       const std::vector<std::uint8_t>& payload) {
   PFRDTN_REQUIRE(replica.mutation_sink() == nullptr);
@@ -100,6 +125,11 @@ void apply_wal_record(repl::Replica& replica,
       replica.replay_policy_state(id, std::move(all));
       break;
     }
+    case WalRecordKind::Delivered:
+      // Node-level ledger records never touch the replica; recover()
+      // and attach() filter them out before replay.
+      PFRDTN_REQUIRE(!"Delivered record replayed against a replica");
+      break;
     default:
       PFRDTN_REQUIRE(!"unknown WAL record kind");
   }
@@ -123,8 +153,15 @@ void Durability::attach(repl::Replica& replica) {
     const DecodedCheckpoint ck =
         decode_checkpoint(env_.read_file(kCheckpointFile));
     epoch_ = ck.epoch;
+    delivered_ = ck.delivered;
     const WalScan scan = scan_wal_file(env_, kWalFile);
     if (scan.valid_header && scan.epoch == epoch_) {
+      // Delivered records ride the same log; restore the ledger from
+      // them so the next checkpoint carries the complete set.
+      for (const auto& record : scan.records) {
+        if (is_delivered_record(record))
+          delivered_.insert(decode_delivered_record(record));
+      }
       wal_.resume(scan);
     } else {
       wal_.reset(epoch_);  // stale or missing log: start clean
@@ -134,7 +171,7 @@ void Durability::attach(repl::Replica& replica) {
     // initial checkpoint, durable before the first record is logged.
     epoch_ = 1;
     env_.write_file_durable(kCheckpointFile,
-                            encode_checkpoint(epoch_, replica));
+                            encode_checkpoint(epoch_, replica, delivered_));
     wal_.reset(epoch_);
     ++checkpoints_written_;
   }
@@ -154,8 +191,8 @@ void Durability::flush() { wal_.flush(); }
 void Durability::checkpoint_now() {
   PFRDTN_REQUIRE(replica_ != nullptr);
   const std::uint64_t next_epoch = epoch_ + 1;
-  env_.write_file_durable(kCheckpointFile,
-                          encode_checkpoint(next_epoch, *replica_));
+  env_.write_file_durable(
+      kCheckpointFile, encode_checkpoint(next_epoch, *replica_, delivered_));
   epoch_ = next_epoch;
   // Only after the checkpoint is durable may the log be reset: a crash
   // between the two leaves an old-epoch log that recovery ignores.
@@ -177,6 +214,12 @@ void Durability::log(std::vector<std::uint8_t> payload) {
   }
   if (wal_.log_bytes() >= options_.checkpoint_every_bytes)
     checkpoint_now();
+}
+
+void Durability::note_delivered(ItemId id) {
+  PFRDTN_REQUIRE(replica_ != nullptr);
+  if (!delivered_.insert(id).second) return;  // already on record
+  log(encode_delivered(id));
 }
 
 void Durability::on_local_put(const repl::Item& stored) {
@@ -209,10 +252,17 @@ std::optional<RecoveredReplica> recover(StorageEnv& env) {
   DecodedCheckpoint ck = decode_checkpoint(env.read_file(kCheckpointFile));
   RecoveryStats stats;
   stats.epoch = ck.epoch;
+  std::set<ItemId> delivered = std::move(ck.delivered);
   const WalScan scan = scan_wal_file(env, kWalFile);
   if (scan.valid_header && scan.epoch == ck.epoch) {
     for (const auto& record : scan.records) {
-      apply_wal_record(ck.replica, record);
+      // Delivered records are node-level ledger entries, not replica
+      // mutations; fold them into the ledger instead of replaying.
+      if (is_delivered_record(record)) {
+        delivered.insert(decode_delivered_record(record));
+      } else {
+        apply_wal_record(ck.replica, record);
+      }
       ++stats.wal_records_replayed;
     }
     stats.wal_bytes_valid = scan.valid_bytes;
@@ -224,7 +274,8 @@ std::optional<RecoveredReplica> recover(StorageEnv& env) {
   }
   const std::string violation = ck.replica.check_invariants();
   PFRDTN_REQUIRE(violation.empty());
-  return RecoveredReplica{std::move(ck.replica), std::move(stats)};
+  return RecoveredReplica{std::move(ck.replica), std::move(delivered),
+                          std::move(stats)};
 }
 
 }  // namespace pfrdtn::persist

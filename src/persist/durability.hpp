@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@ enum class WalRecordKind : std::uint8_t {
   DiscardRelay = 4, ///< ItemId
   Learn = 5,        ///< Knowledge (exact codec)
   PolicyState = 6,  ///< ItemId + full transient map
+  /// Node-level ledger, not replica state: a message item was reported
+  /// delivered to the application. Replayed into
+  /// RecoveredReplica::delivered, never against the replica.
+  Delivered = 7,    ///< ItemId
 };
 
 std::vector<std::uint8_t> encode_local_put(const repl::Item& item);
@@ -51,6 +56,7 @@ std::vector<std::uint8_t> encode_discard_relay(ItemId id);
 std::vector<std::uint8_t> encode_learn(const repl::Knowledge& knowledge);
 std::vector<std::uint8_t> encode_policy_state(
     ItemId id, const std::map<std::string, std::string>& all);
+std::vector<std::uint8_t> encode_delivered(ItemId id);
 
 /// Replay one record against `replica`. Throws ContractViolation on a
 /// malformed payload (a CRC-valid record can still be foreign bytes in
@@ -106,6 +112,17 @@ class Durability final : public repl::ReplicaMutationSink {
   /// Snapshot the replica into a new checkpoint epoch and reset the WAL.
   void checkpoint_now();
 
+  /// Record that the application reported message `id` delivered, so a
+  /// restart never re-reports it (app-level exactly-once across
+  /// crashes). Durable under the same acknowledgement contract as the
+  /// mutation hooks; idempotent. attach() restores the ledger from the
+  /// checkpoint and any Delivered records in the log, so callers only
+  /// add to it.
+  void note_delivered(ItemId id);
+  [[nodiscard]] const std::set<ItemId>& delivered() const {
+    return delivered_;
+  }
+
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] std::size_t records_logged() const {
     return records_logged_;
@@ -131,6 +148,7 @@ class Durability final : public repl::ReplicaMutationSink {
   DurabilityOptions options_;
   WalWriter wal_;
   repl::Replica* replica_ = nullptr;
+  std::set<ItemId> delivered_;
   std::uint64_t epoch_ = 0;
   std::size_t records_logged_ = 0;
   std::size_t checkpoints_written_ = 0;
@@ -146,6 +164,10 @@ struct RecoveryStats {
 
 struct RecoveredReplica {
   repl::Replica replica;
+  /// Delivered-message ledger: checkpoint ledger plus every Delivered
+  /// WAL record. Seed the application node with this so restart
+  /// re-reporting becomes exactly-once (dtn::DtnNode::seed_delivered).
+  std::set<ItemId> delivered;
   RecoveryStats stats;
 };
 

@@ -1,6 +1,7 @@
 #include "persist/env.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -40,10 +41,26 @@ void make_dirs(const std::string& dir) {
 FsEnv::FsEnv(std::string dir) : dir_(std::move(dir)) {
   PFRDTN_REQUIRE(!dir_.empty());
   make_dirs(dir_);
+  const std::string lock_path = dir_ + "/LOCK";
+  lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) io_fail("open", lock_path);
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    if (errno == EWOULDBLOCK) {
+      throw ContractViolation(
+          "state directory " + dir_ +
+          " is locked by another process (is another pfrdtn running"
+          " against it?)");
+    }
+    io_fail("flock", lock_path);
+  }
 }
 
 FsEnv::~FsEnv() {
   for (const auto& [name, fd] : fds_) ::close(fd);
+  // Closing the descriptor drops the flock.
+  if (lock_fd_ >= 0) ::close(lock_fd_);
 }
 
 std::string FsEnv::path(const std::string& name) const {

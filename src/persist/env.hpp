@@ -53,10 +53,16 @@ class StorageEnv {
   virtual void remove(const std::string& name) = 0;
 };
 
-/// Real files under a directory, POSIX fsync/rename semantics.
+/// Real files under a directory, POSIX fsync/rename semantics. The
+/// directory is exclusively owned while the FsEnv lives: the
+/// constructor takes a `flock` on a LOCK file inside it and throws
+/// ContractViolation if another process (or another FsEnv — the lock
+/// is per open file description) already holds it, so two `pfrdtn`
+/// invocations can never interleave WAL appends in one state dir. The
+/// kernel releases the lock on any exit, including SIGKILL.
 class FsEnv final : public StorageEnv {
  public:
-  /// Creates `dir` (and parents) if missing.
+  /// Creates `dir` (and parents) if missing, then locks it.
   explicit FsEnv(std::string dir);
   ~FsEnv() override;
 
@@ -87,6 +93,7 @@ class FsEnv final : public StorageEnv {
   void sync_dir() const;
 
   std::string dir_;
+  int lock_fd_ = -1;
   std::map<std::string, int> fds_;
 };
 

@@ -343,6 +343,7 @@ void Filter::serialize(ByteWriter& w) const {
 
 Filter::NodePtr Filter::node_deserialize(ByteReader& r, int depth) {
   PFRDTN_REQUIRE(depth < 32);  // reject hostile deep nesting
+  r.charge_elements();
   auto node = std::make_shared<Node>();
   node->kind = static_cast<Kind>(r.u8());
   switch (node->kind) {
@@ -351,13 +352,18 @@ Filter::NodePtr Filter::node_deserialize(ByteReader& r, int depth) {
       break;
     case Kind::AddressSet: {
       const std::uint64_t n = r.uvarint();
-      for (std::uint64_t i = 0; i < n; ++i)
+      for (std::uint64_t i = 0; i < n; ++i) {
+        r.charge_elements();
         node->addrs.insert(HostId(r.uvarint()));
+      }
       break;
     }
     case Kind::TagSet: {
       const std::uint64_t n = r.uvarint();
-      for (std::uint64_t i = 0; i < n; ++i) node->tags.insert(r.str());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        r.charge_elements();
+        node->tags.insert(r.str());
+      }
       break;
     }
     case Kind::MetaEquals:

@@ -150,6 +150,7 @@ Item Item::deserialize(ByteReader& r) {
   std::map<std::string, std::string> metadata;
   const std::uint64_t md_count = r.uvarint();
   for (std::uint64_t i = 0; i < md_count; ++i) {
+    r.charge_elements();
     std::string key = r.str();
     metadata[std::move(key)] = r.str();
   }
@@ -161,6 +162,7 @@ Item Item::deserialize(ByteReader& r) {
                           std::move(body), deleted, replicated_size));
   const std::uint64_t tr_count = r.uvarint();
   for (std::uint64_t i = 0; i < tr_count; ++i) {
+    r.charge_elements();
     std::string key = r.str();
     item.transient_[std::move(key)] = r.str();
   }

@@ -91,6 +91,7 @@ Knowledge Knowledge::deserialize(ByteReader& r) {
   k.universal_ = VersionSet::deserialize(r);
   const std::uint64_t n = r.uvarint();
   for (std::uint64_t i = 0; i < n; ++i) {
+    r.charge_elements();
     Filter scope = Filter::deserialize(r);
     VersionSet versions = VersionSet::deserialize(r);
     k.add_fragment(Fragment{std::move(scope), std::move(versions)});

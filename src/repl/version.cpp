@@ -35,6 +35,7 @@ VersionVector VersionVector::deserialize(ByteReader& r) {
   VersionVector vv;
   const std::uint64_t n = r.uvarint();
   for (std::uint64_t i = 0; i < n; ++i) {
+    r.charge_elements();
     const ReplicaId author(r.uvarint());
     vv.extend(author, r.uvarint());
   }
@@ -229,10 +230,12 @@ VersionSet VersionSet::deserialize(ByteReader& r) {
   vs.vv_ = VersionVector::deserialize(r);
   const std::uint64_t groups = r.uvarint();
   for (std::uint64_t g = 0; g < groups; ++g) {
+    r.charge_elements();
     const ReplicaId author(r.uvarint());
     const std::uint64_t n = r.uvarint();
     std::uint64_t counter = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
+      r.charge_elements();
       counter += r.uvarint();
       if (!vs.vv_.includes(author, counter))
         vs.extras_[author].insert(counter);

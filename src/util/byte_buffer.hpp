@@ -126,10 +126,35 @@ class ByteReader {
   [[nodiscard]] bool done() const { return pos_ == size_; }
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
+  // ---- bounded-read cursor -------------------------------------------
+  //
+  // Decoders charge one unit per decoded *element* (version-vector
+  // entry, knowledge counter, filter node, set member, metadata pair)
+  // before materializing it. Byte counts alone do not bound decode
+  // cost: compact encodings amplify — a one-byte varint counter can
+  // expand into a tree node tens of bytes large — so a hostile payload
+  // well under the frame cap could still request unbounded work. The
+  // budget defaults to unlimited (trusted local decode paths are
+  // unchanged); the session layer arms it per frame from
+  // net::ResourceLimits before handing the payload to a codec.
+
+  void set_element_budget(std::size_t budget) { element_budget_ = budget; }
+
+  /// Consume `n` units of the element budget; throws ContractViolation
+  /// once the payload asks for more elements than the session allows.
+  void charge_elements(std::size_t n = 1) {
+    if (n > element_budget_)
+      throw ContractViolation(
+          "decode element budget exceeded: payload requests more elements "
+          "than the session's resource limits allow");
+    element_budget_ -= n;
+  }
+
  private:
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
+  std::size_t element_budget_ = static_cast<std::size_t>(-1);
 };
 
 // ---- framing ---------------------------------------------------------

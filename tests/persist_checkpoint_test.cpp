@@ -1,10 +1,11 @@
 // Checkpoint codec: byte-faithful round trips of rich replica state,
 // rejection of every corrupted framing, and golden FNV-1a-64 digests
 // pinning the serialized forms (Knowledge exact codec, Item wire form,
-// state payload, whole checkpoint file). The goldens freeze the v1
-// on-disk format: a failing digest means old state directories no
-// longer recover — bump kCheckpointVersion and write a migration
-// before changing them. On failure the message prints the new digest.
+// state payload, whole checkpoint file). The goldens freeze the v2
+// on-disk format (v1 state payload wrapped with the delivered-message
+// ledger): a failing digest means old state directories no longer
+// recover — bump kCheckpointVersion and write a migration before
+// changing them. On failure the message prints the new digest.
 
 #include "persist/checkpoint.hpp"
 
@@ -16,6 +17,7 @@
 #include "persist/durability.hpp"
 #include "repl/sync.hpp"
 #include "util/byte_buffer.hpp"
+#include "util/crc32.hpp"
 
 namespace pfrdtn::persist {
 namespace {
@@ -180,9 +182,39 @@ TEST(CheckpointGolden, StatePayload) {
 
 TEST(CheckpointGolden, WholeCheckpointFile) {
   const auto file = encode_checkpoint(7, make_rich_replica());
-  EXPECT_EQ(hex64(fnv1a64(file)), "227e77dbcc88e968")
+  EXPECT_EQ(hex64(fnv1a64(file)), "38a737d0f13bf095")
       << "checkpoint file bytes changed; new digest is "
       << hex64(fnv1a64(file));
+}
+
+TEST(Checkpoint, DeliveredLedgerRoundTrips) {
+  const Replica original = make_rich_replica();
+  const std::set<ItemId> delivered{ItemId(3), ItemId(7), ItemId(70000)};
+  const auto file = encode_checkpoint(9, original, delivered);
+  const DecodedCheckpoint decoded = decode_checkpoint(file);
+  EXPECT_EQ(decoded.epoch, 9u);
+  EXPECT_EQ(decoded.delivered, delivered);
+  // The ledger rides outside the state payload: digests are unchanged.
+  EXPECT_EQ(state_digest(decoded.replica), state_digest(original));
+}
+
+TEST(Checkpoint, DeliveredLedgerRejectsUnsortedIds) {
+  // Hand-corrupt the delta stream: a zero delta after the first id
+  // claims a duplicate, which a well-formed encoder never emits.
+  const auto file =
+      encode_checkpoint(1, make_rich_replica(), {ItemId(5), ItemId(6)});
+  auto bad = file;
+  // Payload tail: ... count=2, delta0=5, delta1=1. Zero the last delta.
+  ASSERT_EQ(bad.back(), 1);
+  bad.back() = 0;
+  // Recompute the CRC so only the ledger ordering is at fault.
+  const std::size_t crc_at = 4 + 1 + 8 + 4;
+  std::vector<std::uint8_t> payload(bad.begin() + kCheckpointHeaderSize,
+                                    bad.end());
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i)
+    bad[crc_at + i] = static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFF);
+  EXPECT_THROW(decode_checkpoint(bad), ContractViolation);
 }
 
 TEST(CheckpointGolden, WalRecordEncoders) {

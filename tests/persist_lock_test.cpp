@@ -1,0 +1,57 @@
+// FsEnv's advisory state-directory lock: two processes (or two FsEnv
+// instances — flock(2) is per open file description, so one process
+// opening the directory twice conflicts the same way two processes do)
+// must never run durability against the same directory concurrently,
+// or interleaved WAL appends corrupt the log. The kernel releases the
+// lock automatically when the holder exits — including SIGKILL, which
+// is why the crash e2e can restart into the same directory.
+
+#include "persist/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::persist {
+namespace {
+
+std::string fresh_dir(const char* tag) {
+  std::string dir = ::testing::TempDir() + "pfrdtn_lock_" + tag + "_" +
+                    std::to_string(::getpid());
+  std::remove((dir + "/LOCK").c_str());
+  return dir;
+}
+
+TEST(StateDirLock, SecondOpenerFailsWithAClearError) {
+  const std::string dir = fresh_dir("second");
+  FsEnv first(dir);
+  try {
+    FsEnv second(dir);
+    FAIL() << "second FsEnv on the same directory must not open";
+  } catch (const ContractViolation& locked) {
+    // The message must tell the operator what is wrong and hint at the
+    // likely cause (another pfrdtn already serving this directory).
+    const std::string what = locked.what();
+    EXPECT_NE(what.find("locked by another process"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(dir), std::string::npos) << what;
+  }
+}
+
+TEST(StateDirLock, ReleasedOnDestructionSoRestartsWork) {
+  const std::string dir = fresh_dir("restart");
+  { FsEnv holder(dir); }  // destructor releases the flock
+  EXPECT_NO_THROW(FsEnv reopened(dir));
+}
+
+TEST(StateDirLock, DistinctDirectoriesDoNotConflict) {
+  FsEnv a(fresh_dir("a"));
+  EXPECT_NO_THROW(FsEnv b(fresh_dir("b")));
+}
+
+}  // namespace
+}  // namespace pfrdtn::persist

@@ -251,6 +251,58 @@ TEST(Recovery, RecoveredReplicaSyncsByteIdentically) {
   EXPECT_EQ(a.bytes(), b.bytes());
 }
 
+TEST(Recovery, DeliveredLedgerSurvivesCrash) {
+  // note_delivered is acknowledged like any mutation: once it returns,
+  // a crash must recover the full ledger so the application never
+  // re-reports those messages (exactly-once across restarts).
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+
+  const Item& a = replica.create(to(5), {'a'});
+  const Item& b = replica.create(to(5), {'b'});
+  durability.note_delivered(a.id());
+  durability.note_delivered(b.id());
+  durability.note_delivered(a.id());  // idempotent: no duplicate record
+
+  env.crash();
+  const auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->delivered,
+            (std::set<ItemId>{a.id(), b.id()}));
+  EXPECT_EQ(state_digest(recovered->replica), state_digest(replica));
+}
+
+TEST(Recovery, DeliveredLedgerSurvivesCheckpointRotation) {
+  // Ledger entries logged before a checkpoint roll move into the
+  // checkpoint; entries logged after ride the fresh WAL. Recovery and
+  // a re-attach both see the union.
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+
+  const Item& a = replica.create(to(5), {'a'});
+  durability.note_delivered(a.id());
+  durability.checkpoint_now();
+  const Item& b = replica.create(to(5), {'b'});
+  durability.note_delivered(b.id());
+  durability.detach();
+
+  env.crash();
+  auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  const std::set<ItemId> expect{a.id(), b.id()};
+  EXPECT_EQ(recovered->delivered, expect);
+
+  // A fresh Durability restores the same ledger (checkpoint + log),
+  // so its next checkpoint carries the complete set forward.
+  Durability reborn(env);
+  reborn.attach(recovered->replica);
+  EXPECT_EQ(reborn.delivered(), expect);
+}
+
 TEST(Recovery, DetachStopsLogging) {
   MemEnv env;
   Replica replica = make_replica(1, 5);

@@ -70,6 +70,14 @@ run_check_stage() {
   # durability probe digests state before and after).
   "$bin" check --seed "$seed" --runs "$((runs / 4))" --crash-rate 0.2 \
     --cut-rate 0.3
+  # Chaos-peer adversary events against the hardened session boundary:
+  # every hostile script must be rejected (violations) or absorbed
+  # (link-indistinguishable closes/trickles) with the serving replica's
+  # state untouched, and the slow-loris cut by the session deadline.
+  "$bin" check --seed "$seed" --runs "$((runs / 4))" \
+    --adversary-rate 0.4
+  "$bin" check --seed "$seed" --runs "$((runs / 8))" \
+    --adversary-rate 0.25 --cut-rate 0.3 --crash-rate 0.1
 }
 
 # The durability oracle must actually bite: with fsync skipped, a
@@ -90,6 +98,28 @@ run_durability_oracle_proof() {
   echo "durability oracle caught the injected fsync skip"
 }
 
+# The adversary probes must bite too: with limit enforcement skipped, a
+# fixed-seed adversary schedule has to fail the containment probe; with
+# the session deadline disabled, the byte-trickle schedule has to fail
+# the deadline probe. Both must shrink to a small reproduction. Guards
+# against the hostile-peer suite silently degrading into a no-op.
+run_adversary_oracle_proof() {
+  local name="$1"
+  local bin="$ROOT/build-ci/$name/tools/pfrdtn"
+  local bug rc
+  for bug in skip-limit-check no-deadline; do
+    echo "=== [$name] check: $bug bug is caught ==="
+    rc=0
+    "$bin" check --seed 7 --runs 10 --adversary-rate 0.5 \
+      --inject-bug "$bug" > /dev/null || rc=$?
+    if [[ "$rc" -ne 1 ]]; then
+      echo "$bug injection was not detected (exit $rc)" >&2
+      exit 1
+    fi
+  done
+  echo "adversary oracles caught both injected hardening bugs"
+}
+
 run_suite plain
 run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
 
@@ -101,5 +131,7 @@ run_check_stage plain 400
 run_check_stage asan-ubsan 60
 run_durability_oracle_proof plain
 run_durability_oracle_proof asan-ubsan
+run_adversary_oracle_proof plain
+run_adversary_oracle_proof asan-ubsan
 
 echo "CI OK"

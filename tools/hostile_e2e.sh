@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Hostile-peer end-to-end test: every chaos attack is fired at a live
+# `pfrdtn serve` over real TCP. The test passes iff
+#   1. the server survives the whole sweep (never crashes, never
+#      wedges),
+#   2. every violation-class attack earns a structured quarantine log
+#      line and the attacker's immediate reconnect is refused at
+#      accept time,
+#   3. the byte-trickler is cut by the absolute session deadline (the
+#      per-op timeout alone cannot stop it),
+#   4. once the quarantine window lapses, an honest client syncs and
+#      both the server's and the client's state digests are
+#      byte-identical to a control pair that never saw an attack.
+# lying-count-short — the one attack that applies an item before its
+# lie is detectable — runs against a separate sacrificial server, so
+# the digest comparison stays exact while the attack still proves
+# containment + quarantine.
+#
+# Usage: hostile_e2e.sh /path/to/pfrdtn
+set -u
+
+CLI="${1:?usage: hostile_e2e.sh /path/to/pfrdtn}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "$WORK"/*.log; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2 || true
+  done
+  exit 1
+}
+
+# Small quarantine windows keep the sweep fast; the 2s session deadline
+# is what cuts byte-trickle; io-timeout stays high so the deadline (not
+# the per-op timeout) is provably the cutter.
+SERVE_FLAGS=(--addr 42 --session-deadline-ms 2000 --io-timeout-ms 5000
+             --quarantine-base-ms 200 --quarantine-max-ms 1000)
+
+# start_server <name>: serve forever until killed.
+start_server() {
+  local name="$1"
+  rm -f "$WORK/$name.port"
+  "$CLI" serve --port 0 --port-file "$WORK/$name.port" \
+    --state-dir "$WORK/$name" "${SERVE_FLAGS[@]}" \
+    >> "$WORK/$name.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/$name.port" ] && break
+    kill -0 "$SERVER_PID" 2> /dev/null || return 1
+    sleep 0.05
+  done
+  [ -s "$WORK/$name.port" ]
+}
+
+stop_server() {
+  kill "$SERVER_PID" 2> /dev/null
+  wait "$SERVER_PID" 2> /dev/null
+  SERVER_PID=""
+}
+
+# The client returns as soon as ITS side of the sync is done; the
+# server is still applying the push, logging WAL records, and
+# reporting deliveries. Wait for its log to prove the session (and
+# therefore every durable record) finished before killing it, or the
+# digest comparison races the server's tail writes.
+wait_for_log() {
+  local name="$1" pattern="$2"
+  for _ in $(seq 1 100); do
+    grep -q "$pattern" "$WORK/$name.log" && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+# honest_sync <server-name> <client-state-dir>: identical in the
+# control and attacked runs, so the digests must come out identical.
+honest_sync() {
+  local name="$1" client="$2"
+  "$CLI" sync-with --host 127.0.0.1 --port-file "$WORK/$name.port" \
+    --addr 7 --id 9 --state-dir "$WORK/$client" --mode encounter \
+    --send 42=first --send 42=second \
+    >> "$WORK/$client.log" 2>&1
+}
+
+digest_of() {
+  "$CLI" state-digest --state-dir "$WORK/$1" | grep -o 'digest=[0-9a-f]*'
+}
+
+# ---- 1. control: the attack never happened --------------------------
+start_server control_server || fail "control server did not start"
+honest_sync control_server control_client || fail "control sync failed"
+wait_for_log control_server "body=second" ||
+  fail "control server never finished the session"
+stop_server
+CONTROL_SERVER_DIGEST="$(digest_of control_server)"
+CONTROL_CLIENT_DIGEST="$(digest_of control_client)"
+[ -n "$CONTROL_SERVER_DIGEST" ] || fail "no control server digest"
+
+# ---- 2. the sweep: every attack against one live server -------------
+start_server attacked_server || fail "attacked server did not start"
+PORT_FILE="$WORK/attacked_server.port"
+
+for attack in $("$CLI" chaos --list); do
+  [ "$attack" = "lying-count-short" ] && continue
+  "$CLI" chaos --port-file "$PORT_FILE" --attack "$attack" \
+    --trickle-delay-ms 100 --timeout-ms 8000 \
+    >> "$WORK/chaos.log" 2>&1 || fail "chaos $attack did not run"
+  kill -0 "$SERVER_PID" 2> /dev/null || fail "server died on $attack"
+  # Let the quarantine window lapse so the NEXT attack reaches the
+  # session layer instead of being refused at accept.
+  sleep 1.2
+done
+
+# Violations must have produced structured quarantine decisions...
+grep -q "quarantined strikes=" "$WORK/attacked_server.log" ||
+  fail "no quarantine decision was logged"
+# ...and the slow-loris must have died to the deadline, not a timeout.
+grep -q "session deadline exceeded" "$WORK/attacked_server.log" ||
+  fail "byte-trickle was not cut by the session deadline"
+
+# ---- 3. quarantined reconnects are refused at accept ----------------
+"$CLI" chaos --port-file "$PORT_FILE" --attack oversize-request \
+  >> "$WORK/chaos.log" 2>&1
+"$CLI" chaos --port-file "$PORT_FILE" --attack oversize-request \
+  >> "$WORK/chaos.log" 2>&1
+grep -q "reject \[" "$WORK/attacked_server.log" ||
+  fail "quarantined reconnect was not refused at accept time"
+
+# ---- 4. honest convergence after the storm --------------------------
+sleep 1.2  # outlast the final quarantine window
+honest_sync attacked_server attacked_client ||
+  fail "honest sync after the sweep failed"
+wait_for_log attacked_server "body=second" ||
+  fail "attacked server never finished the honest session"
+kill -0 "$SERVER_PID" 2> /dev/null || fail "server died before shutdown"
+stop_server
+
+[ "$(digest_of attacked_server)" = "$CONTROL_SERVER_DIGEST" ] ||
+  fail "attacked server digest diverged from control"
+[ "$(digest_of attacked_client)" = "$CONTROL_CLIENT_DIGEST" ] ||
+  fail "honest client digest diverged from control"
+
+# ---- 5. lying-count-short: contained on a sacrificial server --------
+start_server sacrificial_server || fail "sacrificial server did not start"
+"$CLI" chaos --port-file "$WORK/sacrificial_server.port" \
+  --attack lying-count-short >> "$WORK/chaos.log" 2>&1
+kill -0 "$SERVER_PID" 2> /dev/null ||
+  fail "server died on lying-count-short"
+sleep 0.2
+grep -q "quarantined strikes=" "$WORK/sacrificial_server.log" ||
+  fail "lying-count-short was not quarantined"
+stop_server
+
+echo "PASS: server survived $("$CLI" chaos --list | wc -l) attacks," \
+     "quarantined the attacker, and converged an honest peer to the" \
+     "attack-free digests"

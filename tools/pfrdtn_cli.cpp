@@ -6,6 +6,8 @@
 ///   run           run one emulation (generated or file-based traces)
 ///   serve         host a replica, accepting sync sessions over TCP
 ///   sync-with     synchronize with a serving replica over TCP
+///   chaos         attack a serving replica with scripted hostile-peer
+///                 probes (see docs/hardening.md)
 ///   state-digest  print the digest of a crash-durable state directory
 ///   check         run randomized fault-schedule invariant checks over
 ///                 the real sync stack (see docs/checking.md)
@@ -19,7 +21,8 @@
 ///   pfrdtn serve --port 9944 --addr 42
 ///   pfrdtn sync-with --host 10.0.0.2 --port 9944 --addr 7
 ///              --send 42=hello --mode encounter
-///   pfrdtn check --seed 1 --runs 20
+///   pfrdtn chaos --host 10.0.0.2 --port 9944 --all
+///   pfrdtn check --seed 1 --runs 20 --adversary-rate 0.3
 ///   pfrdtn check --replay 7    # reproduce + shrink seed 7's failure
 ///
 /// All stochastic inputs are seeded; identical invocations produce
@@ -38,6 +41,8 @@
 
 #include "check/harness.hpp"
 #include "dtn/registry.hpp"
+#include "net/chaos.hpp"
+#include "net/quarantine.hpp"
 #include "net/session.hpp"
 #include "net/tcp.hpp"
 #include "persist/durability.hpp"
@@ -66,18 +71,26 @@ using namespace pfrdtn;
       "  serve        --port N [--port-file FILE] --addr A [--addr A]...\n"
       "               [--id N] [--max-sessions N] [--bandwidth N]\n"
       "               [--state-dir DIR] [--kill-after-records N]\n"
+      "               [--io-timeout-ms N] [--session-deadline-ms N]\n"
+      "               [--quarantine-base-ms N] [--quarantine-max-ms N]\n"
+      "               [--max-request-bytes N] [--max-item-bytes N]\n"
+      "               [--max-batch-items N]\n"
       "  sync-with    --host H --port N [--port-file FILE] --addr A\n"
       "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
       "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
       "               [--state-dir DIR] [--retries N] [--retry-base-ms N]\n"
+      "  chaos        --host H (--port N | --port-file FILE)\n"
+      "               (--attack NAME | --all | --list)\n"
+      "               [--trickle-delay-ms N] [--timeout-ms N]\n"
       "  state-digest --state-dir DIR\n"
       "  check        [--seed S] [--runs N] [--replay S] [--log]\n"
       "               [--replicas N] [--steps N] [--addresses N]\n"
       "               [--cut-rate X] [--cap-rate X] [--throttle-rate X]\n"
       "               [--filter-rate X] [--discard-rate X] [--storage N]\n"
-      "               [--crash-rate X] [--quiesce N] [--no-shrink]\n"
-      "               [--shrink-budget N]\n"
-      "               [--inject-bug learn-truncated|skip-fsync]\n"
+      "               [--crash-rate X] [--adversary-rate X] [--quiesce N]\n"
+      "               [--no-shrink] [--shrink-budget N]\n"
+      "               [--inject-bug learn-truncated|skip-fsync|\n"
+      "                             skip-limit-check|no-deadline]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -351,7 +364,24 @@ DurableNode make_durable_node(const std::string& state_dir,
   out.durability =
       std::make_unique<persist::Durability>(*out.env, options);
   out.durability->attach(out.node->replica());
+  // Exactly-once delivery reporting across restarts: seed the node's
+  // ledger with everything already reported (attach() restored it from
+  // checkpoint + WAL) and persist each new first-time delivery before
+  // it is handed to the application.
+  out.node->seed_delivered(out.durability->delivered());
+  out.node->set_delivery_sink(
+      [durability = out.durability.get()](ItemId delivered) {
+        durability->note_delivered(delivered);
+      });
   return out;
+}
+
+/// The quarantine key for an accepted connection: the peer IP with the
+/// ephemeral port stripped, since the port changes on every reconnect.
+std::string quarantine_key(const std::string& peer_description) {
+  const auto colon = peer_description.rfind(':');
+  return colon == std::string::npos ? peer_description
+                                    : peer_description.substr(0, colon);
 }
 
 int cmd_serve(Args& args) {
@@ -365,6 +395,10 @@ int cmd_serve(Args& args) {
   std::size_t max_sessions = 0;  // 0 = serve forever
   repl::SyncOptions sync_options;
   persist::DurabilityOptions durability_options;
+  net::TcpOptions tcp_options;
+  tcp_options.session_deadline_ms = 30000;
+  net::ResourceLimits limits;
+  net::QuarantineOptions quarantine_options;
 
   while (!args.done()) {
     const std::string flag = args.next();
@@ -387,6 +421,26 @@ int cmd_serve(Args& args) {
     } else if (flag == "--kill-after-records") {
       durability_options.kill_after_records =
           parse_u64(args.value("--kill-after-records"));
+    } else if (flag == "--io-timeout-ms") {
+      tcp_options.io_timeout_ms =
+          static_cast<int>(parse_u64(args.value("--io-timeout-ms")));
+    } else if (flag == "--session-deadline-ms") {
+      tcp_options.session_deadline_ms = static_cast<int>(
+          parse_u64(args.value("--session-deadline-ms")));
+    } else if (flag == "--quarantine-base-ms") {
+      quarantine_options.base_backoff_ms =
+          parse_u64(args.value("--quarantine-base-ms"));
+    } else if (flag == "--quarantine-max-ms") {
+      quarantine_options.max_backoff_ms =
+          parse_u64(args.value("--quarantine-max-ms"));
+    } else if (flag == "--max-request-bytes") {
+      limits.max_request_bytes = static_cast<std::uint32_t>(
+          parse_u64(args.value("--max-request-bytes")));
+    } else if (flag == "--max-item-bytes") {
+      limits.max_item_bytes = static_cast<std::uint32_t>(
+          parse_u64(args.value("--max-item-bytes")));
+    } else if (flag == "--max-batch-items") {
+      limits.max_batch_items = parse_u64(args.value("--max-batch-items"));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -399,12 +453,12 @@ int cmd_serve(Args& args) {
   DurableNode durable =
       make_durable_node(state_dir, id, id_explicit, durability_options);
   dtn::DtnNode& node = *durable.node;
-  // After recovery the node-level delivered ledger is empty (it is not
-  // persisted), so recovered messages addressed to us re-report here —
-  // delivery is at-least-once across restarts, never lost.
+  // With --state-dir the delivered ledger was recovered and seeded in
+  // make_durable_node, so messages already reported before a crash stay
+  // silent here — delivery reporting is exactly-once across restarts.
   report_delivered(node.set_addresses(addrs, {}, SimTime(0)));
 
-  net::TcpListener listener(port);
+  net::TcpListener listener(port, tcp_options);
   std::printf("serving replica %llu on port %u\n",
               static_cast<unsigned long long>(node.id().value()),
               listener.port());
@@ -415,13 +469,21 @@ int cmd_serve(Args& args) {
     out << listener.port() << '\n';
   }
 
+  net::QuarantineTable quarantine(quarantine_options);
+  const auto serve_started = std::chrono::steady_clock::now();
+  const auto now_ms = [&serve_started] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - serve_started)
+            .count());
+  };
+
   std::size_t sessions = 0;
   std::size_t accept_failures = 0;
   while (max_sessions == 0 || sessions < max_sessions) {
     net::ConnectionPtr connection;
     try {
       connection = listener.accept();
-      accept_failures = 0;
     } catch (const net::TransportError& failure) {
       // Transient accept errors (EMFILE, aborted handshakes) must not
       // take the server down; only a persistently broken listener does.
@@ -434,12 +496,27 @@ int cmd_serve(Args& args) {
       }
       continue;
     }
-    ++sessions;
     const std::string peer = connection->peer_description();
+    const std::string key = quarantine_key(peer);
+    const net::AdmitDecision admitted = quarantine.admit(key, now_ms());
+    if (admitted.rejected) {
+      // Refused before any frame is read or buffer allocated for the
+      // peer; rejected connections do not count toward --max-sessions.
+      std::fprintf(stderr,
+                   "reject [%s]: quarantined strikes=%zu "
+                   "rejections=%zu retry_after_ms=%llu\n",
+                   peer.c_str(), admitted.strikes, admitted.rejections,
+                   static_cast<unsigned long long>(
+                       admitted.retry_after_ms));
+      connection->close();
+      continue;
+    }
+    ++sessions;
+    bool clean = false;
     try {
       const auto outcome = net::serve_session(
           *connection, node.replica(), node.policy(), SimTime(0),
-          sync_options);
+          sync_options, limits);
       std::printf("session %zu: peer=%llu mode=%u%s\n", sessions,
                   static_cast<unsigned long long>(
                       outcome.hello.replica.value()),
@@ -451,15 +528,33 @@ int cmd_serve(Args& args) {
       report_sync("  applied", outcome.applied.result.stats);
       report_delivered(node.on_sync_delivered(
           outcome.applied.result.delivered, SimTime(0)));
+      clean = !outcome.transport_failed;
     } catch (const ContractViolation& violation) {
-      // A malformed peer must not take the server down.
-      std::fprintf(stderr, "session %zu [%s]: protocol error: %s\n",
-                   sessions, peer.c_str(), violation.what());
+      // A malformed or hostile peer must not take the server down; it
+      // earns a strike and a capped exponential quarantine window.
+      const bool limit_breach =
+          dynamic_cast<const net::ResourceLimitError*>(&violation) !=
+          nullptr;
+      const std::uint64_t window = quarantine.punish(key, now_ms());
+      std::fprintf(stderr, "session %zu [%s]: %s: %s\n", sessions,
+                   peer.c_str(),
+                   limit_breach ? "resource limit" : "protocol error",
+                   violation.what());
+      std::fprintf(stderr,
+                   "session %zu [%s]: quarantined strikes=%zu "
+                   "window_ms=%llu\n",
+                   sessions, peer.c_str(), quarantine.strikes(key),
+                   static_cast<unsigned long long>(window));
     } catch (const net::TransportError& failure) {
-      // Nor a peer that vanishes mid-handshake — routine in a DTN.
+      // A peer that vanishes (or trickles past the session deadline)
+      // is routine in a DTN: no strike, just an incomplete sync.
       std::fprintf(stderr, "session %zu [%s]: transport error: %s\n",
                    sessions, peer.c_str(), failure.what());
     }
+    // A session ran to the end, so the listener itself is healthy;
+    // transient accept failures start counting from zero again.
+    accept_failures = 0;
+    if (clean) quarantine.reward(key);
     std::printf("store=%zu\n", node.replica().store().size());
     std::fflush(stdout);
   }
@@ -595,6 +690,89 @@ int cmd_sync_with(Args& args) {
   return 0;
 }
 
+/// Drive scripted hostile-peer attacks against a live `serve` (the
+/// third leg of the chaos triad; see docs/hardening.md). Exit 0 means
+/// every requested attack script ran to completion — the *server's*
+/// health is judged by the caller (tools/hostile_e2e.sh), which checks
+/// that serve stayed up, quarantined the attacker, and still converges
+/// with an honest peer afterwards.
+int cmd_chaos(Args& args) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::vector<net::ChaosAttack> attacks;
+  bool all = false;
+  net::TcpOptions tcp_options;
+  net::ChaosPeerOptions chaos_options;
+
+  while (!args.done()) {
+    const std::string flag = args.next();
+    if (flag == "--host") {
+      host = args.value("--host");
+    } else if (flag == "--port") {
+      port = static_cast<std::uint16_t>(parse_u64(args.value("--port")));
+    } else if (flag == "--port-file") {
+      port_file = args.value("--port-file");
+    } else if (flag == "--attack") {
+      const std::string name = args.value("--attack");
+      const auto attack = net::chaos_attack_from_name(name);
+      if (!attack) usage(("unknown attack " + name).c_str());
+      attacks.push_back(*attack);
+    } else if (flag == "--all") {
+      all = true;
+    } else if (flag == "--list") {
+      for (std::size_t i = 0; i < net::kChaosAttackCount; ++i)
+        std::printf("%s\n", net::chaos_attack_name(
+                                static_cast<net::ChaosAttack>(i)));
+      return 0;
+    } else if (flag == "--trickle-delay-ms") {
+      chaos_options.trickle_delay_ms = static_cast<unsigned>(
+          parse_u64(args.value("--trickle-delay-ms")));
+    } else if (flag == "--timeout-ms") {
+      const int ms =
+          static_cast<int>(parse_u64(args.value("--timeout-ms")));
+      tcp_options.connect_timeout_ms = ms;
+      tcp_options.io_timeout_ms = ms;
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (all) {
+    attacks.clear();
+    for (std::size_t i = 0; i < net::kChaosAttackCount; ++i)
+      attacks.push_back(static_cast<net::ChaosAttack>(i));
+  }
+  if (attacks.empty()) usage("chaos requires --attack, --all, or --list");
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    unsigned from_file = 0;
+    if (!(in >> from_file))
+      throw ContractViolation("cannot read port from " + port_file);
+    port = static_cast<std::uint16_t>(from_file);
+  }
+  if (port == 0) usage("chaos requires --port or --port-file");
+
+  for (const net::ChaosAttack attack : attacks) {
+    const char* name = net::chaos_attack_name(attack);
+    try {
+      const auto connection = net::tcp_connect(host, port, tcp_options);
+      const net::ChaosOutcome outcome =
+          net::run_chaos_attack(*connection, attack, chaos_options);
+      std::printf("attack=%s violation=%d bytes_sent=%zu cut=%d%s%s\n",
+                  name, net::chaos_attack_is_violation(attack) ? 1 : 0,
+                  outcome.bytes_sent, outcome.server_cut_us ? 1 : 0,
+                  outcome.note.empty() ? "" : " note=",
+                  outcome.note.c_str());
+    } catch (const net::TransportError& failure) {
+      // Connect refused — e.g. we are already quarantined. Still a
+      // successful probe: report and move on.
+      std::printf("attack=%s connect_failed=%s\n", name, failure.what());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int cmd_state_digest(Args& args) {
   std::string state_dir;
   while (!args.done()) {
@@ -683,6 +861,9 @@ int cmd_check(Args& args) {
     } else if (flag == "--crash-rate") {
       options.config.crash_rate =
           std::atof(config_flag(flag, args.value("--crash-rate")));
+    } else if (flag == "--adversary-rate") {
+      options.config.adversary_rate =
+          std::atof(config_flag(flag, args.value("--adversary-rate")));
     } else if (flag == "--quiesce") {
       options.config.quiescence_rounds =
           parse_u64(config_flag(flag, args.value("--quiesce")));
@@ -696,6 +877,10 @@ int cmd_check(Args& args) {
         options.config.inject_learn_truncated = true;
       } else if (bug == "skip-fsync") {
         options.config.inject_skip_fsync = true;
+      } else if (bug == "skip-limit-check") {
+        options.config.inject_skip_limit_check = true;
+      } else if (bug == "no-deadline") {
+        options.config.inject_no_deadline = true;
       } else {
         usage("unknown --inject-bug");
       }
@@ -728,6 +913,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "sync-with") return cmd_sync_with(args);
+    if (command == "chaos") return cmd_chaos(args);
     if (command == "state-digest") return cmd_state_digest(args);
     if (command == "check") return cmd_check(args);
     if (command == "--help" || command == "help") usage();
