@@ -266,6 +266,12 @@ class Engine {
     if (event.fault.max_items) options.max_items = *event.fault.max_items;
     options.unsafe_learn_truncated =
         scenario_.config.inject_learn_truncated;
+    if (event.summary) {
+      options.summary_mode = repl::SummaryMode::On;
+      options.summary_force_collision = event.summary_collide;
+      options.unsafe_summary_skip_fallback =
+          scenario_.config.inject_summary_skip_fallback;
+    }
     net::LoopbackFaults faults;
     if (event.fault.cut_after_bytes)
       faults.cut_after_bytes = *event.fault.cut_after_bytes;
@@ -478,6 +484,7 @@ class Engine {
       fail(scenario_.events.size(), "eventual-filter-consistency",
            *violation);
     }
+    if (!result_.violation) check_equivalence();
     if (keep_log_) {
       result_.log.push_back(
           "quiescence: " + std::to_string(oracle_.latest().size()) +
@@ -485,6 +492,79 @@ class Engine {
           std::to_string(result_.stats.cuts) + " cuts, " +
           std::to_string(result_.stats.bytes) + " bytes" +
           (result_.violation ? " -> VIOLATION" : " -> converged"));
+    }
+  }
+
+  /// Convergence-equivalence probe, run on the converged fleet: for
+  /// every ordered pair, clone both replicas per mode and run one more
+  /// fault-free null-policy sync exact and summary-first. Converged
+  /// pairs must move zero items in both modes, and the two modes must
+  /// leave byte-identical replica state (persist::state_digest covers
+  /// store, knowledge, filter, and counters) — the differential claim
+  /// the summary fast path rests on, probed here on whatever states
+  /// the whole fault schedule produced.
+  void check_equivalence() {
+    const std::size_t index = scenario_.events.size();
+    const std::size_t n = replicas_.size();
+    const SimTime now(static_cast<std::int64_t>(2000000 + index));
+    for (std::size_t i = 0; i < n && !result_.violation; ++i) {
+      for (std::size_t j = 0; j < n && !result_.violation; ++j) {
+        if (i == j) continue;
+        // Clones so the probe cannot perturb the fleet; sinks cleared
+        // so clone mutations are not logged as the originals'.
+        repl::Replica exact_source = replicas_[j];
+        repl::Replica exact_target = replicas_[i];
+        repl::Replica summary_source = replicas_[j];
+        repl::Replica summary_target = replicas_[i];
+        for (repl::Replica* clone :
+             {&exact_source, &exact_target, &summary_source,
+              &summary_target}) {
+          clone->set_mutation_sink(nullptr);
+        }
+
+        repl::SyncOptions summary_options;
+        summary_options.summary_mode = repl::SummaryMode::On;
+        const auto exact = net::sync_over_loopback(
+            exact_source, exact_target, nullptr, nullptr, now, {}, {});
+        const auto summary = net::sync_over_loopback(
+            summary_source, summary_target, nullptr, nullptr, now,
+            summary_options, {});
+        const std::string pair = " r" + std::to_string(i) + " <- r" +
+                                 std::to_string(j);
+        if (exact.client.transport_failed ||
+            summary.client.transport_failed) {
+          fail(index, "summary-equivalence",
+               "fault-free equivalence sync failed" + pair + ": " +
+                   (exact.client.transport_failed ? exact.client.error
+                                                  : summary.client.error));
+          return;
+        }
+        if (exact.client.result.stats.items_sent != 0 ||
+            summary.client.result.stats.items_sent != 0) {
+          fail(index, "summary-equivalence",
+               "converged pair still moved items" + pair + " (exact=" +
+                   std::to_string(exact.client.result.stats.items_sent) +
+                   " summary=" +
+                   std::to_string(
+                       summary.client.result.stats.items_sent) +
+                   ")");
+          return;
+        }
+        if (persist::state_digest(exact_target) !=
+            persist::state_digest(summary_target)) {
+          fail(index, "summary-equivalence",
+               "target state diverged between exact and summary modes" +
+                   pair);
+          return;
+        }
+        if (persist::state_digest(exact_source) !=
+            persist::state_digest(summary_source)) {
+          fail(index, "summary-equivalence",
+               "source state diverged between exact and summary modes" +
+                   pair);
+          return;
+        }
+      }
     }
   }
 
@@ -572,6 +652,15 @@ Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed) {
         event.fault.bytes_per_second = static_cast<std::uint32_t>(
             256 + rng.below(64 * 1024));
       }
+      // Both draws gated on a nonzero rate, so summary-unaware configs
+      // consume no draws here (same contract as the crash band).
+      if (config.summary_rate > 0 && rng.chance(config.summary_rate)) {
+        event.summary = true;
+        if (config.summary_collision_rate > 0 &&
+            rng.chance(config.summary_collision_rate)) {
+          event.summary_collide = true;
+        }
+      }
     }
     scenario.events.push_back(event);
   }
@@ -609,7 +698,10 @@ std::string format_event(std::size_t index, const Event& event) {
     case EventKind::Sync:
       line += "sync r" + std::to_string(event.actor) + " <- r" +
               std::to_string(event.peer) +
-              (event.encounter ? " enc" : "") + fault_str(event.fault);
+              (event.encounter ? " enc" : "") +
+              (event.summary ? " summary" : "") +
+              (event.summary_collide ? " collide" : "") +
+              fault_str(event.fault);
       break;
     case EventKind::CrashRestart:
       line += "crash r" + std::to_string(event.actor) + " torn=" +

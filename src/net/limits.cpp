@@ -16,6 +16,12 @@ const char* frame_type_name(std::uint8_t type) {
       return "BatchItem";
     case repl::SyncFrame::BatchEnd:
       return "BatchEnd";
+    case repl::SyncFrame::SummaryRequest:
+      return "SummaryRequest";
+    case repl::SyncFrame::SummaryMatch:
+      return "SummaryMatch";
+    case repl::SyncFrame::SummaryMiss:
+      return "SummaryMiss";
   }
   return "unknown";
 }
@@ -32,6 +38,11 @@ std::uint32_t ResourceLimits::frame_payload_cap(std::uint8_t type) const {
       return max_item_bytes;
     case repl::SyncFrame::BatchEnd:
       return max_batch_end_bytes;
+    case repl::SyncFrame::SummaryRequest:
+      return max_summary_bytes;
+    case repl::SyncFrame::SummaryMatch:
+    case repl::SyncFrame::SummaryMiss:
+      return max_summary_reply_bytes;
   }
   throw ContractViolation("unknown frame type " + std::to_string(type));
 }
@@ -43,6 +54,8 @@ ResourceLimits ResourceLimits::unlimited() {
   limits.max_batch_begin_bytes = kMaxFramePayload;
   limits.max_item_bytes = kMaxFramePayload;
   limits.max_batch_end_bytes = kMaxFramePayload;
+  limits.max_summary_bytes = kMaxFramePayload;
+  limits.max_summary_reply_bytes = kMaxFramePayload;
   limits.max_batch_items = std::numeric_limits<std::uint64_t>::max();
   limits.max_knowledge_entries = std::numeric_limits<std::size_t>::max();
   limits.max_policy_blob_bytes = std::numeric_limits<std::size_t>::max();

@@ -51,6 +51,12 @@ struct ResourceLimits {
   std::uint32_t max_batch_begin_bytes = 64;
   std::uint32_t max_item_bytes = 4u << 20;
   std::uint32_t max_batch_end_bytes = 1u << 20;
+  /// SummaryRequest: filter + digest + Bloom filter + routing blob; the
+  /// Bloom filter is tiny by construction (SummaryParams::max_bloom_bytes)
+  /// but the routing blob shares the request budget, so mirror it.
+  std::uint32_t max_summary_bytes = 1u << 20;
+  /// SummaryMatch / SummaryMiss carry only the source id.
+  std::uint32_t max_summary_reply_bytes = 64;
 
   /// Cap on BatchBegin's announced item count, checked before the item
   /// loop starts.

@@ -43,6 +43,9 @@ std::vector<std::uint8_t> encode_hello(const HelloInfo& hello) {
   ByteWriter w;
   w.uvarint(hello.replica.value());
   w.u8(static_cast<std::uint8_t>(hello.mode));
+  // Zero features encode as nothing: byte-identical to the legacy
+  // hello, which legacy decoders require to end here.
+  if (hello.features != 0) w.uvarint(hello.features);
   return w.take();
 }
 
@@ -53,67 +56,211 @@ HelloInfo decode_hello(const std::vector<std::uint8_t>& payload) {
   const std::uint8_t mode = r.u8();
   PFRDTN_REQUIRE(mode >= 1 && mode <= 3);
   hello.mode = static_cast<SyncMode>(mode);
+  if (!r.done()) hello.features = r.uvarint();
   PFRDTN_REQUIRE(r.done());
   return hello;
 }
 
-SourceStats run_source(Connection& connection, repl::Replica& source,
-                       repl::ForwardingPolicy* source_policy, SimTime now,
-                       const repl::SyncOptions& options,
-                       SessionBudget* budget) {
-  SessionBudget local_budget;
-  SessionBudget& b = budget != nullptr ? *budget : local_budget;
-  SourceStats outcome;
+repl::SummaryMode resolve_summary_mode(repl::SummaryMode requested,
+                                       std::uint64_t peer_features) {
+  switch (requested) {
+    case repl::SummaryMode::Off:
+      return repl::SummaryMode::Off;
+    case repl::SummaryMode::On:
+      return repl::SummaryMode::On;
+    case repl::SummaryMode::Auto:
+      return (peer_features & kFeatureSummaryExchange) != 0
+                 ? repl::SummaryMode::On
+                 : repl::SummaryMode::Off;
+  }
+  throw ContractViolation("invalid summary mode");
+}
+
+namespace {
+
+/// Cap on the opaque policy blob, shared by both request forms.
+void check_routing_blob(const std::vector<std::uint8_t>& blob,
+                        const ResourceLimits& limits) {
+  if (blob.size() > limits.max_policy_blob_bytes) {
+    throw ResourceLimitError(
+        "request policy blob of " + std::to_string(blob.size()) +
+        " bytes exceeds the " +
+        std::to_string(limits.max_policy_blob_bytes) + "-byte cap");
+  }
+}
+
+}  // namespace
+
+void SourceSession::fail(const TransportError& failure) {
+  outcome_.transport_failed = true;
+  outcome_.stats.complete = false;
+  outcome_.error = failure.what();
+  state_ = State::Failed;
+}
+
+void SourceSession::stream_batch(Connection& connection,
+                                 const repl::SyncBatch& batch) {
+  SessionBudget& b = budget();
+  outcome_.stats.complete = batch.complete;
+  outcome_.stats.batch_bytes +=
+      write_frame(connection, repl::SyncFrame::BatchBegin,
+                  repl::encode_batch_begin(batch), b);
+  for (const repl::Item& item : batch.items) {
+    outcome_.stats.batch_bytes +=
+        write_frame(connection, repl::SyncFrame::BatchItem,
+                    serialize_item(item), b);
+    ++outcome_.stats.items_sent;
+  }
+  outcome_.stats.batch_bytes +=
+      write_frame(connection, repl::SyncFrame::BatchEnd,
+                  serialize_knowledge(batch.source_knowledge), b);
+}
+
+void SourceSession::serve_opener(Connection& connection) {
+  PFRDTN_REQUIRE(state_ == State::Idle);
+  SessionBudget& b = budget();
+  try {
+    // With summaries off this side speaks the legacy protocol exactly:
+    // only a Request opener is admitted.
+    const bool summaries =
+        options_.summary_mode != repl::SummaryMode::Off;
+    const Frame opener =
+        summaries ? read_frame(connection, b)
+                  : expect_frame(connection, repl::SyncFrame::Request, b);
+    outcome_.stats.request_bytes += opener.wire_bytes;
+
+    if (opener.type == repl::SyncFrame::Request) {
+      ByteReader reader(opener.payload);
+      reader.set_element_budget(b.limits().max_decode_elements);
+      const repl::SyncRequest request =
+          repl::SyncRequest::deserialize(reader);
+      PFRDTN_REQUIRE(reader.done());
+      check_knowledge_weight(request.knowledge, b.limits());
+      check_routing_blob(request.routing_state, b.limits());
+      stream_batch(connection, repl::build_batch(*source_, policy_,
+                                                 request, now_, options_));
+      state_ = State::Done;
+      return;
+    }
+
+    PFRDTN_REQUIRE(opener.type == repl::SyncFrame::SummaryRequest);
+    ByteReader reader(opener.payload);
+    reader.set_element_budget(b.limits().max_decode_elements);
+    const repl::SummaryRequestInfo request =
+        repl::SummaryRequestInfo::deserialize(reader);
+    PFRDTN_REQUIRE(reader.done());
+    check_routing_blob(request.routing_state, b.limits());
+    const repl::SummaryAnswer answer =
+        repl::answer_summary(*source_, policy_, request, now_, options_);
+    switch (answer.kind) {
+      case repl::SummaryAnswer::Kind::Match:
+        outcome_.stats.batch_bytes +=
+            write_frame(connection, repl::SyncFrame::SummaryMatch,
+                        repl::encode_summary_reply(source_->id()), b);
+        outcome_.stats.complete = true;
+        state_ = State::Done;
+        return;
+      case repl::SummaryAnswer::Kind::Batch:
+        stream_batch(connection, answer.batch);
+        state_ = State::Done;
+        return;
+      case repl::SummaryAnswer::Kind::Miss:
+        outcome_.stats.batch_bytes +=
+            write_frame(connection, repl::SyncFrame::SummaryMiss,
+                        repl::encode_summary_reply(source_->id()), b);
+        state_ = State::AwaitExact;
+        return;
+    }
+    throw ContractViolation("invalid summary answer");
+  } catch (const TransportError& failure) {
+    fail(failure);
+  }
+}
+
+void SourceSession::serve_exact(Connection& connection) {
+  PFRDTN_REQUIRE(state_ == State::AwaitExact);
+  SessionBudget& b = budget();
   try {
     const Frame request_frame =
         expect_frame(connection, repl::SyncFrame::Request, b);
-    outcome.stats.request_bytes = request_frame.wire_bytes;
+    outcome_.stats.request_bytes += request_frame.wire_bytes;
     ByteReader reader(request_frame.payload);
     reader.set_element_budget(b.limits().max_decode_elements);
     const repl::SyncRequest request =
         repl::SyncRequest::deserialize(reader);
     PFRDTN_REQUIRE(reader.done());
     check_knowledge_weight(request.knowledge, b.limits());
-    if (request.routing_state.size() > b.limits().max_policy_blob_bytes) {
-      throw ResourceLimitError(
-          "request policy blob of " +
-          std::to_string(request.routing_state.size()) +
-          " bytes exceeds the " +
-          std::to_string(b.limits().max_policy_blob_bytes) + "-byte cap");
-    }
-
-    const repl::SyncBatch batch =
-        repl::build_batch(source, source_policy, request, now, options);
-    outcome.stats.complete = batch.complete;
-    outcome.stats.batch_bytes +=
-        write_frame(connection, repl::SyncFrame::BatchBegin,
-                    repl::encode_batch_begin(batch), b);
-    for (const repl::Item& item : batch.items) {
-      outcome.stats.batch_bytes +=
-          write_frame(connection, repl::SyncFrame::BatchItem,
-                      serialize_item(item), b);
-      ++outcome.stats.items_sent;
-    }
-    outcome.stats.batch_bytes +=
-        write_frame(connection, repl::SyncFrame::BatchEnd,
-                    serialize_knowledge(batch.source_knowledge), b);
+    check_routing_blob(request.routing_state, b.limits());
+    // The summary already carried this sync's routing state through
+    // answer_summary; processing it again would double-charge stateful
+    // policies.
+    stream_batch(connection,
+                 repl::build_batch(*source_, policy_, request, now_,
+                                   options_,
+                                   /*process_routing_state=*/false));
+    state_ = State::Done;
   } catch (const TransportError& failure) {
-    outcome.transport_failed = true;
-    outcome.stats.complete = false;
-    outcome.error = failure.what();
+    fail(failure);
   }
-  return outcome;
+}
+
+SourceStats run_source(Connection& connection, repl::Replica& source,
+                       repl::ForwardingPolicy* source_policy, SimTime now,
+                       const repl::SyncOptions& options,
+                       SessionBudget* budget) {
+  SourceSession session(source, source_policy, now, options, budget);
+  session.serve_opener(connection);
+  // On a live transport the peer's fallback Request is already on its
+  // way when the miss reply lands, so blocking here is the whole drive.
+  if (session.state() == SourceSession::State::AwaitExact)
+    session.serve_exact(connection);
+  return session.take_stats();
 }
 
 void TargetSession::send_request(Connection& connection,
                                  ReplicaId source_id, SimTime now) {
   PFRDTN_REQUIRE(state_ == State::Idle);
-  const repl::SyncRequest request =
-      repl::make_request(*target_, policy_, source_id, now);
   try {
-    request_bytes_ = write_frame(connection, repl::SyncFrame::Request,
-                                 serialize_request(request), budget());
-    state_ = State::RequestSent;
+    if (options_.summary_mode != repl::SummaryMode::Off) {
+      const repl::SummaryRequestInfo request = repl::make_summary_request(
+          *target_, policy_, source_id, now, options_.summary);
+      routing_state_ = request.routing_state;
+      ByteWriter w;
+      request.serialize(w);
+      request_bytes_ = write_frame(
+          connection, repl::SyncFrame::SummaryRequest, w.take(), budget());
+      state_ = State::SummarySent;
+    } else {
+      const repl::SyncRequest request =
+          repl::make_request(*target_, policy_, source_id, now);
+      request_bytes_ = write_frame(connection, repl::SyncFrame::Request,
+                                   serialize_request(request), budget());
+      state_ = State::RequestSent;
+    }
+  } catch (const TransportError& failure) {
+    state_ = State::Failed;
+    error_ = failure.what();
+  }
+}
+
+void TargetSession::send_exact_fallback(Connection& connection) {
+  // The fallback reuses the routing state the summary carried, so the
+  // source's policy hooks see exactly one request for this sync.
+  const repl::SyncRequest request{target_->id(), target_->filter(),
+                                  target_->knowledge(), routing_state_};
+  request_bytes_ += write_frame(connection, repl::SyncFrame::Request,
+                                serialize_request(request), budget());
+  state_ = State::RequestSent;
+}
+
+void TargetSession::send_fallback(Connection& connection) {
+  PFRDTN_REQUIRE(state_ == State::SummarySent);
+  try {
+    const Frame miss =
+        expect_frame(connection, repl::SyncFrame::SummaryMiss, budget());
+    pre_batch_bytes_ += miss.wire_bytes;
+    repl::decode_summary_reply(miss.payload);
+    send_exact_fallback(connection);
   } catch (const TransportError& failure) {
     state_ = State::Failed;
     error_ = failure.what();
@@ -130,13 +277,41 @@ NetSyncResult TargetSession::receive(Connection& connection) {
     outcome.error = error_;
     return outcome;
   }
-  PFRDTN_REQUIRE(state_ == State::RequestSent);
+  PFRDTN_REQUIRE(state_ == State::RequestSent ||
+                 state_ == State::SummarySent);
   const ResourceLimits& limits = budget().limits();
-  std::size_t batch_bytes = 0;
+  std::size_t batch_bytes = pre_batch_bytes_;
   try {
-    const Frame begin_frame =
-        expect_frame(connection, repl::SyncFrame::BatchBegin, budget());
-    batch_bytes += begin_frame.wire_bytes;
+    Frame begin_frame;
+    if (state_ == State::SummarySent) {
+      // Consume the source's summary reply: a Match ends the sync, a
+      // Miss makes us send the exact fallback Request, and a direct
+      // BatchBegin (Bloom proved us cold) just starts the batch.
+      Frame first = read_frame(connection, budget());
+      batch_bytes += first.wire_bytes;
+      if (first.type == repl::SyncFrame::SummaryMatch) {
+        repl::decode_summary_reply(first.payload);
+        outcome.result = repl::apply_summary_match(*target_, options_);
+        outcome.result.stats.request_bytes = request_bytes_;
+        outcome.result.stats.batch_bytes = batch_bytes;
+        state_ = State::Done;
+        return outcome;
+      }
+      if (first.type == repl::SyncFrame::SummaryMiss) {
+        repl::decode_summary_reply(first.payload);
+        send_exact_fallback(connection);
+        begin_frame = expect_frame(connection,
+                                   repl::SyncFrame::BatchBegin, budget());
+        batch_bytes += begin_frame.wire_bytes;
+      } else {
+        PFRDTN_REQUIRE(first.type == repl::SyncFrame::BatchBegin);
+        begin_frame = std::move(first);
+      }
+    } else {
+      begin_frame =
+          expect_frame(connection, repl::SyncFrame::BatchBegin, budget());
+      batch_bytes += begin_frame.wire_bytes;
+    }
     const repl::BatchBeginInfo begin =
         repl::decode_batch_begin(begin_frame.payload);
     if (begin.count > limits.max_batch_items) {
@@ -182,6 +357,37 @@ NetSyncResult TargetSession::receive(Connection& connection) {
   return outcome;
 }
 
+namespace {
+
+[[nodiscard]] bool opener_sent(const TargetSession& session) {
+  return session.state() == TargetSession::State::RequestSent ||
+         session.state() == TargetSession::State::SummarySent;
+}
+
+/// Interleave the source role with an opener-sent target on a
+/// half-duplex sequential link: serve the opener, and on a summary
+/// miss let the target read the miss and send the exact fallback
+/// before the source serves it.
+SourceStats drive_loopback_source(repl::Replica& source,
+                                  repl::ForwardingPolicy* source_policy,
+                                  TargetSession& target_session,
+                                  Connection& source_end,
+                                  Connection& target_end, SimTime now,
+                                  const repl::SyncOptions& options) {
+  SourceSession session(source, source_policy, now, options);
+  session.serve_opener(source_end);
+  if (session.state() == SourceSession::State::AwaitExact) {
+    target_session.send_fallback(target_end);
+    // Even if the fallback write died, let the source observe the dead
+    // link itself so its stats report the failure the same way a live
+    // transport would.
+    session.serve_exact(source_end);
+  }
+  return session.take_stats();
+}
+
+}  // namespace
+
 LoopbackSyncOutcome sync_over_loopback(
     repl::Replica& source, repl::Replica& target,
     repl::ForwardingPolicy* source_policy,
@@ -189,14 +395,16 @@ LoopbackSyncOutcome sync_over_loopback(
     const repl::SyncOptions& options, const LoopbackFaults& faults) {
   LoopbackSyncOutcome outcome;
   LoopbackLink link(faults);
-  // Half-duplex sequential drive: the target writes its request, the
-  // source consumes it and streams the whole batch, then the target
-  // reads whatever made it through the contact window.
+  // Half-duplex sequential drive: the target writes its opener, the
+  // source consumes it and streams the whole answer (with one extra
+  // interleaving on a summary miss), then the target reads whatever
+  // made it through the contact window.
   TargetSession session(target, target_policy, options);
   session.send_request(link.a(), source.id(), now);
-  if (session.state() == TargetSession::State::RequestSent) {
-    outcome.server = run_source(link.b(), source, source_policy, now,
-                                options);
+  if (opener_sent(session)) {
+    outcome.server =
+        drive_loopback_source(source, source_policy, session, link.b(),
+                              link.a(), now, options);
   } else {
     outcome.server.transport_failed = true;
     outcome.server.stats.complete = false;
@@ -219,8 +427,9 @@ LoopbackEncounterOutcome encounter_over_loopback(
   // Sync 1: a pulls from b.
   TargetSession pull(a, a_policy, options);
   pull.send_request(link.a(), b.id(), now);
-  if (pull.state() == TargetSession::State::RequestSent) {
-    outcome.b_served = run_source(link.b(), b, b_policy, now, options);
+  if (opener_sent(pull)) {
+    outcome.b_served = drive_loopback_source(b, b_policy, pull, link.b(),
+                                             link.a(), now, options);
   } else {
     outcome.b_served.transport_failed = true;
     outcome.b_served.stats.complete = false;
@@ -231,8 +440,9 @@ LoopbackEncounterOutcome encounter_over_loopback(
   // Sync 2: roles swap, b pulls from a, on the same contact.
   TargetSession push(b, b_policy, options);
   push.send_request(link.b(), a.id(), now);
-  if (push.state() == TargetSession::State::RequestSent) {
-    outcome.a_pushed = run_source(link.a(), a, a_policy, now, options);
+  if (opener_sent(push)) {
+    outcome.a_pushed = drive_loopback_source(a, a_policy, push, link.a(),
+                                             link.b(), now, options);
   } else {
     outcome.a_pushed.transport_failed = true;
     outcome.a_pushed.stats.complete = false;
@@ -253,14 +463,24 @@ ClientSessionOutcome run_client_session(Connection& connection,
                                         const ResourceLimits& limits) {
   ClientSessionOutcome outcome;
   SessionBudget budget(limits);
+  repl::SyncOptions effective = options;
   try {
+    const std::uint64_t features =
+        options.summary_mode != repl::SummaryMode::Off
+            ? kFeatureSummaryExchange
+            : 0;
     outcome.overhead_bytes +=
         write_frame(connection, repl::SyncFrame::Hello,
-                    encode_hello({self.id(), mode}), budget);
+                    encode_hello({self.id(), mode, features}), budget);
     const Frame answer =
         expect_frame(connection, repl::SyncFrame::Hello, budget);
     outcome.overhead_bytes += answer.wire_bytes;
-    outcome.server = decode_hello(answer.payload).replica;
+    const HelloInfo server_hello = decode_hello(answer.payload);
+    outcome.server = server_hello.replica;
+    // Auto downgrades to the exact protocol against a server that did
+    // not advertise summary support; On forces the fast path.
+    effective.summary_mode = resolve_summary_mode(options.summary_mode,
+                                                  server_hello.features);
   } catch (const TransportError& failure) {
     outcome.transport_failed = true;
     outcome.error = failure.what();
@@ -268,7 +488,7 @@ ClientSessionOutcome run_client_session(Connection& connection,
   }
 
   if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
-    TargetSession session(self, policy, options, &budget);
+    TargetSession session(self, policy, effective, &budget);
     session.send_request(connection, outcome.server, now);
     outcome.pull = session.receive(connection);
     if (outcome.pull.transport_failed) {
@@ -279,7 +499,7 @@ ClientSessionOutcome run_client_session(Connection& connection,
   }
   if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
     outcome.push =
-        run_source(connection, self, policy, now, options, &budget);
+        run_source(connection, self, policy, now, effective, &budget);
     if (outcome.push.transport_failed) {
       outcome.transport_failed = true;
       outcome.error = outcome.push.error;
@@ -296,12 +516,23 @@ ServerSessionOutcome serve_session(Connection& connection,
                                    const ResourceLimits& limits) {
   ServerSessionOutcome outcome;
   SessionBudget budget(limits);
+  repl::SyncOptions effective = options;
   try {
     const Frame hello =
         expect_frame(connection, repl::SyncFrame::Hello, budget);
     outcome.hello = decode_hello(hello.payload);
-    write_frame(connection, repl::SyncFrame::Hello,
-                encode_hello({self.id(), outcome.hello.mode}), budget);
+    // Echo our features only to a client that advertised some: a
+    // legacy client's decoder rejects any bytes after the mode.
+    const std::uint64_t features =
+        options.summary_mode != repl::SummaryMode::Off &&
+                outcome.hello.features != 0
+            ? kFeatureSummaryExchange
+            : 0;
+    write_frame(
+        connection, repl::SyncFrame::Hello,
+        encode_hello({self.id(), outcome.hello.mode, features}), budget);
+    effective.summary_mode = resolve_summary_mode(options.summary_mode,
+                                                  outcome.hello.features);
   } catch (const TransportError& failure) {
     outcome.transport_failed = true;
     outcome.error = failure.what();
@@ -311,7 +542,7 @@ ServerSessionOutcome serve_session(Connection& connection,
   const SyncMode mode = outcome.hello.mode;
   if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
     outcome.served =
-        run_source(connection, self, policy, now, options, &budget);
+        run_source(connection, self, policy, now, effective, &budget);
     if (outcome.served.transport_failed) {
       outcome.transport_failed = true;
       outcome.error = outcome.served.error;
@@ -319,7 +550,7 @@ ServerSessionOutcome serve_session(Connection& connection,
     }
   }
   if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
-    TargetSession session(self, policy, options, &budget);
+    TargetSession session(self, policy, effective, &budget);
     session.send_request(connection, outcome.hello.replica, now);
     outcome.applied = session.receive(connection);
     if (outcome.applied.transport_failed) {

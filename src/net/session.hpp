@@ -17,6 +17,13 @@
 ///   source -> target   BatchItem * count
 ///   source -> target   BatchEnd (source knowledge)
 ///
+/// With the summary fast path negotiated (see HelloInfo::features and
+/// repl::SummaryMode), the target opens with a SummaryRequest instead;
+/// the source answers SummaryMatch (converged — the sync ends in O(1)
+/// wire bytes), streams the batch directly (the summary's Bloom filter
+/// proved a cold target), or answers SummaryMiss, after which the
+/// target sends the exact Request and the flow above resumes.
+///
 /// A TCP session between two processes is opened by the client with a
 /// Hello frame carrying its replica id and the session mode; the
 /// server answers with its own Hello, then the two run one or two
@@ -24,6 +31,7 @@
 /// pull then push — the paper's two syncs per encounter).
 
 #include <string>
+#include <utility>
 
 #include "net/framing.hpp"
 #include "net/loopback.hpp"
@@ -37,14 +45,29 @@ enum class SyncMode : std::uint8_t {
   Encounter = 3,  ///< pull then push, as in one trace encounter
 };
 
+/// Protocol feature bits carried in HelloInfo::features.
+inline constexpr std::uint64_t kFeatureSummaryExchange = 1;
+
 /// Hello payload: who is speaking and what they want.
 struct HelloInfo {
   ReplicaId replica{};
   SyncMode mode = SyncMode::Pull;
+  /// Feature bits this endpoint supports. Encoded only when nonzero —
+  /// a features-free hello is byte-identical to the legacy format, and
+  /// legacy decoders (which require the payload to end after the mode
+  /// byte) only ever see that form: the server echoes features only to
+  /// a client that advertised some.
+  std::uint64_t features = 0;
 };
 
 std::vector<std::uint8_t> encode_hello(const HelloInfo& hello);
 HelloInfo decode_hello(const std::vector<std::uint8_t>& payload);
+
+/// Resolve the summary mode this endpoint should actually run against
+/// a peer: On forces the fast path, Off forces the exact protocol, and
+/// Auto enables summaries iff the peer's hello advertised support.
+[[nodiscard]] repl::SummaryMode resolve_summary_mode(
+    repl::SummaryMode requested, std::uint64_t peer_features);
 
 /// Target-side outcome of one sync over a transport.
 struct NetSyncResult {
@@ -62,23 +85,79 @@ struct SourceStats {
   std::string error;
 };
 
-/// Run the source role once: wait for the peer's Request frame, build
+/// Run the source role once: wait for the peer's opening frame, build
 /// the batch (policy consulted, bandwidth cap applied), stream it.
-/// Link failures are absorbed into the returned stats. All peer input
-/// is accounted against `budget` (default-constructed locally when
-/// null, i.e. enforced under the default ResourceLimits); breaches
-/// throw ResourceLimitError like any other protocol violation.
+/// With options.summary_mode == Off the opener must be an exact
+/// Request (the legacy protocol, byte for byte); otherwise a
+/// SummaryRequest opener is also accepted and answered per the summary
+/// flow, including blocking for the exact fallback Request after a
+/// SummaryMiss. Link failures are absorbed into the returned stats.
+/// All peer input is accounted against `budget` (default-constructed
+/// locally when null, i.e. enforced under the default ResourceLimits);
+/// breaches throw ResourceLimitError like any other protocol violation.
 SourceStats run_source(Connection& connection, repl::Replica& source,
                        repl::ForwardingPolicy* source_policy, SimTime now,
                        const repl::SyncOptions& options = {},
                        SessionBudget* budget = nullptr);
 
+/// The source role as a resumable state machine, so the sequential
+/// loopback driver can interleave it with the target role on one
+/// thread. run_source wraps it for transports with a live peer.
+class SourceSession {
+ public:
+  enum class State { Idle, AwaitExact, Done, Failed };
+
+  SourceSession(repl::Replica& source, repl::ForwardingPolicy* policy,
+                SimTime now, repl::SyncOptions options = {},
+                SessionBudget* budget = nullptr)
+      : source_(&source),
+        policy_(policy),
+        now_(now),
+        options_(options),
+        budget_(budget) {}
+
+  /// Step 1: read the opener and answer it. Ends Done (batch streamed
+  /// or SummaryMatch sent), AwaitExact (SummaryMiss sent, the exact
+  /// Request is owed), or Failed (link died).
+  void serve_opener(Connection& connection);
+
+  /// Step 2, only from AwaitExact: read the exact fallback Request and
+  /// stream the batch. The routing state was already processed with
+  /// the summary, so the fallback skips the policy's process_request.
+  void serve_exact(Connection& connection);
+
+  [[nodiscard]] State state() const { return state_; }
+  /// The accumulated outcome; call once both steps are over.
+  [[nodiscard]] SourceStats take_stats() { return std::move(outcome_); }
+
+ private:
+  [[nodiscard]] SessionBudget& budget() {
+    return budget_ != nullptr ? *budget_ : local_budget_;
+  }
+  void stream_batch(Connection& connection, const repl::SyncBatch& batch);
+  void fail(const TransportError& failure);
+
+  repl::Replica* source_;
+  repl::ForwardingPolicy* policy_;
+  SimTime now_;
+  repl::SyncOptions options_;
+  SessionBudget* budget_;
+  SessionBudget local_budget_;
+  State state_ = State::Idle;
+  SourceStats outcome_;
+};
+
 /// The target role as a resumable state machine, so a sequential
 /// driver (the loopback path) can interleave it with the source role
 /// on the same thread: send_request(), run the source, then receive().
+/// With summaries on, send_request opens with a SummaryRequest
+/// (SummarySent); a live transport then just calls receive(), which
+/// handles Match, Miss-plus-fallback, and direct batch alike, while
+/// the loopback driver inserts send_fallback() after the source
+/// reported a miss.
 class TargetSession {
  public:
-  enum class State { Idle, RequestSent, Done, Failed };
+  enum class State { Idle, RequestSent, SummarySent, Done, Failed };
 
   /// `budget` spans the session this target role belongs to; when null
   /// a local budget with the default ResourceLimits is used, so every
@@ -98,9 +177,18 @@ class TargetSession {
   void send_request(Connection& connection, ReplicaId source_id,
                     SimTime now);
 
+  /// Loopback-driver step between send_request and receive, only when
+  /// the interleaved source ended AwaitExact: read the SummaryMiss and
+  /// send the exact fallback Request (reusing the routing state the
+  /// summary carried). A live transport never calls this — receive()
+  /// handles the miss inline.
+  void send_fallback(Connection& connection);
+
   /// Step 2: stream the batch in, applying each item as its frame
   /// arrives. A dropped link yields the applied prefix with
-  /// `complete == false` and no knowledge learned.
+  /// `complete == false` and no knowledge learned. From SummarySent
+  /// this also consumes the source's summary reply first (and, on a
+  /// miss, sends the exact fallback Request itself).
   NetSyncResult receive(Connection& connection);
 
   [[nodiscard]] State state() const { return state_; }
@@ -109,6 +197,8 @@ class TargetSession {
   [[nodiscard]] SessionBudget& budget() {
     return budget_ != nullptr ? *budget_ : local_budget_;
   }
+  /// Send the exact Request of the post-miss fallback.
+  void send_exact_fallback(Connection& connection);
 
   repl::Replica* target_;
   repl::ForwardingPolicy* policy_;
@@ -117,6 +207,12 @@ class TargetSession {
   SessionBudget local_budget_;
   State state_ = State::Idle;
   std::size_t request_bytes_ = 0;
+  /// Batch-side bytes consumed before receive() (the SummaryMiss frame
+  /// when the loopback driver ran send_fallback).
+  std::size_t pre_batch_bytes_ = 0;
+  /// Routing state sent with the summary, reused by the fallback so
+  /// the source's policy hooks see one request per sync.
+  std::vector<std::uint8_t> routing_state_;
   std::string error_;
 };
 

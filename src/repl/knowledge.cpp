@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace pfrdtn::repl {
 
 bool Knowledge::knows(const Item& item, const Version& v) const {
@@ -15,19 +17,25 @@ bool Knowledge::knows(const Item& item, const Version& v) const {
 }
 
 void Knowledge::drop_fragments_matching(const Item& item) {
-  std::erase_if(fragments_, [&](const Fragment& fragment) {
-    return fragment.scope.matches(item);
-  });
+  const std::size_t dropped =
+      std::erase_if(fragments_, [&](const Fragment& fragment) {
+        return fragment.scope.matches(item);
+      });
+  if (dropped > 0) touch();
 }
 
 void Knowledge::add_fragment(Fragment fragment) {
   if (fragment.scope.provably_empty() || fragment.versions.empty())
     return;
-  // Anything the universal set already covers adds nothing.
+  // Anything the universal set already covers adds nothing. (This is
+  // also what keeps the summary caches warm across converged syncs:
+  // re-learning knowledge we already hold must not bump the revision.)
   if (universal_.contains_all(fragment.versions)) return;
   for (auto& existing : fragments_) {
     if (existing.scope.equals(fragment.scope)) {
+      if (existing.versions.contains_all(fragment.versions)) return;
       existing.versions.merge(fragment.versions);
+      touch();
       return;
     }
     // Subsumed by a wider, richer fragment: drop the new one.
@@ -43,6 +51,7 @@ void Knowledge::add_fragment(Fragment fragment) {
   });
   fragments_.push_back(std::move(fragment));
   enforce_fragment_cap();
+  touch();
 }
 
 void Knowledge::enforce_fragment_cap() {
@@ -74,6 +83,23 @@ std::size_t Knowledge::weight() const {
   std::size_t total = universal_.weight();
   for (const Fragment& fragment : fragments_)
     total += fragment.versions.weight();
+  return total;
+}
+
+std::uint64_t Knowledge::wire_digest() const {
+  if (digest_cache_revision_ != revision_) {
+    ByteWriter w;
+    serialize(w);
+    digest_cache_ = fnv1a64(w.bytes());
+    digest_cache_revision_ = revision_;
+  }
+  return digest_cache_;
+}
+
+std::uint64_t Knowledge::event_count() const {
+  std::uint64_t total = universal_.event_count();
+  for (const Fragment& fragment : fragments_)
+    total += fragment.versions.event_count();
   return total;
 }
 

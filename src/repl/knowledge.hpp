@@ -20,6 +20,8 @@
 /// operations below each preserve it; see DESIGN.md §2 for the
 /// eviction/filter-change discipline that keeps it true.
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "repl/filter.hpp"
@@ -27,6 +29,35 @@
 #include "repl/version.hpp"
 
 namespace pfrdtn::repl {
+
+class BloomFilter;  // summary.hpp
+
+/// Tuning of the knowledge summary a replica offers its sync peers
+/// (see summary.hpp and docs/net.md). Bits-per-element and hash count
+/// follow the Bloom-parameter framework of Marandi et al. (PAPERS.md):
+/// for m/n bits per element the false-positive rate is minimized by
+/// k = ln2 * m/n hash functions, giving fp ~ 0.5^k — the default 10
+/// bits / 7 hashes lands near 0.8%.
+struct SummaryParams {
+  std::uint32_t bits_per_element = 10;
+  std::uint32_t hash_count = 7;
+  /// Knowledge holding more events than this never gets a Bloom filter
+  /// (the digest tier still applies): bounds the build cost of a cache
+  /// rebuild and the memory a summary can occupy.
+  std::uint32_t max_bloom_elements = 4096;
+  /// A filter bigger than this many bytes is never *sent* — at that
+  /// size the exact codec is competitive and the digest tier already
+  /// handles the converged case in O(1).
+  std::uint32_t max_bloom_bytes = 512;
+
+  /// k minimizing the false-positive rate at a given m/n, per Marandi
+  /// et al.: round(ln2 * bits_per_element), clamped to [1, 32].
+  [[nodiscard]] static std::uint32_t optimal_hash_count(
+      std::uint32_t bits_per_element);
+
+  friend bool operator==(const SummaryParams&,
+                         const SummaryParams&) = default;
+};
 
 class Knowledge {
  public:
@@ -47,26 +78,37 @@ class Knowledge {
   [[nodiscard]] bool knows(const Item& item, const Version& v) const;
 
   /// Record receipt or authorship of an exact update event.
-  void add_exact(const Version& v) { universal_.add(v); }
+  void add_exact(const Version& v) {
+    if (universal_.contains(v)) return;
+    universal_.add(v);
+    touch();
+  }
 
   /// Record receipt of a relay (out-of-filter) copy's event: pinned, so
   /// a later eviction can forget it (see VersionSet).
   void add_exact_pinned(const Version& v) {
+    if (universal_.contains(v)) return;
     universal_.add(v, /*pinned=*/true);
+    touch();
   }
 
   /// Record that every event authored by `author` up to `max_counter`
   /// is known (a replica knows its own authored prefix by
   /// construction).
   void add_authored_prefix(ReplicaId author, std::uint64_t max_counter) {
+    if (max_counter <= universal_.vector_part().max_counter(author))
+      return;
     universal_.add_prefix(author, max_counter);
+    touch();
   }
 
   /// Forget an exact event (relay eviction), so the copy can be
   /// re-received later. Returns false if the event has already been
   /// folded into the universal vector prefix and cannot be forgotten.
   bool forget_exact(const Version& v) {
-    return universal_.remove_extra(v.author, v.counter);
+    const bool removed = universal_.remove_extra(v.author, v.counter);
+    if (removed) touch();
+    return removed;
   }
 
   /// True if forget_exact(v) would succeed. The eviction discipline
@@ -100,6 +142,35 @@ class Knowledge {
   /// compaction benchmarks.
   [[nodiscard]] std::size_t weight() const;
 
+  // ---- summaries (see summary.hpp, docs/net.md) ----------------------
+  //
+  // The summary-exchange fast path needs two derived views of this
+  // knowledge: a digest of its wire-serialized form (equal digests =>
+  // byte-identical wire knowledge) and a Bloom filter over every known
+  // event. Both are cached against `revision_`, which every mutation
+  // that actually changes the value bumps — so in the converged steady
+  // state a summary costs O(1) per sync instead of a rebuild.
+
+  /// Monotone change counter: bumps exactly when the knowledge value
+  /// changes (no-op merges and duplicate adds leave it untouched, which
+  /// is what keeps the summary caches warm across converged syncs).
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  /// FNV-1a 64 digest of serialize()'s output, cached per revision.
+  [[nodiscard]] std::uint64_t wire_digest() const;
+
+  /// Total known events: universal plus fragment version sets
+  /// (scope-erased; events present in both are counted twice, which
+  /// only over-sizes a Bloom filter). O(entries), not O(events).
+  [[nodiscard]] std::uint64_t event_count() const;
+
+  /// Cached Bloom filter over every known event, or null when `params`
+  /// says this knowledge should not ship one (too many events, filter
+  /// bigger than the cap or than the exact codec). Defined in
+  /// summary.cpp.
+  [[nodiscard]] std::shared_ptr<const BloomFilter> bloom(
+      const SummaryParams& params) const;
+
   void serialize(ByteWriter& w) const;
   static Knowledge deserialize(ByteReader& r);
 
@@ -115,8 +186,20 @@ class Knowledge {
   void add_fragment(Fragment fragment);
   void enforce_fragment_cap();
 
+  /// Invalidate the summary caches after a real value change.
+  void touch() { ++revision_; }
+
   VersionSet universal_;
   std::vector<Fragment> fragments_;
+
+  std::uint64_t revision_ = 1;
+  // Summary caches: value-derived, so copying them along with the
+  // object keeps them consistent (the Bloom cache is shared immutably).
+  mutable std::uint64_t digest_cache_revision_ = 0;
+  mutable std::uint64_t digest_cache_ = 0;
+  mutable std::uint64_t bloom_cache_revision_ = 0;
+  mutable std::optional<SummaryParams> bloom_cache_params_;
+  mutable std::shared_ptr<const BloomFilter> bloom_cache_;
 };
 
 }  // namespace pfrdtn::repl

@@ -20,6 +20,22 @@ SyncRequest SyncRequest::deserialize(ByteReader& r) {
   return req;
 }
 
+void SummaryRequestInfo::serialize(ByteWriter& w) const {
+  w.uvarint(target.value());
+  filter.serialize(w);
+  summary.serialize(w);
+  w.raw(routing_state);
+}
+
+SummaryRequestInfo SummaryRequestInfo::deserialize(ByteReader& r) {
+  SummaryRequestInfo req;
+  req.target = ReplicaId(r.uvarint());
+  req.filter = Filter::deserialize(r);
+  req.summary = KnowledgeSummary::deserialize(r);
+  req.routing_state = r.raw();
+  return req;
+}
+
 void SyncBatch::serialize(ByteWriter& w) const {
   w.uvarint(source.value());
   w.u8(complete ? 1 : 0);
@@ -75,9 +91,10 @@ SyncRequest make_request(Replica& target, ForwardingPolicy* target_policy,
 
 SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
                       const SyncRequest& request, SimTime now,
-                      const SyncOptions& options) {
+                      const SyncOptions& options,
+                      bool process_routing_state) {
   const SyncContext source_ctx{source.id(), request.target, now};
-  if (source_policy)
+  if (source_policy && process_routing_state)
     source_policy->process_request(source_ctx, request.routing_state);
 
   std::vector<Candidate> candidates;
@@ -207,6 +224,94 @@ SyncResult apply_batch(Replica& target, const SyncBatch& batch,
   return applier.finish(batch.complete, batch.source_knowledge);
 }
 
+SummaryRequestInfo make_summary_request(Replica& target,
+                                        ForwardingPolicy* target_policy,
+                                        ReplicaId source_id, SimTime now,
+                                        const SummaryParams& params) {
+  const SyncContext target_ctx{target.id(), source_id, now};
+  SummaryRequestInfo req;
+  req.target = target.id();
+  req.filter = target.filter();
+  req.summary = summarize(target.knowledge(), params);
+  req.routing_state = target_policy
+                          ? target_policy->generate_request(target_ctx)
+                          : std::vector<std::uint8_t>{};
+  return req;
+}
+
+SummaryAnswer answer_summary(Replica& source,
+                             ForwardingPolicy* source_policy,
+                             const SummaryRequestInfo& request, SimTime now,
+                             const SyncOptions& options) {
+  // Policy parity with the exact path: the routing state is processed
+  // exactly once per sync, here, whatever the answer turns out to be.
+  const SyncContext source_ctx{source.id(), request.target, now};
+  if (source_policy)
+    source_policy->process_request(source_ctx, request.routing_state);
+
+  SummaryAnswer answer;
+  // summary_force_collision simulates the 2^-64 digest collision: a
+  // spurious Match that defers items to a future exact sync.
+  if (options.summary_force_collision ||
+      request.summary.digest == source.knowledge().wire_digest()) {
+    answer.kind = SummaryAnswer::Kind::Match;
+    return answer;
+  }
+
+  if (options.unsafe_summary_skip_fallback) {
+    // TESTING ONLY — the skip-fallback mutant: answer the mismatch with
+    // an empty "complete" batch carrying real knowledge, so the target
+    // learns events for items it never received. The check harness's
+    // knowledge-soundness oracle must flag exactly this.
+    answer.kind = SummaryAnswer::Kind::Batch;
+    answer.batch.source = source.id();
+    answer.batch.complete = true;
+    answer.batch.source_knowledge = source.knowledge();
+    return answer;
+  }
+
+  if (request.summary.bloom.has_value()) {
+    const BloomFilter& bloom = *request.summary.bloom;
+    bool any_hit = false;
+    source.store().for_each([&](const ItemStore::Entry& entry) {
+      const Version& v = entry.item.version();
+      if (bloom.maybe_contains(v.author, v.counter)) any_hit = true;
+    });
+    if (!any_hit) {
+      // Bloom misses are definitive: the target knows no stored item's
+      // event, so the batch built against *empty* knowledge is exactly
+      // the batch the exact path would have built — same candidates,
+      // honest complete flag, real source knowledge. Routing state was
+      // already processed above.
+      SyncRequest exact;
+      exact.target = request.target;
+      exact.filter = request.filter;
+      exact.routing_state = request.routing_state;
+      answer.kind = SummaryAnswer::Kind::Batch;
+      answer.batch = build_batch(source, source_policy, exact, now, options,
+                                 /*process_routing_state=*/false);
+      return answer;
+    }
+  }
+
+  answer.kind = SummaryAnswer::Kind::Miss;
+  return answer;
+}
+
+SyncResult apply_summary_match(Replica& target,
+                               const SyncOptions& options) {
+  // Equal digests mean the source's wire knowledge is byte-identical
+  // to our own, so the complete-sync finish the exact path would run
+  // is reproducible locally: learn decode(encode(own knowledge)).
+  ByteWriter w;
+  target.knowledge().serialize(w);
+  ByteReader r(w.bytes());
+  const Knowledge source_knowledge = Knowledge::deserialize(r);
+  PFRDTN_ENSURE(r.done());
+  BatchApplier applier(target, options);
+  return applier.finish(/*complete=*/true, source_knowledge);
+}
+
 std::vector<std::uint8_t> encode_batch_begin(const SyncBatch& batch) {
   ByteWriter w;
   w.uvarint(batch.source.value());
@@ -226,7 +331,26 @@ BatchBeginInfo decode_batch_begin(
   return info;
 }
 
+std::vector<std::uint8_t> encode_summary_reply(ReplicaId source) {
+  ByteWriter w;
+  w.uvarint(source.value());
+  return w.take();
+}
+
+ReplicaId decode_summary_reply(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const ReplicaId source(r.uvarint());
+  PFRDTN_REQUIRE(r.done());
+  return source;
+}
+
 std::size_t wire_size(const SyncRequest& request) {
+  ByteWriter w;
+  request.serialize(w);
+  return framed_size(w.size());
+}
+
+std::size_t wire_size(const SummaryRequestInfo& request) {
   ByteWriter w;
   request.serialize(w);
   return framed_size(w.size());
@@ -245,10 +369,89 @@ std::size_t wire_size(const SyncBatch& batch) {
   return total;
 }
 
+namespace {
+
+/// One serialize/deserialize round trip of a protocol message — the
+/// in-process stand-in for a transport hop.
+template <typename Message>
+Message roundtrip(const Message& message, std::size_t& framed_bytes) {
+  ByteWriter w;
+  message.serialize(w);
+  framed_bytes += framed_size(w.size());
+  ByteReader r(w.bytes());
+  Message received = Message::deserialize(r);
+  PFRDTN_ENSURE(r.done());
+  return received;
+}
+
+SyncResult run_summary_sync(Replica& source, Replica& target,
+                            ForwardingPolicy* source_policy,
+                            ForwardingPolicy* target_policy, SimTime now,
+                            const SyncOptions& options) {
+  // ---- target opens with the summary ----
+  std::size_t request_bytes = 0;
+  std::size_t batch_bytes = 0;
+  const SummaryRequestInfo summary_request = make_summary_request(
+      target, target_policy, source.id(), now, options.summary);
+  const SummaryRequestInfo received =
+      roundtrip(summary_request, request_bytes);
+
+  // ---- source decides ----
+  const SummaryAnswer answer =
+      answer_summary(source, source_policy, received, now, options);
+
+  const std::size_t reply_bytes =
+      framed_size(encode_summary_reply(source.id()).size());
+  switch (answer.kind) {
+    case SummaryAnswer::Kind::Match: {
+      batch_bytes += reply_bytes;  // the SummaryMatch frame
+      SyncResult result = apply_summary_match(target, options);
+      result.stats.request_bytes = request_bytes;
+      result.stats.batch_bytes = batch_bytes;
+      return result;
+    }
+    case SummaryAnswer::Kind::Batch: {
+      SyncResult result =
+          apply_batch(target, roundtrip(answer.batch, batch_bytes), options);
+      // As in run_sync: measure the batch as sent, not re-serialized.
+      result.stats.request_bytes = request_bytes;
+      result.stats.batch_bytes = wire_size(answer.batch);
+      return result;
+    }
+    case SummaryAnswer::Kind::Miss:
+      break;
+  }
+
+  // ---- Miss: same-session exact fallback ----
+  batch_bytes += reply_bytes;  // the SummaryMiss frame
+  // The fallback request reuses the routing state the summary already
+  // carried (and answer_summary already processed): policy hooks run
+  // exactly once per sync on every path.
+  const SyncRequest exact{target.id(), target.filter(), target.knowledge(),
+                          summary_request.routing_state};
+  const SyncRequest exact_received = roundtrip(exact, request_bytes);
+  const SyncBatch batch =
+      build_batch(source, source_policy, exact_received, now, options,
+                  /*process_routing_state=*/false);
+  std::size_t ignored = 0;
+  SyncResult result = apply_batch(target, roundtrip(batch, ignored), options);
+  result.stats.request_bytes = request_bytes;
+  result.stats.batch_bytes = batch_bytes + wire_size(batch);
+  return result;
+}
+
+}  // namespace
+
 SyncResult run_sync(Replica& source, Replica& target,
                     ForwardingPolicy* source_policy,
                     ForwardingPolicy* target_policy, SimTime now,
                     const SyncOptions& options) {
+  // The in-process path needs no negotiation, so Auto means On.
+  if (options.summary_mode != SummaryMode::Off) {
+    return run_summary_sync(source, target, source_policy, target_policy,
+                            now, options);
+  }
+
   // ---- target builds and "sends" the request ----
   const SyncRequest request =
       make_request(target, target_policy, source.id(), now);

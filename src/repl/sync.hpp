@@ -23,6 +23,7 @@
 
 #include "repl/forwarding_policy.hpp"
 #include "repl/replica.hpp"
+#include "repl/summary.hpp"
 
 namespace pfrdtn::repl {
 
@@ -50,6 +51,17 @@ struct SyncBatch {
   static SyncBatch deserialize(ByteReader& r);
 };
 
+/// Whether a sync opens with a knowledge summary instead of the exact
+/// request (see summary.hpp and docs/net.md §summary exchange).
+enum class SummaryMode : std::uint8_t {
+  Off = 0,  ///< always the exact Figure-4 exchange
+  On = 1,   ///< always open with a summary (fail if the peer cannot)
+  /// Open with a summary iff the peer advertised support in its Hello;
+  /// resolved to On or Off during session negotiation. The in-process
+  /// path (run_sync) has no peer to ask and treats Auto as On.
+  Auto = 2,
+};
+
 struct SyncOptions {
   /// Bandwidth cap for this sync: maximum number of items transferred.
   std::optional<std::size_t> max_items;
@@ -61,6 +73,22 @@ struct SyncOptions {
   /// exact knowledge-corruption bug the guard exists to prevent; the
   /// check harness (src/check/) injects it to prove it would be caught.
   bool unsafe_learn_truncated = false;
+
+  /// Summary-exchange fast path (see SummaryMode).
+  SummaryMode summary_mode = SummaryMode::Off;
+  /// Bloom filter tuning for the summary the target offers.
+  SummaryParams summary;
+  /// TESTING ONLY — the source treats every summary digest as matching
+  /// its own, simulating a 64-bit digest collision. Items are deferred
+  /// to future exact syncs but must never be lost and knowledge must
+  /// stay sound; the check harness injects this to prove both.
+  bool summary_force_collision = false;
+  /// TESTING ONLY — on digest mismatch the source skips the fallback
+  /// and answers with an empty "complete" batch carrying its real
+  /// knowledge, so the target learns knowledge for items it never
+  /// received. This is the protocol bug the fallback exists to prevent;
+  /// the check harness's knowledge-soundness oracle must catch it.
+  bool unsafe_summary_skip_fallback = false;
 };
 
 struct SyncStats {
@@ -103,9 +131,13 @@ SyncRequest make_request(Replica& target, ForwardingPolicy* target_policy,
 /// Source step: answer a received request. Consults the policy, orders
 /// candidates by priority, applies the bandwidth cap, and charges
 /// per-copy forwarding state (on_forward) for items that made the cut.
+/// `process_routing_state` is false only on the post-summary-miss
+/// fallback, whose routing state was already processed by
+/// answer_summary — policy hooks must run exactly once per sync.
 SyncBatch build_batch(Replica& source, ForwardingPolicy* source_policy,
                       const SyncRequest& request, SimTime now,
-                      const SyncOptions& options = {});
+                      const SyncOptions& options = {},
+                      bool process_routing_state = true);
 
 /// Target step 2, incremental form: items are applied one at a time as
 /// they arrive, so a transport can stream a batch and keep whatever
@@ -137,6 +169,75 @@ class BatchApplier {
 SyncResult apply_batch(Replica& target, const SyncBatch& batch,
                        const SyncOptions& options = {});
 
+// ---- summary exchange (the sub-linear fast path) ---------------------
+//
+// With summaries on, the target opens with a SummaryRequest — its
+// filter and routing state as usual, but a KnowledgeSummary in place of
+// the exact knowledge. The source answers one of three ways:
+//
+//   Match  — the digests are equal, so the knowledge is wire-identical
+//            on both sides and the pair has already converged: the sync
+//            ends in O(1) wire bytes, independent of replica size.
+//   Batch  — the summary carried a Bloom filter and *no* stored item's
+//            event hits it. A Bloom miss is definitive, so the target
+//            provably knows none of the source's items: the source
+//            streams the exact batch immediately (built against empty
+//            knowledge — provably the batch the exact path would have
+//            built, since the target knows no stored candidate).
+//   Miss   — anything else (digest mismatch with a Bloom hit, or no
+//            Bloom shipped). The target falls back to the exact
+//            Request/batch flow within the same session, reusing the
+//            routing state the summary already carried.
+//
+// A Bloom false positive can therefore cost a fallback round trip but
+// never loses an item; a (2^-64) digest collision defers items to a
+// future exact sync but leaves knowledge sound, because a Match makes
+// the target learn only knowledge wire-identical to its own.
+
+/// What the target sends to open a summary-mode sync.
+struct SummaryRequestInfo {
+  ReplicaId target{};
+  Filter filter;
+  KnowledgeSummary summary;
+  std::vector<std::uint8_t> routing_state;
+
+  void serialize(ByteWriter& w) const;
+  static SummaryRequestInfo deserialize(ByteReader& r);
+};
+
+/// The source's decision on a summary request.
+struct SummaryAnswer {
+  enum class Kind : std::uint8_t {
+    Match,  ///< converged: answer with a SummaryMatch frame
+    Miss,   ///< can't decide cheaply: ask for the exact request
+    Batch,  ///< Bloom proves a cold target: stream `batch` now
+  };
+  Kind kind = Kind::Miss;
+  SyncBatch batch;  ///< meaningful only when kind == Batch
+};
+
+/// Target summary step 1: assemble the summary request. Runs the
+/// policy's generate_request exactly like make_request does.
+SummaryRequestInfo make_summary_request(Replica& target,
+                                        ForwardingPolicy* target_policy,
+                                        ReplicaId source_id, SimTime now,
+                                        const SummaryParams& params);
+
+/// Source summary step: decide Match / Miss / Batch. Always processes
+/// the request's routing state first (policy parity with build_batch);
+/// a later fallback build_batch must pass process_routing_state=false.
+SummaryAnswer answer_summary(Replica& source,
+                             ForwardingPolicy* source_policy,
+                             const SummaryRequestInfo& request, SimTime now,
+                             const SyncOptions& options = {});
+
+/// Target summary step 2 on a Match: the digest-equal source knowledge
+/// is wire-identical to the target's own, so run the normal complete-
+/// sync finish against decode(encode(own knowledge)) — byte-identical
+/// to the state transition the exact path would have made.
+SyncResult apply_summary_match(Replica& target,
+                               const SyncOptions& options = {});
+
 // ---- wire footprint --------------------------------------------------
 //
 // On a transport (src/net/) a request travels as one frame and a batch
@@ -148,11 +249,14 @@ SyncResult apply_batch(Replica& target, const SyncBatch& batch,
 
 /// Frame types of the sync wire protocol (frame `type` byte).
 enum class SyncFrame : std::uint8_t {
-  Hello = 1,       ///< session opener: client replica id + mode
-  Request = 2,     ///< serialized SyncRequest
-  BatchBegin = 3,  ///< source id, complete flag, item count
-  BatchItem = 4,   ///< one serialized Item
-  BatchEnd = 5,    ///< serialized source Knowledge
+  Hello = 1,           ///< session opener: client replica id + mode
+  Request = 2,         ///< serialized SyncRequest
+  BatchBegin = 3,      ///< source id, complete flag, item count
+  BatchItem = 4,       ///< one serialized Item
+  BatchEnd = 5,        ///< serialized source Knowledge
+  SummaryRequest = 6,  ///< serialized SummaryRequestInfo
+  SummaryMatch = 7,    ///< source id: converged, session over
+  SummaryMiss = 8,     ///< source id: send the exact Request
 };
 
 /// Header fields of a streamed batch (the BatchBegin payload).
@@ -165,11 +269,17 @@ struct BatchBeginInfo {
 std::vector<std::uint8_t> encode_batch_begin(const SyncBatch& batch);
 BatchBeginInfo decode_batch_begin(const std::vector<std::uint8_t>& payload);
 
+/// Payload of a SummaryMatch / SummaryMiss frame: the source id.
+std::vector<std::uint8_t> encode_summary_reply(ReplicaId source);
+ReplicaId decode_summary_reply(const std::vector<std::uint8_t>& payload);
+
 /// Framed bytes of the request as transmitted: one Request frame.
 std::size_t wire_size(const SyncRequest& request);
 /// Framed bytes of the batch as transmitted: BatchBegin + one
 /// BatchItem per item + BatchEnd.
 std::size_t wire_size(const SyncBatch& batch);
+/// Framed bytes of a summary request: one SummaryRequest frame.
+std::size_t wire_size(const SummaryRequestInfo& request);
 
 /// Run one one-way synchronization in which `target` pulls from
 /// `source`. Policies may be null (unmodified substrate). A thin

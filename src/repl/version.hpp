@@ -165,6 +165,29 @@ class VersionSet {
     return vv_.entry_count() + extras_count();
   }
 
+  /// Exact number of member events (whole vector prefixes plus extras).
+  /// O(entries), not O(events) — safe to call on huge sets.
+  [[nodiscard]] std::uint64_t event_count() const {
+    std::uint64_t n = 0;
+    for (const auto& [author, counter] : vv_.entries()) n += counter;
+    return n + extras_count();
+  }
+
+  /// Visit every member event as (author, counter). O(event_count()):
+  /// callers must bound the set first (see SummaryParams) — this
+  /// enumerates whole vector prefixes.
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    for (const auto& [author, counter] : vv_.entries()) {
+      for (std::uint64_t c = 1; c <= counter; ++c) fn(author, c);
+    }
+    for (const auto* group : {&extras_, &pinned_}) {
+      for (const auto& [author, counters] : *group) {
+        for (const std::uint64_t c : counters) fn(author, c);
+      }
+    }
+  }
+
   friend bool operator==(const VersionSet&, const VersionSet&) = default;
 
   void serialize(ByteWriter& w) const;

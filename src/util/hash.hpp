@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file hash.hpp
+/// Non-cryptographic hashing shared across layers: FNV-1a for content
+/// digests (checkpoint state digests, knowledge summary digests) and a
+/// splitmix64 finalizer for Bloom-filter index derivation. These hashes
+/// defend against accidents, not adversaries; anything security-
+/// relevant (quarantine decisions, limit enforcement) never trusts a
+/// digest alone.
+
+#include <cstdint>
+#include <vector>
+
+namespace pfrdtn {
+
+/// FNV-1a 64-bit over a byte string.
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer used to
+/// derive the double-hashing pair for Bloom filter probes.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace pfrdtn

@@ -160,6 +160,79 @@ TEST(CheckScenario, SkipFsyncBugIsCaughtAndShrunk) {
   EXPECT_EQ(replay.violation->message, report.violation->message);
 }
 
+TEST(CheckScenario, CleanSeedsWithSummariesSatisfyAllInvariants) {
+  // With summary syncs (and forced digest collisions) in the mix,
+  // clean seeds must still satisfy every invariant — collisions may
+  // defer items within one sync but quiescence proves nothing is lost.
+  ScenarioConfig config;
+  config.summary_rate = 0.5;
+  config.summary_collision_rate = 0.3;
+  std::size_t summaries = 0;
+  std::size_t collisions = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Scenario scenario = make_scenario(config, seed);
+    for (const Event& event : scenario.events) {
+      summaries += event.summary ? 1 : 0;
+      collisions += event.summary_collide ? 1 : 0;
+    }
+    const RunResult result = run_scenario(scenario);
+    EXPECT_FALSE(result.violation.has_value())
+        << "seed " << seed << ": [" << result.violation->probe << "] "
+        << result.violation->message;
+  }
+  // The schedules must actually exercise the summary band.
+  EXPECT_GT(summaries, 20u);
+  EXPECT_GT(collisions, 0u);
+}
+
+TEST(CheckScenario, SummaryRunsAreDeterministic) {
+  ScenarioConfig config;
+  config.summary_rate = 0.6;
+  config.summary_collision_rate = 0.2;
+  config.steps = 80;
+  const Scenario scenario = make_scenario(config, 13);
+  const RunResult one = run_scenario(scenario, /*keep_log=*/true);
+  const RunResult two = run_scenario(scenario, /*keep_log=*/true);
+  EXPECT_EQ(one.log, two.log);
+}
+
+TEST(CheckScenario, ZeroSummaryRateKeepsLegacySchedules) {
+  // summary_rate defaults to 0 and must consume no RNG draws there:
+  // schedules generated before the summary band existed stay
+  // bit-identical, so old replay seeds still reproduce.
+  ScenarioConfig config;
+  const Scenario scenario = make_scenario(config, 1);
+  for (const Event& event : scenario.events) {
+    EXPECT_FALSE(event.summary);
+    EXPECT_FALSE(event.summary_collide);
+  }
+}
+
+TEST(CheckScenario, SummarySkipFallbackBugIsCaughtAndShrunk) {
+  // The summary-protocol oracle: skipping the exact fallback after a
+  // digest miss silently drops the transfer, which the quiescence /
+  // equivalence probes must surface within a few seeds — and the
+  // shrinker must reduce it to a near-minimal schedule.
+  CheckOptions options;
+  options.config.summary_rate = 0.6;
+  options.config.inject_summary_skip_fallback = true;
+  options.seed = 1;
+  options.runs = 10;
+  const CheckReport report = run_check(options);
+  ASSERT_FALSE(report.passed)
+      << "skipping the miss fallback must trip an invariant within 10 seeds";
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_TRUE(report.violation->probe == "knowledge-soundness" ||
+              report.violation->probe == "summary-equivalence" ||
+              report.violation->probe == "quiescence")
+      << report.violation->probe;
+  EXPECT_LE(report.shrunk.events.size(), 20u);
+  // The shrunk scenario re-fails identically on a fresh engine.
+  const RunResult replay = run_scenario(report.shrunk);
+  ASSERT_TRUE(replay.violation.has_value());
+  EXPECT_EQ(replay.violation->message, report.violation->message);
+}
+
 TEST(CheckScenario, ShrinkingIsDeterministic) {
   CheckOptions options;
   options.config.inject_learn_truncated = true;

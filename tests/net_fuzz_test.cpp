@@ -107,6 +107,80 @@ TEST(NetFuzz, BatchBeginDecoderNeverCrashes) {
   }
 }
 
+TEST(NetFuzz, SummaryRequestDecoderNeverCrashes) {
+  Rng rng(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    must_parse_or_throw([&] {
+      ByteReader r(random_bytes(rng, 96));
+      (void)repl::SummaryRequestInfo::deserialize(r);
+    });
+  }
+}
+
+TEST(NetFuzz, BloomFilterDecoderNeverCrashes) {
+  Rng rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    must_parse_or_throw([&] {
+      ByteReader r(random_bytes(rng, 96));
+      (void)repl::BloomFilter::deserialize(r);
+    });
+  }
+}
+
+TEST(NetFuzz, SummaryReplyDecoderNeverCrashes) {
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    must_parse_or_throw(
+        [&] { (void)repl::decode_summary_reply(random_bytes(rng, 16)); });
+  }
+}
+
+TEST(NetFuzz, OversizeSummaryFrameRejectedBeforeAllocation) {
+  // A frame header claiming a payload past max_summary_bytes must be
+  // rejected by the budget at admission time — before the payload
+  // bytes are ever read or allocated. The scripted stream holds only
+  // the header, so any attempt to read the (absent) payload would
+  // throw TransportError instead of the required ResourceLimitError.
+  std::uint8_t header[kFrameHeaderSize];
+  encode_frame_header(
+      static_cast<std::uint8_t>(repl::SyncFrame::SummaryRequest),
+      ResourceLimits{}.max_summary_bytes + 1, header);
+  ScriptedConnection connection({header, header + kFrameHeaderSize});
+  SessionBudget budget{ResourceLimits{}};
+  EXPECT_THROW((void)read_frame(connection, budget), ResourceLimitError);
+}
+
+TEST(NetFuzz, SummaryTargetSessionNeverCrashesOnRandomStreams) {
+  Rng rng(24);
+  repl::SyncOptions summary_on;
+  summary_on.summary_mode = repl::SummaryMode::On;
+  for (int trial = 0; trial < 300; ++trial) {
+    Replica target(ReplicaId(2), Filter::addresses({HostId(9)}));
+    ScriptedConnection connection(random_bytes(rng, 160));
+    TargetSession session(target, nullptr, summary_on);
+    session.send_request(connection, ReplicaId(1), SimTime(0));
+    must_parse_or_throw([&] { (void)session.receive(connection); });
+    EXPECT_EQ(target.check_invariants(), "");
+    EXPECT_TRUE(target.knowledge().fragments().empty());
+  }
+}
+
+TEST(NetFuzz, SummarySourceSessionNeverCrashesOnRandomStreams) {
+  Rng rng(25);
+  repl::SyncOptions summary_on;
+  summary_on.summary_mode = repl::SummaryMode::On;
+  for (int trial = 0; trial < 300; ++trial) {
+    Replica source(ReplicaId(7), Filter::addresses({HostId(3)}));
+    source.create({{repl::meta::kDest, "5"}}, {'z'});
+    ScriptedConnection connection(random_bytes(rng, 160));
+    must_parse_or_throw([&] {
+      (void)run_source(connection, source, nullptr, SimTime(0),
+                       summary_on);
+    });
+    EXPECT_EQ(source.check_invariants(), "");
+  }
+}
+
 TEST(NetFuzz, TargetSessionReceiveNeverCrashesOnRandomStreams) {
   Rng rng(15);
   for (int trial = 0; trial < 300; ++trial) {
@@ -190,6 +264,104 @@ TEST_F(ValidBatchStream, BitFlipsParseOrThrow) {
     corrupted[rng.below(corrupted.size())] ^=
         static_cast<std::uint8_t>(1u << rng.below(8));
     attack(corrupted);
+  }
+}
+
+/// The same truncation/bit-flip assault against the summary-mode
+/// exchange: capture a real SummaryRequest and the source's reply
+/// stream, then corrupt each in every way. Both ends must parse or
+/// throw, never crash, and garbage must never smuggle knowledge in.
+class ValidSummaryStreams : public ::testing::Test {
+ protected:
+  ValidSummaryStreams()
+      : source_(ReplicaId(1), Filter::addresses({HostId(5)})) {
+    for (int i = 0; i < 3; ++i)
+      source_.create({{repl::meta::kDest, "9"}}, {'m'});
+    options_.summary_mode = repl::SummaryMode::On;
+  }
+
+  static Replica fresh_target() {
+    return Replica(ReplicaId(2), Filter::addresses({HostId(9)}));
+  }
+
+  /// The SummaryRequest frame a real target opens with.
+  std::vector<std::uint8_t> request_stream() {
+    Replica target = fresh_target();
+    ScriptedConnection capture;
+    TargetSession session(target, nullptr, options_);
+    session.send_request(capture, source_.id(), SimTime(0));
+    return capture.written();
+  }
+
+  /// The source's full reply to that opener (a cold target's empty
+  /// Bloom filter proves it knows nothing, so this is a direct batch).
+  std::vector<std::uint8_t> reply_stream() {
+    ScriptedConnection exchange(request_stream());
+    (void)run_source(exchange, source_, nullptr, SimTime(0), options_);
+    return exchange.written();
+  }
+
+  void attack_target(const std::vector<std::uint8_t>& stream) {
+    Replica target = fresh_target();
+    ScriptedConnection sink;
+    TargetSession session(target, nullptr, options_);
+    session.send_request(sink, ReplicaId(1), SimTime(0));
+    ScriptedConnection scripted(stream);
+    must_parse_or_throw([&] { (void)session.receive(scripted); });
+    // A flipped-but-parseable complete batch may legitimately teach
+    // knowledge; what must survive any corruption is soundness.
+    EXPECT_EQ(target.check_invariants(), "");
+  }
+
+  void attack_source(const std::vector<std::uint8_t>& stream) {
+    ScriptedConnection scripted(stream);
+    must_parse_or_throw([&] {
+      (void)run_source(scripted, source_, nullptr, SimTime(0), options_);
+    });
+    EXPECT_EQ(source_.check_invariants(), "");
+  }
+
+  Replica source_;
+  repl::SyncOptions options_;
+};
+
+TEST_F(ValidSummaryStreams, EveryReplyTruncationParsesOrThrows) {
+  const auto stream = reply_stream();
+  ASSERT_GT(stream.size(), 0u);
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    attack_target({stream.begin(),
+                   stream.begin() + static_cast<std::ptrdiff_t>(cut)});
+  }
+}
+
+TEST_F(ValidSummaryStreams, ReplyBitFlipsParseOrThrow) {
+  const auto stream = reply_stream();
+  Rng rng(26);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = stream;
+    corrupted[rng.below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    attack_target(corrupted);
+  }
+}
+
+TEST_F(ValidSummaryStreams, EveryRequestTruncationParsesOrThrows) {
+  const auto stream = request_stream();
+  ASSERT_GT(stream.size(), 0u);
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    attack_source({stream.begin(),
+                   stream.begin() + static_cast<std::ptrdiff_t>(cut)});
+  }
+}
+
+TEST_F(ValidSummaryStreams, RequestBitFlipsParseOrThrow) {
+  const auto stream = request_stream();
+  Rng rng(27);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = stream;
+    corrupted[rng.below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    attack_source(corrupted);
   }
 }
 

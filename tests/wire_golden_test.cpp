@@ -160,6 +160,29 @@ TEST(WireGolden, FramesAreByteIdentical) {
                      hex64(fnv1a64(encode_batch_begin(corpus_batch(true)))),
                      "15f2d2188e6a0474"});
 
+  // Summary-exchange frames (PR 7). The digest inside the summary is
+  // itself a function of the knowledge wire format, so this golden
+  // pins both the summary codec and Knowledge::wire_digest.
+  goldens.push_back(
+      {"knowledge_summary",
+       digest([](ByteWriter& w) {
+         summarize(corpus_knowledge(), SummaryParams{}).serialize(w);
+       }),
+       "eedf5d08f974572d"});
+  SummaryRequestInfo summary_request;
+  summary_request.target = ReplicaId(7);
+  summary_request.filter = filters[2];
+  summary_request.summary = summarize(corpus_knowledge(), SummaryParams{});
+  summary_request.routing_state = {1, 2, 3};
+  goldens.push_back({"summary_request",
+                     digest([&](ByteWriter& w) {
+                       summary_request.serialize(w);
+                     }),
+                     "df9a10dd2afa46ed"});
+  goldens.push_back({"summary_reply_frame",
+                     hex64(fnv1a64(encode_summary_reply(ReplicaId(9)))),
+                     "af63c44c8601c3c4"});
+
   for (const Golden& golden : goldens) {
     EXPECT_EQ(golden.actual, golden.expected)
         << "wire format drifted for corpus entry '" << golden.name << "'";
@@ -173,6 +196,7 @@ TEST(WireGolden, FramesAreByteIdentical) {
   request.knowledge = corpus_knowledge();
   EXPECT_EQ(wire_size(request), 40u);
   EXPECT_EQ(wire_size(corpus_batch(true)), 193u);
+  EXPECT_EQ(wire_size(summary_request), 28u);
 }
 
 // The corpus round-trips: goldens prove stability, this proves the

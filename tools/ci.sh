@@ -78,6 +78,14 @@ run_check_stage() {
     --adversary-rate 0.4
   "$bin" check --seed "$seed" --runs "$((runs / 8))" \
     --adversary-rate 0.25 --cut-rate 0.3 --crash-rate 0.1
+  # Summary-exchange syncs (plus forced digest collisions) against the
+  # equivalence and quiescence probes: summaries must change wire
+  # bytes, never outcomes, and a spurious Match may defer items but
+  # never lose them.
+  "$bin" check --seed "$seed" --runs "$((runs / 4))" \
+    --summary-rate 0.5 --summary-collision-rate 0.2
+  "$bin" check --seed "$seed" --runs "$((runs / 8))" \
+    --summary-rate 0.4 --cut-rate 0.3 --crash-rate 0.1
 }
 
 # The durability oracle must actually bite: with fsync skipped, a
@@ -120,6 +128,26 @@ run_adversary_oracle_proof() {
   echo "adversary oracles caught both injected hardening bugs"
 }
 
+# The summary-equivalence oracle must bite: with the miss fallback
+# skipped (the source answers a digest mismatch with an empty complete
+# batch), a fixed-seed summary schedule has to fail — the target
+# learns knowledge for items it never received, which the knowledge-
+# soundness probe flags — and shrink to a small reproduction. Guards
+# against the summary band silently degrading into a no-op.
+run_summary_oracle_proof() {
+  local name="$1"
+  local bin="$ROOT/build-ci/$name/tools/pfrdtn"
+  echo "=== [$name] check: summary-skip-fallback bug is caught ==="
+  local rc=0
+  "$bin" check --seed 1 --runs 10 --summary-rate 0.6 \
+    --inject-bug summary-skip-fallback > /dev/null || rc=$?
+  if [[ "$rc" -ne 1 ]]; then
+    echo "summary-skip-fallback injection was not detected (exit $rc)" >&2
+    exit 1
+  fi
+  echo "summary oracle caught the injected fallback skip"
+}
+
 run_suite plain
 run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
 
@@ -133,5 +161,7 @@ run_durability_oracle_proof plain
 run_durability_oracle_proof asan-ubsan
 run_adversary_oracle_proof plain
 run_adversary_oracle_proof asan-ubsan
+run_summary_oracle_proof plain
+run_summary_oracle_proof asan-ubsan
 
 echo "CI OK"

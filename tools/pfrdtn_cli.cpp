@@ -74,11 +74,12 @@ using namespace pfrdtn;
       "               [--io-timeout-ms N] [--session-deadline-ms N]\n"
       "               [--quarantine-base-ms N] [--quarantine-max-ms N]\n"
       "               [--max-request-bytes N] [--max-item-bytes N]\n"
-      "               [--max-batch-items N]\n"
+      "               [--max-batch-items N] [--summary-mode on|off|auto]\n"
       "  sync-with    --host H --port N [--port-file FILE] --addr A\n"
       "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
       "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
       "               [--state-dir DIR] [--retries N] [--retry-base-ms N]\n"
+      "               [--summary-mode on|off|auto]\n"
       "  chaos        --host H (--port N | --port-file FILE)\n"
       "               (--attack NAME | --all | --list)\n"
       "               [--trickle-delay-ms N] [--timeout-ms N]\n"
@@ -88,9 +89,11 @@ using namespace pfrdtn;
       "               [--cut-rate X] [--cap-rate X] [--throttle-rate X]\n"
       "               [--filter-rate X] [--discard-rate X] [--storage N]\n"
       "               [--crash-rate X] [--adversary-rate X] [--quiesce N]\n"
+      "               [--summary-rate X] [--summary-collision-rate X]\n"
       "               [--no-shrink] [--shrink-budget N]\n"
       "               [--inject-bug learn-truncated|skip-fsync|\n"
-      "                             skip-limit-check|no-deadline]\n"
+      "                             skip-limit-check|no-deadline|\n"
+      "                             summary-skip-fallback]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -121,6 +124,13 @@ class Args {
 
 std::uint64_t parse_u64(const char* text) {
   return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
+}
+
+repl::SummaryMode parse_summary_mode(const std::string& name) {
+  if (name == "on") return repl::SummaryMode::On;
+  if (name == "off") return repl::SummaryMode::Off;
+  if (name == "auto") return repl::SummaryMode::Auto;
+  usage("unknown --summary-mode (want on|off|auto)");
 }
 
 int cmd_gen_mobility(Args& args) {
@@ -441,6 +451,9 @@ int cmd_serve(Args& args) {
           parse_u64(args.value("--max-item-bytes")));
     } else if (flag == "--max-batch-items") {
       limits.max_batch_items = parse_u64(args.value("--max-batch-items"));
+    } else if (flag == "--summary-mode") {
+      sync_options.summary_mode =
+          parse_summary_mode(args.value("--summary-mode"));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -647,6 +660,9 @@ int cmd_sync_with(Args& args) {
       const int ms = static_cast<int>(parse_u64(args.value("--timeout-ms")));
       tcp_options.connect_timeout_ms = ms;
       tcp_options.io_timeout_ms = ms;
+    } else if (flag == "--summary-mode") {
+      sync_options.summary_mode =
+          parse_summary_mode(args.value("--summary-mode"));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -864,6 +880,12 @@ int cmd_check(Args& args) {
     } else if (flag == "--adversary-rate") {
       options.config.adversary_rate =
           std::atof(config_flag(flag, args.value("--adversary-rate")));
+    } else if (flag == "--summary-rate") {
+      options.config.summary_rate =
+          std::atof(config_flag(flag, args.value("--summary-rate")));
+    } else if (flag == "--summary-collision-rate") {
+      options.config.summary_collision_rate = std::atof(
+          config_flag(flag, args.value("--summary-collision-rate")));
     } else if (flag == "--quiesce") {
       options.config.quiescence_rounds =
           parse_u64(config_flag(flag, args.value("--quiesce")));
@@ -881,6 +903,8 @@ int cmd_check(Args& args) {
         options.config.inject_skip_limit_check = true;
       } else if (bug == "no-deadline") {
         options.config.inject_no_deadline = true;
+      } else if (bug == "summary-skip-fallback") {
+        options.config.inject_summary_skip_fallback = true;
       } else {
         usage("unknown --inject-bug");
       }
