@@ -5,7 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "dtn/epidemic.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
+#include "net/tcp.hpp"
 #include "repl/sync.hpp"
 #include "util/rng.hpp"
 
@@ -317,6 +324,60 @@ void BM_VersionSetCompaction(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_VersionSetCompaction)->Arg(128)->Arg(2048);
+
+/// End-to-end serve throughput on the epoll event loop: one in-process
+/// SyncServer (2 workers), `range(0)` concurrent push clients per
+/// iteration over real loopback TCP. Each client pushes the same item
+/// every time, so after the first iteration the sessions are
+/// steady-state (stale push, store bounded) and the number measures
+/// session machinery — accept, hello, frames, quarantine bookkeeping —
+/// not store growth. sessions_per_second is the headline counter.
+void BM_ServeConcurrentSessions(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  Replica server_replica(ReplicaId(1),
+                         Filter::addresses({HostId(9)}));
+  dtn::EpidemicPolicy server_policy;
+  net::SyncServerOptions options;
+  options.workers = 2;
+  net::SyncServer server(server_replica, &server_policy, options);
+  const std::uint16_t port = server.port();
+  std::thread serving([&server] { server.run(); });
+
+  std::size_t sessions = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> pushers;
+    pushers.reserve(clients);
+    std::atomic<std::size_t> failed{0};
+    for (std::size_t i = 0; i < clients; ++i) {
+      pushers.emplace_back([i, port, &failed] {
+        Replica self(ReplicaId(100 + i),
+                     Filter::addresses({HostId(100 + i)}));
+        self.create(to(9), {static_cast<std::uint8_t>(i)});
+        dtn::EpidemicPolicy policy;
+        try {
+          const auto connection = net::tcp_connect("127.0.0.1", port);
+          const auto outcome = net::run_client_session(
+              *connection, self, &policy, net::SyncMode::Push,
+              SimTime(0));
+          if (outcome.transport_failed) failed.fetch_add(1);
+        } catch (const net::TransportError&) {
+          failed.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& pusher : pushers) pusher.join();
+    if (failed.load() != 0) state.SkipWithError("push sessions failed");
+    sessions += clients;
+  }
+  server.shutdown();
+  serving.join();
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(sessions));
+  state.counters["sessions_per_second"] = benchmark::Counter(
+      static_cast<double>(sessions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeConcurrentSessions)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,162 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace pfrdtn::net {
+
+EventLoop::EventLoop()
+    : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  PFRDTN_REQUIRE(epoll_fd_ >= 0);
+  PFRDTN_REQUIRE(wake_fd_ >= 0);
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  PFRDTN_REQUIRE(
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) == 0);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::watch(int fd, std::uint32_t events, FdCallback callback) {
+  PFRDTN_REQUIRE(watchers_.find(fd) == watchers_.end());
+  auto watcher = std::make_shared<Watcher>();
+  watcher->callback = std::move(callback);
+  watchers_.emplace(fd, std::move(watcher));
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  PFRDTN_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) == 0);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  PFRDTN_REQUIRE(watchers_.find(fd) != watchers_.end());
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  PFRDTN_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0);
+}
+
+void EventLoop::forget(int fd) {
+  const auto it = watchers_.find(fd);
+  if (it == watchers_.end()) return;
+  it->second->alive = false;  // in-flight dispatch skips it
+  watchers_.erase(it);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::schedule(Clock::time_point when,
+                                       std::function<void()> callback) {
+  const TimerId id = next_timer_id_++;
+  const auto it = timers_.emplace(when, Timer{id, std::move(callback)});
+  timer_index_.emplace(id, it);
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) {
+  const auto it = timer_index_.find(id);
+  if (it == timer_index_.end()) return;
+  timers_.erase(it->second);
+  timer_index_.erase(it);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    stop_flag_ = true;
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // Best-effort: a full eventfd counter already guarantees wakeup.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+    stop_ = stop_flag_;
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::fire_due_timers() {
+  const auto now = Clock::now();
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    auto it = timers_.begin();
+    Timer timer = std::move(it->second);
+    timer_index_.erase(timer.id);
+    timers_.erase(it);
+    timer.callback();
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return -1;
+  const auto now = Clock::now();
+  const auto when = timers_.begin()->first;
+  if (when <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      when - now)
+                      .count();
+  // +1 so we never spin on a sub-millisecond remainder.
+  return static_cast<int>(ms) + 1;
+}
+
+void EventLoop::run() {
+  epoll_event events[64];
+  for (;;) {
+    drain_posted();
+    if (stop_) return;
+    fire_due_timers();
+    const int n =
+        ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ContractViolation(std::string("epoll_wait failed: ") +
+                              std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &counter, sizeof(counter));
+        continue;
+      }
+      const auto it = watchers_.find(fd);
+      if (it == watchers_.end()) continue;
+      // Hold a reference across the call: the callback may forget(fd)
+      // (or forget+close and watch a new fd with the same number —
+      // the alive flag makes the stale dispatch a no-op).
+      const std::shared_ptr<Watcher> watcher = it->second;
+      if (!watcher->alive) continue;
+      watcher->callback(events[i].events);
+    }
+  }
+}
+
+}  // namespace pfrdtn::net

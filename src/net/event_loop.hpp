@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file event_loop.hpp
+/// A minimal epoll event loop, one per server worker thread (the
+/// Envoy-style per-worker dispatcher): fd readiness callbacks, a
+/// steady-clock timer wheel, and a thread-safe post() for cross-thread
+/// handoff (the acceptor posts freshly admitted fds to a worker; a
+/// worker posts completions back). Everything except post()/stop() is
+/// single-threaded: only the thread inside run() may touch watchers or
+/// timers, which is what lets connection state live lock-free on its
+/// owning worker.
+///
+/// Dispatch is level-triggered and deferred-deletion safe: a callback
+/// may forget() its own fd (closing a connection mid-dispatch) — the
+/// loop holds a reference to the watcher for the duration of the call
+/// and checks liveness before invoking it.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace pfrdtn::net {
+
+class EventLoop {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for `events` (EPOLLIN/EPOLLOUT ORed); the callback
+  /// runs on the loop thread with the ready event mask (which also
+  /// carries EPOLLERR/EPOLLHUP when the kernel reports them).
+  void watch(int fd, std::uint32_t events, FdCallback callback);
+
+  /// Change the event mask of a watched fd (e.g. arm EPOLLOUT only
+  /// while there are buffered bytes to flush).
+  void modify(int fd, std::uint32_t events);
+
+  /// Stop watching `fd`. Safe to call from inside its own callback.
+  /// The caller still owns (and closes) the fd.
+  void forget(int fd);
+
+  /// One-shot timer at `when`; returns an id for cancel().
+  TimerId schedule(Clock::time_point when, std::function<void()> callback);
+  void cancel(TimerId id);
+
+  /// Enqueue `task` to run on the loop thread. Thread-safe; wakes the
+  /// loop if it is blocked in epoll_wait.
+  void post(std::function<void()> task);
+
+  /// Dispatch until stop(). Runs posted tasks, due timers, and fd
+  /// callbacks, in that order per iteration.
+  void run();
+
+  /// Ask run() to return; thread-safe, callable from callbacks.
+  void stop();
+
+ private:
+  struct Watcher {
+    FdCallback callback;
+    bool alive = true;
+  };
+  struct Timer {
+    TimerId id = 0;
+    std::function<void()> callback;
+  };
+
+  void wake();
+  void drain_posted();
+  void fire_due_timers();
+  [[nodiscard]] int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool stop_ = false;  ///< loop-thread copy, refreshed from stop_flag_
+  std::unordered_map<int, std::shared_ptr<Watcher>> watchers_;
+  std::multimap<Clock::time_point, Timer> timers_;
+  std::unordered_map<TimerId, std::multimap<Clock::time_point,
+                                            Timer>::iterator> timer_index_;
+  TimerId next_timer_id_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_flag_ = false;  ///< guarded by posted_mutex_
+};
+
+}  // namespace pfrdtn::net

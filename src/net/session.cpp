@@ -91,6 +91,8 @@ void check_routing_blob(const std::vector<std::uint8_t>& blob,
 
 }  // namespace
 
+// ---- SourceSession ---------------------------------------------------
+
 void SourceSession::fail(const TransportError& failure) {
   outcome_.transport_failed = true;
   outcome_.stats.complete = false;
@@ -98,27 +100,97 @@ void SourceSession::fail(const TransportError& failure) {
   state_ = State::Failed;
 }
 
-void SourceSession::stream_batch(Connection& connection,
+void SourceSession::stream_batch(FrameSink& sink,
                                  const repl::SyncBatch& batch) {
-  SessionBudget& b = budget();
   outcome_.stats.complete = batch.complete;
-  outcome_.stats.batch_bytes +=
-      write_frame(connection, repl::SyncFrame::BatchBegin,
-                  repl::encode_batch_begin(batch), b);
+  outcome_.stats.batch_bytes += sink.send(
+      repl::SyncFrame::BatchBegin, repl::encode_batch_begin(batch));
   for (const repl::Item& item : batch.items) {
     outcome_.stats.batch_bytes +=
-        write_frame(connection, repl::SyncFrame::BatchItem,
-                    serialize_item(item), b);
+        sink.send(repl::SyncFrame::BatchItem, serialize_item(item));
     ++outcome_.stats.items_sent;
   }
-  outcome_.stats.batch_bytes +=
-      write_frame(connection, repl::SyncFrame::BatchEnd,
-                  serialize_knowledge(batch.source_knowledge), b);
+  outcome_.stats.batch_bytes += sink.send(
+      repl::SyncFrame::BatchEnd,
+      serialize_knowledge(batch.source_knowledge));
+}
+
+void SourceSession::serve_request_frame(const Frame& frame,
+                                        FrameSink& sink,
+                                        bool process_routing_state) {
+  SessionBudget& b = budget();
+  ByteReader reader(frame.payload);
+  reader.set_element_budget(b.limits().max_decode_elements);
+  const repl::SyncRequest request = repl::SyncRequest::deserialize(reader);
+  PFRDTN_REQUIRE(reader.done());
+  check_knowledge_weight(request.knowledge, b.limits());
+  check_routing_blob(request.routing_state, b.limits());
+  stream_batch(sink, repl::build_batch(*source_, policy_, request, now_,
+                                       options_, process_routing_state));
+}
+
+void SourceSession::on_frame(const Frame& frame, FrameSink& sink) {
+  PFRDTN_REQUIRE(wants_frame());
+  SessionBudget& b = budget();
+
+  if (state_ == State::AwaitExact) {
+    PFRDTN_REQUIRE(frame.type == repl::SyncFrame::Request);
+    outcome_.stats.request_bytes += frame.wire_bytes;
+    // The summary already carried this sync's routing state through
+    // answer_summary; processing it again would double-charge stateful
+    // policies.
+    serve_request_frame(frame, sink, /*process_routing_state=*/false);
+    state_ = State::Done;
+    return;
+  }
+
+  // Idle: the opener. With summaries off this side speaks the legacy
+  // protocol exactly: only a Request opener is admitted.
+  const bool summaries = options_.summary_mode != repl::SummaryMode::Off;
+  if (!summaries) PFRDTN_REQUIRE(frame.type == repl::SyncFrame::Request);
+  outcome_.stats.request_bytes += frame.wire_bytes;
+
+  if (frame.type == repl::SyncFrame::Request) {
+    serve_request_frame(frame, sink, /*process_routing_state=*/true);
+    state_ = State::Done;
+    return;
+  }
+
+  PFRDTN_REQUIRE(frame.type == repl::SyncFrame::SummaryRequest);
+  ByteReader reader(frame.payload);
+  reader.set_element_budget(b.limits().max_decode_elements);
+  const repl::SummaryRequestInfo request =
+      repl::SummaryRequestInfo::deserialize(reader);
+  PFRDTN_REQUIRE(reader.done());
+  check_routing_blob(request.routing_state, b.limits());
+  const repl::SummaryAnswer answer =
+      repl::answer_summary(*source_, policy_, request, now_, options_);
+  switch (answer.kind) {
+    case repl::SummaryAnswer::Kind::Match:
+      outcome_.stats.batch_bytes +=
+          sink.send(repl::SyncFrame::SummaryMatch,
+                    repl::encode_summary_reply(source_->id()));
+      outcome_.stats.complete = true;
+      state_ = State::Done;
+      return;
+    case repl::SummaryAnswer::Kind::Batch:
+      stream_batch(sink, answer.batch);
+      state_ = State::Done;
+      return;
+    case repl::SummaryAnswer::Kind::Miss:
+      outcome_.stats.batch_bytes +=
+          sink.send(repl::SyncFrame::SummaryMiss,
+                    repl::encode_summary_reply(source_->id()));
+      state_ = State::AwaitExact;
+      return;
+  }
+  throw ContractViolation("invalid summary answer");
 }
 
 void SourceSession::serve_opener(Connection& connection) {
   PFRDTN_REQUIRE(state_ == State::Idle);
   SessionBudget& b = budget();
+  ConnectionFrameSink sink(connection, b);
   try {
     // With summaries off this side speaks the legacy protocol exactly:
     // only a Request opener is admitted.
@@ -127,51 +199,7 @@ void SourceSession::serve_opener(Connection& connection) {
     const Frame opener =
         summaries ? read_frame(connection, b)
                   : expect_frame(connection, repl::SyncFrame::Request, b);
-    outcome_.stats.request_bytes += opener.wire_bytes;
-
-    if (opener.type == repl::SyncFrame::Request) {
-      ByteReader reader(opener.payload);
-      reader.set_element_budget(b.limits().max_decode_elements);
-      const repl::SyncRequest request =
-          repl::SyncRequest::deserialize(reader);
-      PFRDTN_REQUIRE(reader.done());
-      check_knowledge_weight(request.knowledge, b.limits());
-      check_routing_blob(request.routing_state, b.limits());
-      stream_batch(connection, repl::build_batch(*source_, policy_,
-                                                 request, now_, options_));
-      state_ = State::Done;
-      return;
-    }
-
-    PFRDTN_REQUIRE(opener.type == repl::SyncFrame::SummaryRequest);
-    ByteReader reader(opener.payload);
-    reader.set_element_budget(b.limits().max_decode_elements);
-    const repl::SummaryRequestInfo request =
-        repl::SummaryRequestInfo::deserialize(reader);
-    PFRDTN_REQUIRE(reader.done());
-    check_routing_blob(request.routing_state, b.limits());
-    const repl::SummaryAnswer answer =
-        repl::answer_summary(*source_, policy_, request, now_, options_);
-    switch (answer.kind) {
-      case repl::SummaryAnswer::Kind::Match:
-        outcome_.stats.batch_bytes +=
-            write_frame(connection, repl::SyncFrame::SummaryMatch,
-                        repl::encode_summary_reply(source_->id()), b);
-        outcome_.stats.complete = true;
-        state_ = State::Done;
-        return;
-      case repl::SummaryAnswer::Kind::Batch:
-        stream_batch(connection, answer.batch);
-        state_ = State::Done;
-        return;
-      case repl::SummaryAnswer::Kind::Miss:
-        outcome_.stats.batch_bytes +=
-            write_frame(connection, repl::SyncFrame::SummaryMiss,
-                        repl::encode_summary_reply(source_->id()), b);
-        state_ = State::AwaitExact;
-        return;
-    }
-    throw ContractViolation("invalid summary answer");
+    on_frame(opener, sink);
   } catch (const TransportError& failure) {
     fail(failure);
   }
@@ -180,25 +208,11 @@ void SourceSession::serve_opener(Connection& connection) {
 void SourceSession::serve_exact(Connection& connection) {
   PFRDTN_REQUIRE(state_ == State::AwaitExact);
   SessionBudget& b = budget();
+  ConnectionFrameSink sink(connection, b);
   try {
     const Frame request_frame =
         expect_frame(connection, repl::SyncFrame::Request, b);
-    outcome_.stats.request_bytes += request_frame.wire_bytes;
-    ByteReader reader(request_frame.payload);
-    reader.set_element_budget(b.limits().max_decode_elements);
-    const repl::SyncRequest request =
-        repl::SyncRequest::deserialize(reader);
-    PFRDTN_REQUIRE(reader.done());
-    check_knowledge_weight(request.knowledge, b.limits());
-    check_routing_blob(request.routing_state, b.limits());
-    // The summary already carried this sync's routing state through
-    // answer_summary; processing it again would double-charge stateful
-    // policies.
-    stream_batch(connection,
-                 repl::build_batch(*source_, policy_, request, now_,
-                                   options_,
-                                   /*process_routing_state=*/false));
-    state_ = State::Done;
+    on_frame(request_frame, sink);
   } catch (const TransportError& failure) {
     fail(failure);
   }
@@ -217,8 +231,15 @@ SourceStats run_source(Connection& connection, repl::Replica& source,
   return session.take_stats();
 }
 
-void TargetSession::send_request(Connection& connection,
-                                 ReplicaId source_id, SimTime now) {
+// ---- TargetSession ---------------------------------------------------
+
+repl::BatchApplier& TargetSession::ensure_applier() {
+  if (!applier_) applier_.emplace(*target_, options_);
+  return *applier_;
+}
+
+void TargetSession::start(FrameSink& sink, ReplicaId source_id,
+                          SimTime now) {
   PFRDTN_REQUIRE(state_ == State::Idle);
   try {
     if (options_.summary_mode != repl::SummaryMode::Off) {
@@ -227,135 +248,163 @@ void TargetSession::send_request(Connection& connection,
       routing_state_ = request.routing_state;
       ByteWriter w;
       request.serialize(w);
-      request_bytes_ = write_frame(
-          connection, repl::SyncFrame::SummaryRequest, w.take(), budget());
+      request_bytes_ =
+          sink.send(repl::SyncFrame::SummaryRequest, w.take());
       state_ = State::SummarySent;
     } else {
       const repl::SyncRequest request =
           repl::make_request(*target_, policy_, source_id, now);
-      request_bytes_ = write_frame(connection, repl::SyncFrame::Request,
-                                   serialize_request(request), budget());
+      request_bytes_ = sink.send(repl::SyncFrame::Request,
+                                 serialize_request(request));
       state_ = State::RequestSent;
     }
   } catch (const TransportError& failure) {
     state_ = State::Failed;
+    pre_receive_failure_ = true;
     error_ = failure.what();
   }
 }
 
-void TargetSession::send_exact_fallback(Connection& connection) {
+void TargetSession::send_request(Connection& connection,
+                                 ReplicaId source_id, SimTime now) {
+  ConnectionFrameSink sink(connection, budget());
+  start(sink, source_id, now);
+}
+
+void TargetSession::send_exact_fallback(FrameSink& sink) {
   // The fallback reuses the routing state the summary carried, so the
   // source's policy hooks see exactly one request for this sync.
   const repl::SyncRequest request{target_->id(), target_->filter(),
                                   target_->knowledge(), routing_state_};
-  request_bytes_ += write_frame(connection, repl::SyncFrame::Request,
-                                serialize_request(request), budget());
+  request_bytes_ += sink.send(repl::SyncFrame::Request,
+                              serialize_request(request));
   state_ = State::RequestSent;
 }
 
 void TargetSession::send_fallback(Connection& connection) {
   PFRDTN_REQUIRE(state_ == State::SummarySent);
+  ConnectionFrameSink sink(connection, budget());
   try {
     const Frame miss =
         expect_frame(connection, repl::SyncFrame::SummaryMiss, budget());
-    pre_batch_bytes_ += miss.wire_bytes;
+    batch_bytes_ += miss.wire_bytes;
     repl::decode_summary_reply(miss.payload);
-    send_exact_fallback(connection);
+    send_exact_fallback(sink);
   } catch (const TransportError& failure) {
     state_ = State::Failed;
+    pre_receive_failure_ = true;
     error_ = failure.what();
   }
 }
 
-NetSyncResult TargetSession::receive(Connection& connection) {
+void TargetSession::begin_batch(const Frame& frame) {
+  const repl::BatchBeginInfo begin =
+      repl::decode_batch_begin(frame.payload);
+  const ResourceLimits& limits = budget().limits();
+  if (begin.count > limits.max_batch_items) {
+    throw ResourceLimitError(
+        "batch announces " + std::to_string(begin.count) +
+        " items, above the " + std::to_string(limits.max_batch_items) +
+        "-item cap");
+  }
+  begin_ = begin;
+  received_ = 0;
+  ensure_applier();
+  state_ = State::Receiving;
+}
+
+void TargetSession::on_frame(const Frame& frame, FrameSink& sink) {
+  PFRDTN_REQUIRE(wants_frame());
+  const ResourceLimits& limits = budget().limits();
+  batch_bytes_ += frame.wire_bytes;
+
+  if (state_ == State::SummarySent) {
+    // The source's summary reply: a Match ends the sync, a Miss makes
+    // us emit the exact fallback Request, and a direct BatchBegin
+    // (the Bloom filter proved us cold) just starts the batch.
+    if (frame.type == repl::SyncFrame::SummaryMatch) {
+      repl::decode_summary_reply(frame.payload);
+      result_ = repl::apply_summary_match(*target_, options_);
+      state_ = State::Done;
+      return;
+    }
+    if (frame.type == repl::SyncFrame::SummaryMiss) {
+      repl::decode_summary_reply(frame.payload);
+      send_exact_fallback(sink);
+      return;
+    }
+    PFRDTN_REQUIRE(frame.type == repl::SyncFrame::BatchBegin);
+    begin_batch(frame);
+    return;
+  }
+
+  if (state_ == State::RequestSent) {
+    PFRDTN_REQUIRE(frame.type == repl::SyncFrame::BatchBegin);
+    begin_batch(frame);
+    return;
+  }
+
+  // Receiving: the item stream, applied as each frame arrives.
+  if (frame.type == repl::SyncFrame::BatchItem) {
+    ByteReader reader(frame.payload);
+    reader.set_element_budget(limits.max_decode_elements);
+    const repl::Item item = repl::Item::deserialize(reader);
+    PFRDTN_REQUIRE(reader.done());
+    ++received_;
+    PFRDTN_REQUIRE(received_ <= begin_->count);
+    ensure_applier().apply(item);
+    return;
+  }
+  PFRDTN_REQUIRE(frame.type == repl::SyncFrame::BatchEnd);
+  PFRDTN_REQUIRE(received_ == begin_->count);
+  ByteReader reader(frame.payload);
+  reader.set_element_budget(limits.max_decode_elements);
+  const repl::Knowledge source_knowledge =
+      repl::Knowledge::deserialize(reader);
+  PFRDTN_REQUIRE(reader.done());
+  check_knowledge_weight(source_knowledge, limits);
+  result_ = ensure_applier().finish(begin_->complete, source_knowledge);
+  state_ = State::Done;
+}
+
+void TargetSession::on_transport_error(const std::string& what) {
+  error_ = what;
+  state_ = State::Failed;
+}
+
+NetSyncResult TargetSession::take_result() {
+  PFRDTN_REQUIRE(finished());
   NetSyncResult outcome;
-  repl::BatchApplier applier(*target_, options_);
   if (state_ == State::Failed) {
-    outcome.result = applier.abandon();
-    outcome.result.stats.request_bytes = request_bytes_;
+    outcome.result = ensure_applier().abandon();
     outcome.transport_failed = true;
     outcome.error = error_;
-    return outcome;
-  }
-  PFRDTN_REQUIRE(state_ == State::RequestSent ||
-                 state_ == State::SummarySent);
-  const ResourceLimits& limits = budget().limits();
-  std::size_t batch_bytes = pre_batch_bytes_;
-  try {
-    Frame begin_frame;
-    if (state_ == State::SummarySent) {
-      // Consume the source's summary reply: a Match ends the sync, a
-      // Miss makes us send the exact fallback Request, and a direct
-      // BatchBegin (Bloom proved us cold) just starts the batch.
-      Frame first = read_frame(connection, budget());
-      batch_bytes += first.wire_bytes;
-      if (first.type == repl::SyncFrame::SummaryMatch) {
-        repl::decode_summary_reply(first.payload);
-        outcome.result = repl::apply_summary_match(*target_, options_);
-        outcome.result.stats.request_bytes = request_bytes_;
-        outcome.result.stats.batch_bytes = batch_bytes;
-        state_ = State::Done;
-        return outcome;
-      }
-      if (first.type == repl::SyncFrame::SummaryMiss) {
-        repl::decode_summary_reply(first.payload);
-        send_exact_fallback(connection);
-        begin_frame = expect_frame(connection,
-                                   repl::SyncFrame::BatchBegin, budget());
-        batch_bytes += begin_frame.wire_bytes;
-      } else {
-        PFRDTN_REQUIRE(first.type == repl::SyncFrame::BatchBegin);
-        begin_frame = std::move(first);
-      }
-    } else {
-      begin_frame =
-          expect_frame(connection, repl::SyncFrame::BatchBegin, budget());
-      batch_bytes += begin_frame.wire_bytes;
-    }
-    const repl::BatchBeginInfo begin =
-        repl::decode_batch_begin(begin_frame.payload);
-    if (begin.count > limits.max_batch_items) {
-      throw ResourceLimitError(
-          "batch announces " + std::to_string(begin.count) +
-          " items, above the " +
-          std::to_string(limits.max_batch_items) + "-item cap");
-    }
-    std::uint64_t received = 0;
-    for (;;) {
-      const Frame frame = read_frame(connection, budget());
-      batch_bytes += frame.wire_bytes;
-      if (frame.type == repl::SyncFrame::BatchItem) {
-        ByteReader reader(frame.payload);
-        reader.set_element_budget(limits.max_decode_elements);
-        const repl::Item item = repl::Item::deserialize(reader);
-        PFRDTN_REQUIRE(reader.done());
-        ++received;
-        PFRDTN_REQUIRE(received <= begin.count);
-        applier.apply(item);
-        continue;
-      }
-      PFRDTN_REQUIRE(frame.type == repl::SyncFrame::BatchEnd);
-      PFRDTN_REQUIRE(received == begin.count);
-      ByteReader reader(frame.payload);
-      reader.set_element_budget(limits.max_decode_elements);
-      const repl::Knowledge source_knowledge =
-          repl::Knowledge::deserialize(reader);
-      PFRDTN_REQUIRE(reader.done());
-      check_knowledge_weight(source_knowledge, limits);
-      outcome.result = applier.finish(begin.complete, source_knowledge);
-      state_ = State::Done;
-      break;
-    }
-  } catch (const TransportError& failure) {
-    outcome.result = applier.abandon();
-    outcome.transport_failed = true;
-    outcome.error = failure.what();
-    state_ = State::Failed;
+  } else {
+    outcome.result = std::move(*result_);
+    result_.reset();
   }
   outcome.result.stats.request_bytes = request_bytes_;
-  outcome.result.stats.batch_bytes = batch_bytes;
+  outcome.result.stats.batch_bytes =
+      pre_receive_failure_ ? 0 : batch_bytes_;
   return outcome;
 }
+
+NetSyncResult TargetSession::receive(Connection& connection) {
+  if (state_ == State::Failed) return take_result();
+  PFRDTN_REQUIRE(wants_frame());
+  ConnectionFrameSink sink(connection, budget());
+  try {
+    while (!finished()) {
+      const Frame frame = read_frame(connection, budget());
+      on_frame(frame, sink);
+    }
+  } catch (const TransportError& failure) {
+    on_transport_error(failure.what());
+  }
+  return take_result();
+}
+
+// ---- loopback drives -------------------------------------------------
 
 namespace {
 
@@ -455,6 +504,8 @@ LoopbackEncounterOutcome encounter_over_loopback(
   return outcome;
 }
 
+// ---- whole sessions (TCP client/server) ------------------------------
+
 ClientSessionOutcome run_client_session(Connection& connection,
                                         repl::Replica& self,
                                         repl::ForwardingPolicy* policy,
@@ -508,57 +559,156 @@ ClientSessionOutcome run_client_session(Connection& connection,
   return outcome;
 }
 
+// ---- ServerSessionMachine --------------------------------------------
+
+void ServerSessionMachine::on_frame(const Frame& frame, FrameSink& sink) {
+  switch (state_) {
+    case State::AwaitHello: {
+      PFRDTN_REQUIRE(frame.type == repl::SyncFrame::Hello);
+      outcome_.hello = decode_hello(frame.payload);
+      // Echo our features only to a client that advertised some: a
+      // legacy client's decoder rejects any bytes after the mode.
+      const std::uint64_t features =
+          options_.summary_mode != repl::SummaryMode::Off &&
+                  outcome_.hello.features != 0
+              ? kFeatureSummaryExchange
+              : 0;
+      try {
+        sink.send(
+            repl::SyncFrame::Hello,
+            encode_hello({self_->id(), outcome_.hello.mode, features}));
+      } catch (const TransportError& failure) {
+        outcome_.transport_failed = true;
+        outcome_.error = failure.what();
+        state_ = State::Done;
+        return;
+      }
+      effective_.summary_mode = resolve_summary_mode(
+          options_.summary_mode, outcome_.hello.features);
+      const SyncMode mode = outcome_.hello.mode;
+      if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
+        source_.emplace(*self_, policy_, now_, effective_, &budget_);
+        state_ = State::Source;
+      } else {
+        start_target(sink);
+      }
+      return;
+    }
+    case State::Source: {
+      try {
+        source_->on_frame(frame, sink);
+      } catch (const TransportError& failure) {
+        source_->on_transport_error(failure);
+      }
+      // A summary miss leaves the source owed the exact fallback
+      // Request; everything else ends its role.
+      if (source_->state() == SourceSession::State::AwaitExact) return;
+      harvest_source(&sink);
+      return;
+    }
+    case State::Target: {
+      try {
+        target_->on_frame(frame, sink);
+      } catch (const TransportError& failure) {
+        target_->on_transport_error(failure.what());
+      }
+      if (target_->finished()) harvest_target();
+      return;
+    }
+    case State::Done:
+      break;
+  }
+  throw ContractViolation("frame after session end");
+}
+
+void ServerSessionMachine::harvest_source(FrameSink* sink) {
+  outcome_.served = source_->take_stats();
+  source_.reset();
+  if (outcome_.served.transport_failed) {
+    outcome_.transport_failed = true;
+    outcome_.error = outcome_.served.error;
+    // A dead link never starts the push leg of an encounter.
+    if (outcome_.hello.mode == SyncMode::Encounter) {
+      state_ = State::Done;
+      return;
+    }
+  }
+  if (outcome_.hello.mode == SyncMode::Pull) {
+    state_ = State::Done;
+    return;
+  }
+  PFRDTN_REQUIRE(sink != nullptr);
+  start_target(*sink);
+}
+
+void ServerSessionMachine::start_target(FrameSink& sink) {
+  target_.emplace(*self_, policy_, effective_, &budget_);
+  target_->start(sink, outcome_.hello.replica, now_);
+  // start() absorbs a sink failure into the Failed state; harvest it
+  // now so the host sees the session finished.
+  if (target_->finished()) {
+    harvest_target();
+  } else {
+    state_ = State::Target;
+  }
+}
+
+void ServerSessionMachine::harvest_target() {
+  outcome_.applied = target_->take_result();
+  target_.reset();
+  if (outcome_.applied.transport_failed) {
+    outcome_.transport_failed = true;
+    outcome_.error = outcome_.applied.error;
+  }
+  state_ = State::Done;
+}
+
+void ServerSessionMachine::on_transport_error(const std::string& what) {
+  switch (state_) {
+    case State::AwaitHello:
+      outcome_.transport_failed = true;
+      outcome_.error = what;
+      state_ = State::Done;
+      return;
+    case State::Source:
+      source_->on_transport_error(TransportError(what));
+      // A failed source always ends the session: the encounter's push
+      // leg is never attempted on a dead link.
+      harvest_source(nullptr);
+      return;
+    case State::Target:
+      target_->on_transport_error(what);
+      harvest_target();
+      return;
+    case State::Done:
+      // Late notification after completion (e.g. the flush of the
+      // final frames failed): the outcome is already sealed.
+      return;
+  }
+}
+
+ServerSessionOutcome ServerSessionMachine::take_outcome() {
+  PFRDTN_REQUIRE(finished());
+  return std::move(outcome_);
+}
+
 ServerSessionOutcome serve_session(Connection& connection,
                                    repl::Replica& self,
                                    repl::ForwardingPolicy* policy,
                                    SimTime now,
                                    const repl::SyncOptions& options,
                                    const ResourceLimits& limits) {
-  ServerSessionOutcome outcome;
-  SessionBudget budget(limits);
-  repl::SyncOptions effective = options;
+  ServerSessionMachine machine(self, policy, now, options, limits);
+  ConnectionFrameSink sink(connection, machine.budget());
   try {
-    const Frame hello =
-        expect_frame(connection, repl::SyncFrame::Hello, budget);
-    outcome.hello = decode_hello(hello.payload);
-    // Echo our features only to a client that advertised some: a
-    // legacy client's decoder rejects any bytes after the mode.
-    const std::uint64_t features =
-        options.summary_mode != repl::SummaryMode::Off &&
-                outcome.hello.features != 0
-            ? kFeatureSummaryExchange
-            : 0;
-    write_frame(
-        connection, repl::SyncFrame::Hello,
-        encode_hello({self.id(), outcome.hello.mode, features}), budget);
-    effective.summary_mode = resolve_summary_mode(options.summary_mode,
-                                                  outcome.hello.features);
+    while (machine.wants_frame()) {
+      const Frame frame = read_frame(connection, machine.budget());
+      machine.on_frame(frame, sink);
+    }
   } catch (const TransportError& failure) {
-    outcome.transport_failed = true;
-    outcome.error = failure.what();
-    return outcome;
+    machine.on_transport_error(failure.what());
   }
-
-  const SyncMode mode = outcome.hello.mode;
-  if (mode == SyncMode::Pull || mode == SyncMode::Encounter) {
-    outcome.served =
-        run_source(connection, self, policy, now, effective, &budget);
-    if (outcome.served.transport_failed) {
-      outcome.transport_failed = true;
-      outcome.error = outcome.served.error;
-      if (mode == SyncMode::Encounter) return outcome;
-    }
-  }
-  if (mode == SyncMode::Push || mode == SyncMode::Encounter) {
-    TargetSession session(self, policy, effective, &budget);
-    session.send_request(connection, outcome.hello.replica, now);
-    outcome.applied = session.receive(connection);
-    if (outcome.applied.transport_failed) {
-      outcome.transport_failed = true;
-      outcome.error = outcome.applied.error;
-    }
-  }
-  return outcome;
+  return machine.take_outcome();
 }
 
 }  // namespace pfrdtn::net

@@ -30,6 +30,7 @@
 /// syncs (Pull: client is target; Push: client is source; Encounter:
 /// pull then push — the paper's two syncs per encounter).
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -100,9 +101,13 @@ SourceStats run_source(Connection& connection, repl::Replica& source,
                        const repl::SyncOptions& options = {},
                        SessionBudget* budget = nullptr);
 
-/// The source role as a resumable state machine, so the sequential
-/// loopback driver can interleave it with the target role on one
-/// thread. run_source wraps it for transports with a live peer.
+/// The source role as a resumable, frame-driven state machine: hand it
+/// one decoded peer frame at a time via on_frame() and it emits every
+/// reply through a FrameSink, never blocking in between. Hosts decide
+/// how frames arrive — a blocking read loop (run_source, the loopback
+/// drive) or an epoll event loop feeding a FrameDecoder
+/// (src/net/server.hpp). The serve_opener/serve_exact wrappers keep
+/// the one-call-per-step blocking API for sequential drivers.
 class SourceSession {
  public:
   enum class State { Idle, AwaitExact, Done, Failed };
@@ -116,14 +121,35 @@ class SourceSession {
         options_(options),
         budget_(budget) {}
 
-  /// Step 1: read the opener and answer it. Ends Done (batch streamed
-  /// or SummaryMatch sent), AwaitExact (SummaryMiss sent, the exact
-  /// Request is owed), or Failed (link died).
+  /// True while the machine needs another peer frame (Idle: the
+  /// opener; AwaitExact: the post-miss fallback Request).
+  [[nodiscard]] bool wants_frame() const {
+    return state_ == State::Idle || state_ == State::AwaitExact;
+  }
+
+  /// Consume one peer frame and emit any replies through `sink`.
+  /// From Idle the frame is the opener: an exact Request streams the
+  /// batch; a SummaryRequest (rejected while options.summary_mode is
+  /// Off — the legacy protocol admits only Request) is answered with
+  /// SummaryMatch, a direct batch, or SummaryMiss (-> AwaitExact).
+  /// From AwaitExact the frame must be the exact fallback Request; the
+  /// routing state was already processed with the summary, so the
+  /// fallback skips the policy's process_request. Protocol breaches
+  /// throw ContractViolation; sink failures propagate TransportError
+  /// (blocking hosts turn those into on_transport_error).
+  void on_frame(const Frame& frame, FrameSink& sink);
+
+  /// The link died while this role was live: absorb the failure into
+  /// the stats, as a truncated contact, and end Failed.
+  void on_transport_error(const TransportError& failure) { fail(failure); }
+
+  /// Blocking step 1: read the opener and answer it. Ends Done (batch
+  /// streamed or SummaryMatch sent), AwaitExact (SummaryMiss sent, the
+  /// exact Request is owed), or Failed (link died).
   void serve_opener(Connection& connection);
 
-  /// Step 2, only from AwaitExact: read the exact fallback Request and
-  /// stream the batch. The routing state was already processed with
-  /// the summary, so the fallback skips the policy's process_request.
+  /// Blocking step 2, only from AwaitExact: read the exact fallback
+  /// Request and stream the batch.
   void serve_exact(Connection& connection);
 
   [[nodiscard]] State state() const { return state_; }
@@ -134,7 +160,9 @@ class SourceSession {
   [[nodiscard]] SessionBudget& budget() {
     return budget_ != nullptr ? *budget_ : local_budget_;
   }
-  void stream_batch(Connection& connection, const repl::SyncBatch& batch);
+  void serve_request_frame(const Frame& frame, FrameSink& sink,
+                           bool process_routing_state);
+  void stream_batch(FrameSink& sink, const repl::SyncBatch& batch);
   void fail(const TransportError& failure);
 
   repl::Replica* source_;
@@ -147,17 +175,18 @@ class SourceSession {
   SourceStats outcome_;
 };
 
-/// The target role as a resumable state machine, so a sequential
-/// driver (the loopback path) can interleave it with the source role
-/// on the same thread: send_request(), run the source, then receive().
-/// With summaries on, send_request opens with a SummaryRequest
-/// (SummarySent); a live transport then just calls receive(), which
-/// handles Match, Miss-plus-fallback, and direct batch alike, while
-/// the loopback driver inserts send_fallback() after the source
-/// reported a miss.
+/// The target role as a resumable, frame-driven state machine: start()
+/// emits the opening request through a FrameSink, then on_frame()
+/// consumes the source's reply stream one frame at a time — summary
+/// replies, BatchBegin, each BatchItem (applied as it arrives), and
+/// BatchEnd — without ever blocking in between. take_result() builds
+/// the NetSyncResult once finished(). The blocking wrappers
+/// (send_request / send_fallback / receive) keep the sequential API
+/// the loopback driver and the TCP client use.
 class TargetSession {
  public:
-  enum class State { Idle, RequestSent, SummarySent, Done, Failed };
+  enum class State { Idle, RequestSent, SummarySent, Done, Failed,
+                     Receiving };
 
   /// `budget` spans the session this target role belongs to; when null
   /// a local budget with the default ResourceLimits is used, so every
@@ -171,9 +200,38 @@ class TargetSession {
         options_(options),
         budget_(budget) {}
 
-  /// Step 1: build this replica's request and send it. A link failure
-  /// moves the session to Failed instead of throwing; receive() then
-  /// reports it.
+  /// Step 1, machine form: build this replica's request and emit it
+  /// through `sink` (a SummaryRequest with summaries on, the exact
+  /// Request otherwise). A sink TransportError is absorbed: the
+  /// session ends Failed and take_result() reports it.
+  void start(FrameSink& sink, ReplicaId source_id, SimTime now);
+
+  /// True while the machine needs another source frame.
+  [[nodiscard]] bool wants_frame() const {
+    return state_ == State::RequestSent || state_ == State::SummarySent ||
+           state_ == State::Receiving;
+  }
+  [[nodiscard]] bool finished() const {
+    return state_ == State::Done || state_ == State::Failed;
+  }
+
+  /// Consume one source frame, applying batch items as their frames
+  /// arrive. From SummarySent a SummaryMatch ends the sync, a
+  /// SummaryMiss makes the machine emit the exact fallback Request
+  /// through `sink`, and a direct BatchBegin (the Bloom filter proved
+  /// us cold) just starts the batch. Protocol breaches throw
+  /// ContractViolation; sink failures propagate TransportError.
+  void on_frame(const Frame& frame, FrameSink& sink);
+
+  /// The link died: the applied prefix is kept, `complete` stays
+  /// false, no knowledge is learned. Ends Failed.
+  void on_transport_error(const std::string& what);
+
+  /// The sync's outcome; call once finished(). Framed byte counts
+  /// cover every frame this machine consumed or emitted.
+  NetSyncResult take_result();
+
+  /// Blocking step 1: start() over a ConnectionFrameSink.
   void send_request(Connection& connection, ReplicaId source_id,
                     SimTime now);
 
@@ -184,11 +242,9 @@ class TargetSession {
   /// handles the miss inline.
   void send_fallback(Connection& connection);
 
-  /// Step 2: stream the batch in, applying each item as its frame
-  /// arrives. A dropped link yields the applied prefix with
-  /// `complete == false` and no knowledge learned. From SummarySent
-  /// this also consumes the source's summary reply first (and, on a
-  /// miss, sends the exact fallback Request itself).
+  /// Blocking step 2: feed frames to on_frame until finished, then
+  /// take_result(). A dropped link yields the applied prefix with
+  /// `complete == false` and no knowledge learned.
   NetSyncResult receive(Connection& connection);
 
   [[nodiscard]] State state() const { return state_; }
@@ -197,8 +253,12 @@ class TargetSession {
   [[nodiscard]] SessionBudget& budget() {
     return budget_ != nullptr ? *budget_ : local_budget_;
   }
-  /// Send the exact Request of the post-miss fallback.
-  void send_exact_fallback(Connection& connection);
+  /// The incremental applier, created lazily at the first batch frame
+  /// (BatchApplier construction is side-effect-free).
+  repl::BatchApplier& ensure_applier();
+  void begin_batch(const Frame& frame);
+  /// Emit the exact Request of the post-miss fallback.
+  void send_exact_fallback(FrameSink& sink);
 
   repl::Replica* target_;
   repl::ForwardingPolicy* policy_;
@@ -207,12 +267,19 @@ class TargetSession {
   SessionBudget local_budget_;
   State state_ = State::Idle;
   std::size_t request_bytes_ = 0;
-  /// Batch-side bytes consumed before receive() (the SummaryMiss frame
-  /// when the loopback driver ran send_fallback).
-  std::size_t pre_batch_bytes_ = 0;
+  /// Framed bytes of every batch-side frame consumed so far.
+  std::size_t batch_bytes_ = 0;
   /// Routing state sent with the summary, reused by the fallback so
   /// the source's policy hooks see one request per sync.
   std::vector<std::uint8_t> routing_state_;
+  std::optional<repl::BatchApplier> applier_;
+  std::optional<repl::BatchBeginInfo> begin_;
+  std::uint64_t received_ = 0;
+  std::optional<repl::SyncResult> result_;
+  /// The session died before the receive phase (opening write or the
+  /// driver-run fallback failed): consumed-byte stats stay zero, as
+  /// the blocking path always reported for those failures.
+  bool pre_receive_failure_ = false;
   std::string error_;
 };
 
@@ -284,11 +351,73 @@ struct ServerSessionOutcome {
   std::string error;
 };
 
-/// Serve one session on an accepted connection. The peer is untrusted:
-/// every frame is admitted against one SessionBudget built from
-/// `limits` before its payload is allocated, and a breach propagates
-/// as ResourceLimitError (a ContractViolation) for the caller to
-/// contain — and, in `pfrdtn serve`, to quarantine the peer over.
+/// The whole server side of one session as a resumable, frame-driven
+/// state machine: hello negotiation, then the source and/or target
+/// role per the client's mode, all via on_frame() steps that emit
+/// replies through a FrameSink and never block. Both the blocking
+/// serve_session() and the epoll SyncServer (src/net/server.hpp) host
+/// this exact machine, so the concurrent and sequential serve paths
+/// cannot diverge behaviorally.
+class ServerSessionMachine {
+ public:
+  ServerSessionMachine(repl::Replica& self, repl::ForwardingPolicy* policy,
+                       SimTime now, repl::SyncOptions options = {},
+                       const ResourceLimits& limits = {})
+      : self_(&self),
+        policy_(policy),
+        now_(now),
+        options_(options),
+        effective_(options),
+        budget_(limits) {}
+
+  /// The session-spanning budget; the host's frame decode path charges
+  /// and admits against it, as the blocking read loop does.
+  [[nodiscard]] SessionBudget& budget() { return budget_; }
+
+  [[nodiscard]] bool finished() const { return state_ == State::Done; }
+  /// True while the machine needs another peer frame — the session is
+  /// over exactly when it no longer does.
+  [[nodiscard]] bool wants_frame() const { return !finished(); }
+
+  /// Consume one peer frame, emitting replies through `sink`. Protocol
+  /// breaches (malformed frames, step violations, resource-limit
+  /// breaches) throw ContractViolation for the host to contain — and
+  /// quarantine the peer over. Sink TransportErrors are absorbed into
+  /// the outcome, like every link failure.
+  void on_frame(const Frame& frame, FrameSink& sink);
+
+  /// The link died (read side): absorb into the outcome as an
+  /// incomplete sync. Never a strike — peers vanishing is the normal
+  /// case in a DTN.
+  void on_transport_error(const std::string& what);
+
+  /// The session's outcome; call once finished().
+  [[nodiscard]] ServerSessionOutcome take_outcome();
+
+ private:
+  enum class State { AwaitHello, Source, Target, Done };
+  void harvest_source(FrameSink* sink);
+  void start_target(FrameSink& sink);
+  void harvest_target();
+
+  repl::Replica* self_;
+  repl::ForwardingPolicy* policy_;
+  SimTime now_;
+  repl::SyncOptions options_;    ///< as configured
+  repl::SyncOptions effective_;  ///< after hello negotiation
+  SessionBudget budget_;
+  State state_ = State::AwaitHello;
+  std::optional<SourceSession> source_;
+  std::optional<TargetSession> target_;
+  ServerSessionOutcome outcome_;
+};
+
+/// Serve one session on an accepted connection: a blocking read loop
+/// over ServerSessionMachine. The peer is untrusted: every frame is
+/// admitted against one SessionBudget built from `limits` before its
+/// payload is allocated, and a breach propagates as ResourceLimitError
+/// (a ContractViolation) for the caller to contain — and, in `pfrdtn
+/// serve`, to quarantine the peer over.
 ServerSessionOutcome serve_session(Connection& connection,
                                    repl::Replica& self,
                                    repl::ForwardingPolicy* policy,

@@ -36,6 +36,31 @@ void set_io_timeouts(int fd, const TcpOptions& options) {
 
 }  // namespace
 
+void set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("tcp: fcntl(F_GETFL) failed");
+  const int wanted = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, wanted) != 0)
+    fail("tcp: fcntl(F_SETFL) failed");
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string peer_description_of(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0 &&
+      addr.sin_family == AF_INET) {
+    char ip[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+    return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+  }
+  return "unknown";
+}
+
 TcpConnection::TcpConnection(int fd, TcpOptions options)
     : fd_(fd),
       options_(options),
@@ -156,7 +181,8 @@ TcpListener::TcpListener(std::uint16_t port, TcpOptions options)
   addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
     fail("tcp: bind failed");
-  if (::listen(fd_, 8) != 0) fail("tcp: listen failed");
+  if (::listen(fd_, options.listen_backlog) != 0)
+    fail("tcp: listen failed");
   socklen_t len = sizeof(addr);
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
     fail("tcp: getsockname failed");
@@ -174,6 +200,20 @@ ConnectionPtr TcpListener::accept() {
     if (errno == EINTR) continue;
     fail("tcp: accept failed");
   }
+}
+
+int TcpListener::accept_raw() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    fail("tcp: accept failed");
+  }
+}
+
+void TcpListener::set_nonblocking(bool enable) {
+  net::set_nonblocking(fd_, enable);
 }
 
 ConnectionPtr tcp_connect(const std::string& host, std::uint16_t port,

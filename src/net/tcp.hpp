@@ -30,7 +30,22 @@ struct TcpOptions {
   /// combined) or the next I/O throws TransportError. 0 disables.
   std::size_t min_bytes_per_second = 0;
   int min_progress_grace_ms = 2000;
+  /// listen(2) backlog. Deep enough by default that a connection storm
+  /// (the concurrent e2e drives 100+ clients at once) queues instead
+  /// of getting refused.
+  int listen_backlog = 256;
 };
+
+/// Toggle O_NONBLOCK on a raw socket fd (the event-loop server runs
+/// every connection non-blocking).
+void set_nonblocking(int fd, bool enable);
+
+/// Disable Nagle on a raw socket fd: sync frames are small and the
+/// protocol alternates request/response.
+void set_tcp_nodelay(int fd);
+
+/// "ip:port" of the remote endpoint of a connected socket.
+std::string peer_description_of(int fd);
 
 /// An established TCP connection (takes ownership of the fd).
 class TcpConnection : public Connection {
@@ -77,6 +92,18 @@ class TcpListener {
 
   /// Block until a client connects; throws TransportError on failure.
   ConnectionPtr accept();
+
+  /// Non-blocking accept for event-loop servers (requires
+  /// set_nonblocking(true) first): returns the raw connected fd, or -1
+  /// when no connection is pending. Throws TransportError on real
+  /// failures (EMFILE, ...). The caller owns the fd.
+  int accept_raw();
+
+  /// The listening socket fd, for registration with an event loop.
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Toggle non-blocking mode on the listening socket.
+  void set_nonblocking(bool enable);
 
  private:
   int fd_;

@@ -1,0 +1,247 @@
+/// SyncServer integration at unit scale: real sockets, real worker
+/// threads, in-process. Covers concurrent honest sessions converging,
+/// quarantine shared across workers (strike on one worker, refusal at
+/// the acceptor), event-loop deadline enforcement, and graceful drain.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/session.hpp"
+#include "net/tcp.hpp"
+
+namespace pfrdtn::net {
+namespace {
+
+using repl::Filter;
+using repl::ForwardingPolicy;
+using repl::Priority;
+using repl::PriorityClass;
+using repl::Replica;
+using repl::SyncContext;
+using repl::TransientView;
+
+std::map<std::string, std::string> to(std::uint64_t dest) {
+  return {{repl::meta::kDest, std::to_string(dest)}};
+}
+
+class ForwardAll : public ForwardingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "all"; }
+  Priority to_send(const SyncContext&, TransientView) override {
+    return Priority::at(PriorityClass::Normal);
+  }
+};
+
+/// Wait (bounded) until `done` returns true; test-local polling beats
+/// wiring condition variables through the server callbacks.
+template <typename Predicate>
+bool wait_for(Predicate done, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+TEST(SyncServer, ConcurrentPushesAllApplied) {
+  constexpr std::size_t kClients = 24;
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  ForwardAll server_policy;
+
+  SyncServerOptions options;
+  options.workers = 3;
+  options.max_sessions = kClients;
+  std::atomic<std::size_t> clean{0};
+  SyncServerCallbacks callbacks;
+  callbacks.on_session = [&clean](std::size_t, const std::string&,
+                                  const ServerSessionOutcome& outcome) {
+    if (!outcome.transport_failed) clean.fetch_add(1);
+  };
+  SyncServer server(server_replica, &server_policy, options, callbacks);
+  const std::uint16_t port = server.port();
+
+  bool listener_ok = false;
+  std::thread serving([&] { listener_ok = server.run(); });
+
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> pushed_ok{0};
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([i, port, &pushed_ok] {
+      Replica self(ReplicaId(100 + i),
+                   Filter::addresses({HostId(100 + i)}));
+      self.create(to(9), {static_cast<std::uint8_t>('a' + i % 26),
+                          static_cast<std::uint8_t>(i)});
+      ForwardAll policy;
+      try {
+        ConnectionPtr connection = tcp_connect("127.0.0.1", port);
+        const auto outcome = run_client_session(
+            *connection, self, &policy, SyncMode::Push, SimTime(0));
+        if (!outcome.transport_failed &&
+            outcome.push.stats.complete)
+          pushed_ok.fetch_add(1);
+      } catch (const TransportError&) {
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  serving.join();
+
+  EXPECT_TRUE(listener_ok);
+  EXPECT_EQ(pushed_ok.load(), kClients);
+  EXPECT_EQ(clean.load(), kClients);
+  EXPECT_EQ(server.sessions_completed(), kClients);
+  // Every client's item landed, exactly once each.
+  EXPECT_EQ(server_replica.store().size(), kClients);
+  EXPECT_EQ(server_replica.check_invariants(), "");
+}
+
+TEST(SyncServer, QuarantineSpansWorkers) {
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  ForwardAll server_policy;
+
+  SyncServerOptions options;
+  options.workers = 4;
+  options.quarantine.base_backoff_ms = 60000;  // outlasts the test
+  std::atomic<std::size_t> violations{0};
+  std::atomic<std::size_t> rejections{0};
+  SyncServerCallbacks callbacks;
+  callbacks.on_violation = [&violations](std::size_t, const std::string&,
+                                         bool, const std::string&,
+                                         std::size_t, std::uint64_t) {
+    violations.fetch_add(1);
+  };
+  callbacks.on_reject = [&rejections](const std::string&,
+                                      const AdmitDecision&) {
+    rejections.fetch_add(1);
+  };
+  SyncServer server(server_replica, &server_policy, options, callbacks);
+  const std::uint16_t port = server.port();
+  std::thread serving([&] { server.run(); });
+
+  {
+    // Not a frame at all: the decoder throws ContractViolation on the
+    // header, whichever worker owns the connection strikes the peer.
+    ConnectionPtr hostile = tcp_connect("127.0.0.1", port);
+    const std::uint8_t garbage[8] = {0xFF, 0xFF, 0xFF, 0xFF,
+                                     0xFF, 0xFF, 0xFF, 0xFF};
+    hostile->write(garbage, sizeof(garbage));
+    ASSERT_TRUE(wait_for([&] { return violations.load() >= 1; }));
+  }
+
+  // The strike must gate the ACCEPTOR now: a reconnect from the same
+  // address is refused before any frame is read, no matter which
+  // worker punished it.
+  ASSERT_TRUE(wait_for([&] {
+    try {
+      ConnectionPtr retry = tcp_connect("127.0.0.1", port);
+      std::uint8_t byte = 0;
+      retry->read(&byte, 1);  // server closes without a byte
+      return false;
+    } catch (const TransportError&) {
+      return rejections.load() >= 1;
+    }
+  }));
+
+  server.shutdown();
+  serving.join();
+  EXPECT_GE(violations.load(), 1u);
+  EXPECT_GE(rejections.load(), 1u);
+  EXPECT_EQ(server_replica.store().size(), 0u);
+}
+
+TEST(SyncServer, LoopTimerEnforcesSessionDeadline) {
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  ForwardAll server_policy;
+
+  SyncServerOptions options;
+  options.max_sessions = 1;
+  options.tcp.session_deadline_ms = 200;
+  options.tcp.io_timeout_ms = 10000;  // the deadline must fire first
+  std::string error;
+  bool failed = false;
+  SyncServerCallbacks callbacks;
+  callbacks.on_session = [&](std::size_t, const std::string&,
+                             const ServerSessionOutcome& outcome) {
+    failed = outcome.transport_failed;
+    error = outcome.error;
+  };
+  SyncServer server(server_replica, &server_policy, options, callbacks);
+  const std::uint16_t port = server.port();
+  std::thread serving([&] { server.run(); });
+
+  // Connect and go silent: only the event-loop timer can cut us.
+  ConnectionPtr stalled = tcp_connect("127.0.0.1", port);
+  std::uint8_t byte = 0;
+  EXPECT_THROW(stalled->read(&byte, 1), TransportError);
+  serving.join();
+
+  EXPECT_TRUE(failed);
+  EXPECT_NE(error.find("session deadline exceeded"), std::string::npos)
+      << error;
+}
+
+TEST(SyncServer, GracefulDrainForceClosesStragglers) {
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  ForwardAll server_policy;
+
+  SyncServerOptions options;
+  options.drain_deadline_ms = 150;
+  options.tcp.session_deadline_ms = 30000;  // drain must beat this
+  std::atomic<std::size_t> sessions{0};
+  std::string error;
+  std::size_t drain_active = 0;
+  bool drained = false;
+  SyncServerCallbacks callbacks;
+  callbacks.on_session = [&](std::size_t, const std::string&,
+                             const ServerSessionOutcome& outcome) {
+    error = outcome.error;
+    sessions.fetch_add(1);
+  };
+  callbacks.on_drain = [&](std::size_t active) {
+    drained = true;
+    drain_active = active;
+  };
+  SyncServer server(server_replica, &server_policy, options, callbacks);
+  const std::uint16_t port = server.port();
+  bool listener_ok = false;
+  std::thread serving([&] { listener_ok = server.run(); });
+
+  ConnectionPtr straggler = tcp_connect("127.0.0.1", port);
+  // Make sure the connection was adopted before draining, so the drain
+  // has one in-flight session to wait out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.shutdown();
+  std::uint8_t byte = 0;
+  EXPECT_THROW(straggler->read(&byte, 1), TransportError);
+  serving.join();
+
+  EXPECT_TRUE(listener_ok);
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(drain_active, 1u);
+  EXPECT_EQ(sessions.load(), 1u);
+  EXPECT_NE(error.find("draining"), std::string::npos) << error;
+}
+
+TEST(SyncServer, ShutdownWithNothingInFlightReturnsImmediately) {
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  ForwardAll server_policy;
+  SyncServer server(server_replica, &server_policy, {});
+  std::thread serving([&] { EXPECT_TRUE(server.run()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.shutdown();
+  serving.join();
+  EXPECT_EQ(server.sessions_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace pfrdtn::net

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Local CI: a plain build plus an ASan+UBSan build, each running the
-# full test suite (all tiers: fast, slow, e2e), followed by a
-# randomized check-harness stage on each build — a long run on the
-# plain build, a shorter one under the sanitizers. A violation prints
+# Local CI: a plain build, an ASan+UBSan build, and a TSan build, each
+# running the full test suite (all tiers: fast, slow, e2e), followed by
+# a randomized check-harness stage on each build — a long run on the
+# plain build, shorter ones under the sanitizers. TSan exists for the
+# concurrent serve path: the multi-worker event-loop server, its
+# cross-worker quarantine table, and the drain protocol all run under
+# it via the net_server_test / concurrent_e2e tiers. A violation prints
 # the exact replay command. Run from anywhere; builds land next to the
 # repo checkout under build-ci/.
 set -euo pipefail
@@ -150,6 +153,7 @@ run_summary_oracle_proof() {
 
 run_suite plain
 run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
+run_suite tsan -DPFRDTN_SANITIZE=thread
 
 run_bench_smoke
 run_check_replay
@@ -157,6 +161,11 @@ run_check_stage plain 400
 # Sanitized execution is ~10x slower; fewer schedules, same coverage
 # of the memory-safety dimension.
 run_check_stage asan-ubsan 60
+# TSan watches the locking discipline (replica state mutex, quarantine
+# mutex, event-loop post queues) rather than schedules, so an even
+# shorter corpus suffices — the races it hunts live in the server
+# tests above, which already ran under this build.
+run_check_stage tsan 40
 run_durability_oracle_proof plain
 run_durability_oracle_proof asan-ubsan
 run_adversary_oracle_proof plain

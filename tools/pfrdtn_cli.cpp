@@ -29,6 +29,9 @@
 /// identical results (the TCP subcommands excepted — they talk to
 /// real peers).
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +46,7 @@
 #include "dtn/registry.hpp"
 #include "net/chaos.hpp"
 #include "net/quarantine.hpp"
+#include "net/server.hpp"
 #include "net/session.hpp"
 #include "net/tcp.hpp"
 #include "persist/durability.hpp"
@@ -70,6 +74,7 @@ using namespace pfrdtn;
       "               [--scale X]\n"
       "  serve        --port N [--port-file FILE] --addr A [--addr A]...\n"
       "               [--id N] [--max-sessions N] [--bandwidth N]\n"
+      "               [--workers N] [--drain-ms N]\n"
       "               [--state-dir DIR] [--kill-after-records N]\n"
       "               [--io-timeout-ms N] [--session-deadline-ms N]\n"
       "               [--quarantine-base-ms N] [--quarantine-max-ms N]\n"
@@ -386,12 +391,16 @@ DurableNode make_durable_node(const std::string& state_dir,
   return out;
 }
 
-/// The quarantine key for an accepted connection: the peer IP with the
-/// ephemeral port stripped, since the port changes on every reconnect.
-std::string quarantine_key(const std::string& peer_description) {
-  const auto colon = peer_description.rfind(':');
-  return colon == std::string::npos ? peer_description
-                                    : peer_description.substr(0, colon);
+/// SIGTERM/SIGINT write one byte to this self-pipe; the serve loop's
+/// acceptor watches the read end and starts a graceful drain.
+volatile int g_shutdown_pipe_write = -1;
+
+void on_shutdown_signal(int) {
+  const unsigned char byte = 1;
+  if (g_shutdown_pipe_write >= 0) {
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_shutdown_pipe_write, &byte, 1);
+  }
 }
 
 int cmd_serve(Args& args) {
@@ -403,6 +412,8 @@ int cmd_serve(Args& args) {
   std::uint64_t id = 1;
   bool id_explicit = false;
   std::size_t max_sessions = 0;  // 0 = serve forever
+  int workers = 1;
+  int drain_ms = 5000;
   repl::SyncOptions sync_options;
   persist::DurabilityOptions durability_options;
   net::TcpOptions tcp_options;
@@ -424,6 +435,11 @@ int cmd_serve(Args& args) {
       id_explicit = true;
     } else if (flag == "--max-sessions") {
       max_sessions = parse_u64(args.value("--max-sessions"));
+    } else if (flag == "--workers") {
+      workers = static_cast<int>(parse_u64(args.value("--workers")));
+      if (workers < 1) usage("--workers must be >= 1");
+    } else if (flag == "--drain-ms") {
+      drain_ms = static_cast<int>(parse_u64(args.value("--drain-ms")));
     } else if (flag == "--bandwidth") {
       sync_options.max_items = parse_u64(args.value("--bandwidth"));
     } else if (flag == "--state-dir") {
@@ -471,107 +487,118 @@ int cmd_serve(Args& args) {
   // silent here — delivery reporting is exactly-once across restarts.
   report_delivered(node.set_addresses(addrs, {}, SimTime(0)));
 
-  net::TcpListener listener(port, tcp_options);
+  // Graceful drain on SIGTERM/SIGINT: the handler writes to a
+  // self-pipe whose read end the server's acceptor loop watches.
+  int shutdown_pipe[2] = {-1, -1};
+  if (::pipe(shutdown_pipe) != 0)
+    throw ContractViolation("cannot create shutdown pipe");
+  net::set_nonblocking(shutdown_pipe[1], true);
+  g_shutdown_pipe_write = shutdown_pipe[1];
+  struct sigaction shutdown_action = {};
+  shutdown_action.sa_handler = on_shutdown_signal;
+  ::sigaction(SIGTERM, &shutdown_action, nullptr);
+  ::sigaction(SIGINT, &shutdown_action, nullptr);
+
+  net::SyncServerOptions server_options;
+  server_options.port = port;
+  server_options.workers = workers;
+  server_options.max_sessions = max_sessions;
+  server_options.drain_deadline_ms = drain_ms;
+  server_options.shutdown_fd = shutdown_pipe[0];
+  server_options.tcp = tcp_options;
+  server_options.sync = sync_options;
+  server_options.limits = limits;
+  server_options.quarantine = quarantine_options;
+
+  net::SyncServerCallbacks callbacks;
+  // Runs on a worker thread with the server's state mutex held, so the
+  // node (and stdout ordering per session) are safe to touch.
+  callbacks.on_session = [&node](std::size_t session,
+                                 const std::string& /*peer*/,
+                                 const net::ServerSessionOutcome& outcome) {
+    std::printf("session %zu: peer=%llu mode=%u%s\n", session,
+                static_cast<unsigned long long>(
+                    outcome.hello.replica.value()),
+                static_cast<unsigned>(outcome.hello.mode),
+                outcome.transport_failed
+                    ? (" transport_failed: " + outcome.error).c_str()
+                    : "");
+    report_sync("  served", outcome.served.stats);
+    report_sync("  applied", outcome.applied.result.stats);
+    report_delivered(node.on_sync_delivered(
+        outcome.applied.result.delivered, SimTime(0)));
+    std::printf("store=%zu\n", node.replica().store().size());
+    std::fflush(stdout);
+  };
+  // A malformed or hostile peer must not take the server down; it
+  // earns a strike and a capped exponential quarantine window.
+  callbacks.on_violation = [&node](std::size_t session,
+                                   const std::string& peer,
+                                   bool limit_breach,
+                                   const std::string& what,
+                                   std::size_t strikes,
+                                   std::uint64_t window_ms) {
+    std::fprintf(stderr, "session %zu [%s]: %s: %s\n", session,
+                 peer.c_str(),
+                 limit_breach ? "resource limit" : "protocol error",
+                 what.c_str());
+    std::fprintf(stderr,
+                 "session %zu [%s]: quarantined strikes=%zu "
+                 "window_ms=%llu\n",
+                 session, peer.c_str(), strikes,
+                 static_cast<unsigned long long>(window_ms));
+    std::printf("store=%zu\n", node.replica().store().size());
+    std::fflush(stdout);
+  };
+  // Refused before any frame is read or buffer allocated for the
+  // peer; rejected connections do not count toward --max-sessions.
+  callbacks.on_reject = [](const std::string& peer,
+                           const net::AdmitDecision& admitted) {
+    std::fprintf(stderr,
+                 "reject [%s]: quarantined strikes=%zu "
+                 "rejections=%zu retry_after_ms=%llu\n",
+                 peer.c_str(), admitted.strikes, admitted.rejections,
+                 static_cast<unsigned long long>(
+                     admitted.retry_after_ms));
+  };
+  // Transient accept errors (EMFILE, aborted handshakes) must not
+  // take the server down; only a persistently broken listener does.
+  callbacks.on_accept_error = [](const std::string& what,
+                                 std::size_t consecutive,
+                                 bool giving_up) {
+    std::fprintf(stderr, "accept failed: %s\n", what.c_str());
+    if (giving_up)
+      std::fprintf(stderr,
+                   "giving up after %zu consecutive accept failures\n",
+                   consecutive);
+  };
+  callbacks.on_drain = [](std::size_t active) {
+    std::fprintf(stderr, "draining: %zu sessions in flight\n", active);
+  };
+
+  net::SyncServer server(node.replica(), node.policy(), server_options,
+                         callbacks);
   std::printf("serving replica %llu on port %u\n",
               static_cast<unsigned long long>(node.id().value()),
-              listener.port());
+              server.port());
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream out(port_file);
     if (!out) throw ContractViolation("cannot open " + port_file);
-    out << listener.port() << '\n';
+    out << server.port() << '\n';
   }
 
-  net::QuarantineTable quarantine(quarantine_options);
-  const auto serve_started = std::chrono::steady_clock::now();
-  const auto now_ms = [&serve_started] {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - serve_started)
-            .count());
-  };
+  const bool listener_ok = server.run();
 
-  std::size_t sessions = 0;
-  std::size_t accept_failures = 0;
-  while (max_sessions == 0 || sessions < max_sessions) {
-    net::ConnectionPtr connection;
-    try {
-      connection = listener.accept();
-    } catch (const net::TransportError& failure) {
-      // Transient accept errors (EMFILE, aborted handshakes) must not
-      // take the server down; only a persistently broken listener does.
-      std::fprintf(stderr, "accept failed: %s\n", failure.what());
-      if (++accept_failures >= 8) {
-        std::fprintf(stderr,
-                     "giving up after %zu consecutive accept failures\n",
-                     accept_failures);
-        return 1;
-      }
-      continue;
-    }
-    const std::string peer = connection->peer_description();
-    const std::string key = quarantine_key(peer);
-    const net::AdmitDecision admitted = quarantine.admit(key, now_ms());
-    if (admitted.rejected) {
-      // Refused before any frame is read or buffer allocated for the
-      // peer; rejected connections do not count toward --max-sessions.
-      std::fprintf(stderr,
-                   "reject [%s]: quarantined strikes=%zu "
-                   "rejections=%zu retry_after_ms=%llu\n",
-                   peer.c_str(), admitted.strikes, admitted.rejections,
-                   static_cast<unsigned long long>(
-                       admitted.retry_after_ms));
-      connection->close();
-      continue;
-    }
-    ++sessions;
-    bool clean = false;
-    try {
-      const auto outcome = net::serve_session(
-          *connection, node.replica(), node.policy(), SimTime(0),
-          sync_options, limits);
-      std::printf("session %zu: peer=%llu mode=%u%s\n", sessions,
-                  static_cast<unsigned long long>(
-                      outcome.hello.replica.value()),
-                  static_cast<unsigned>(outcome.hello.mode),
-                  outcome.transport_failed
-                      ? (" transport_failed: " + outcome.error).c_str()
-                      : "");
-      report_sync("  served", outcome.served.stats);
-      report_sync("  applied", outcome.applied.result.stats);
-      report_delivered(node.on_sync_delivered(
-          outcome.applied.result.delivered, SimTime(0)));
-      clean = !outcome.transport_failed;
-    } catch (const ContractViolation& violation) {
-      // A malformed or hostile peer must not take the server down; it
-      // earns a strike and a capped exponential quarantine window.
-      const bool limit_breach =
-          dynamic_cast<const net::ResourceLimitError*>(&violation) !=
-          nullptr;
-      const std::uint64_t window = quarantine.punish(key, now_ms());
-      std::fprintf(stderr, "session %zu [%s]: %s: %s\n", sessions,
-                   peer.c_str(),
-                   limit_breach ? "resource limit" : "protocol error",
-                   violation.what());
-      std::fprintf(stderr,
-                   "session %zu [%s]: quarantined strikes=%zu "
-                   "window_ms=%llu\n",
-                   sessions, peer.c_str(), quarantine.strikes(key),
-                   static_cast<unsigned long long>(window));
-    } catch (const net::TransportError& failure) {
-      // A peer that vanishes (or trickles past the session deadline)
-      // is routine in a DTN: no strike, just an incomplete sync.
-      std::fprintf(stderr, "session %zu [%s]: transport error: %s\n",
-                   sessions, peer.c_str(), failure.what());
-    }
-    // A session ran to the end, so the listener itself is healthy;
-    // transient accept failures start counting from zero again.
-    accept_failures = 0;
-    if (clean) quarantine.reward(key);
-    std::printf("store=%zu\n", node.replica().store().size());
-    std::fflush(stdout);
-  }
-  return 0;
+  shutdown_action.sa_handler = SIG_DFL;
+  ::sigaction(SIGTERM, &shutdown_action, nullptr);
+  ::sigaction(SIGINT, &shutdown_action, nullptr);
+  g_shutdown_pipe_write = -1;
+  ::close(shutdown_pipe[0]);
+  ::close(shutdown_pipe[1]);
+  // FsEnv's state-dir lock (and the WAL) are released by the DurableNode
+  // destructors on this return path — a drained shutdown exits clean.
+  return listener_ok ? 0 : 1;
 }
 
 /// Connect with a bounded retry budget and jittered exponential
