@@ -13,6 +13,8 @@ void accumulate(RunStats& total, const RunStats& stats) {
   total.items_moved += stats.items_moved;
   total.evictions += stats.evictions;
   total.bytes += stats.bytes;
+  total.disk_faults += stats.disk_faults;
+  total.refused += stats.refused;
 }
 
 /// Re-run a candidate and keep it if it still violates anything,
@@ -111,7 +113,13 @@ std::string format_report(const CheckReport& report,
            std::to_string(report.total.incomplete) + " incomplete), " +
            std::to_string(report.total.items_moved) + " items moved, " +
            std::to_string(report.total.evictions) + " evictions, " +
-           std::to_string(report.total.bytes) + " bytes\n";
+           std::to_string(report.total.bytes) + " bytes";
+    if (report.total.disk_faults > 0 || report.total.refused > 0) {
+      out += ", " + std::to_string(report.total.disk_faults) +
+             " disk faults, " + std::to_string(report.total.refused) +
+             " refused";
+    }
+    out += "\n";
     return out;
   }
   out += "INVARIANT VIOLATION (seed " +

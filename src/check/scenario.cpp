@@ -7,7 +7,10 @@
 #include "net/chaos.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/durability.hpp"
+#include "persist/fault_env.hpp"
+#include "persist/manifest.hpp"
 #include "util/rng.hpp"
+#include "util/storage_error.hpp"
 
 namespace pfrdtn::check {
 
@@ -141,13 +144,32 @@ class Engine {
     dur_options_.sync_every_records = 1;
     dur_options_.checkpoint_every_bytes = 4096;
     dur_options_.unsafe_skip_fsync = config.inject_skip_fsync;
+    dur_options_.unsafe_ack_before_fsync =
+        config.inject_ack_before_fsync;
     envs_.reserve(config.replicas);
+    fault_envs_.reserve(config.replicas);
     durabilities_.reserve(config.replicas);
     for (std::size_t i = 0; i < config.replicas; ++i) {
       envs_.push_back(std::make_unique<persist::MemEnv>());
-      durabilities_.push_back(
-          std::make_unique<persist::Durability>(*envs_[i], dur_options_));
+      if (config.disk_fault_rate > 0) {
+        // Constructed healthy and armed *after* attach: the engine
+        // models a disk that fails under load, not one that was
+        // already broken at boot. Faults draw from the wrapper's own
+        // stream at run time, so schedule generation is untouched.
+        persist::FaultPlan plan;
+        plan.seed = scenario.seed ^
+                    (0x5eedfa017ULL + i * 0x9e3779b97f4a7c15ULL);
+        fault_envs_.push_back(std::make_unique<persist::FaultInjectingEnv>(
+            *envs_[i], plan));
+      } else {
+        fault_envs_.push_back(nullptr);
+      }
+      durabilities_.push_back(std::make_unique<persist::Durability>(
+          env_of(i), dur_options_));
       durabilities_[i]->attach(replicas_[i]);
+      if (fault_envs_[i]) {
+        fault_envs_[i]->set_fault_rate(config.disk_fault_rate);
+      }
     }
   }
 
@@ -173,10 +195,75 @@ class Engine {
   }
 
   /// Post-event probe: per-replica internal invariants plus the
-  /// oracle's knowledge-soundness check.
+  /// oracle's knowledge-soundness check, and — under disk faults — the
+  /// degraded/read-only coherence invariant: a durability layer that
+  /// has given up on the acknowledgement contract must have flipped
+  /// its replica read-only, or silent data loss is one create away.
   void probe(std::size_t index) {
     if (auto violation = oracle_.check_soundness(replicas_))
       fail(index, "knowledge-soundness", *violation);
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (durabilities_[i]->degraded() && !replicas_[i].read_only()) {
+        fail(index, "degraded-read-only",
+             "r" + std::to_string(i) +
+                 "'s durability layer is degraded but the replica still"
+                 " accepts mutations");
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] persist::StorageEnv& env_of(std::size_t i) {
+    if (fault_envs_[i]) return *fault_envs_[i];
+    return *envs_[i];
+  }
+
+  [[nodiscard]] bool degraded(std::size_t i) const {
+    return durabilities_[i]->degraded();
+  }
+
+  /// Called after `who` restarts off a repaired disk without a power
+  /// loss (heal_disks): a record whose append reached the medium but
+  /// whose fsync faulted was refused in memory — write-ahead ordering
+  /// guarantees that — yet its bytes are still visible, so recovery
+  /// legitimately replays it and the refused mutation *resurrects*.
+  /// The contract only forbids losing acknowledged state; surviving
+  /// extra is allowed, but the oracle must adopt each resurrected
+  /// self-authored version as ground truth or convergence would flag
+  /// it as divergence. Only self-authored versions can be un-noted:
+  /// any foreign version in a store was acknowledged at its author
+  /// (a refused mutation is never served to peers).
+  void adopt_survivors(std::size_t who) {
+    const repl::Replica& r = replicas_[who];
+    r.store().for_each([&](const repl::ItemStore::Entry& entry) {
+      if (entry.item.version().author != r.id()) return;
+      const auto it = oracle_.latest().find(entry.item.id());
+      if (it == oracle_.latest().end() ||
+          entry.item.version().dominates(it->second.version())) {
+        oracle_.note_latest(entry.item);
+      }
+    });
+  }
+
+  /// Shared verdict on a StorageError that escaped a mutation or a
+  /// sync: correct code has already degraded the durability layer and
+  /// flipped the replica read-only by the time the fault surfaces, and
+  /// — because mutations log write-ahead — refused the mutation before
+  /// any in-memory change.
+  std::string note_disk_fault(std::size_t index, std::size_t who,
+                              const StorageError& fault) {
+    ++result_.stats.disk_faults;
+    if (!degraded(who)) {
+      fail(index, "degrade-on-fault",
+           "a hard storage fault escaped r" + std::to_string(who) +
+               " without degrading its durability layer: " +
+               fault.what());
+    } else if (!replicas_[who].read_only()) {
+      fail(index, "degraded-read-only",
+           "r" + std::to_string(who) +
+               " degraded without flipping read-only: " + fault.what());
+    }
+    return std::string(" -> DISK FAULT (") + fault.what() + ")";
   }
 
   /// Audit one applied sync direction: at-most-once ledger first (the
@@ -197,13 +284,13 @@ class Engine {
   std::string apply(std::size_t index, const Event& event) {
     switch (event.kind) {
       case EventKind::Create:
-        return apply_create(event);
+        return apply_create(index, event);
       case EventKind::Mutate:
-        return apply_mutate(event);
+        return apply_mutate(index, event);
       case EventKind::SetFilter:
-        return apply_set_filter(event);
+        return apply_set_filter(index, event);
       case EventKind::DiscardRelay:
-        return apply_discard(event);
+        return apply_discard(index, event);
       case EventKind::Sync:
         return apply_sync(index, event);
       case EventKind::CrashRestart:
@@ -214,14 +301,40 @@ class Engine {
     return "";
   }
 
-  std::string apply_create(const Event& event) {
-    repl::Replica& r = replicas_[event.actor];
-    const repl::Item& item = r.create(dest_meta(event.address), {'x'});
-    oracle_.note_latest(item);
-    return " -> item " + item.id().str();
+  /// A mutation refused with ReadOnlyError is the degraded layer
+  /// keeping its promise — legitimate only if the layer actually is
+  /// degraded, and always before any in-memory change.
+  std::string refused_mutation(std::size_t index, std::size_t who,
+                               const ReadOnlyError& err) {
+    ++result_.stats.refused;
+    if (!degraded(who)) {
+      fail(index, "degraded-read-only",
+           "r" + std::to_string(who) +
+               " refused a mutation while not degraded: " + err.what());
+    }
+    return " -> refused (read-only)";
   }
 
-  std::string apply_mutate(const Event& event) {
+  std::string apply_create(std::size_t index, const Event& event) {
+    repl::Replica& r = replicas_[event.actor];
+    const bool was_degraded = degraded(event.actor);
+    try {
+      const repl::Item& item = r.create(dest_meta(event.address), {'x'});
+      if (was_degraded) {
+        fail(index, "degraded-read-only",
+             "r" + std::to_string(event.actor) +
+                 " acknowledged a create while degraded read-only");
+      }
+      oracle_.note_latest(item);
+      return " -> item " + item.id().str();
+    } catch (const ReadOnlyError& err) {
+      return refused_mutation(index, event.actor, err);
+    } catch (const StorageError& fault) {
+      return note_disk_fault(index, event.actor, fault);
+    }
+  }
+
+  std::string apply_mutate(std::size_t index, const Event& event) {
     repl::Replica& r = replicas_[event.actor];
     std::vector<ItemId> ids;
     r.store().for_each([&](const repl::ItemStore::Entry& entry) {
@@ -229,25 +342,56 @@ class Engine {
     });
     if (ids.empty()) return " -> no-op (nothing stored)";
     const ItemId id = ids[event.selector % ids.size()];
-    if (event.erase) {
-      oracle_.note_latest(r.erase(id));
-      return " -> tombstone " + id.str();
+    const bool was_degraded = degraded(event.actor);
+    try {
+      if (event.erase) {
+        oracle_.note_latest(r.erase(id));
+        if (was_degraded) {
+          fail(index, "degraded-read-only",
+               "r" + std::to_string(event.actor) +
+                   " acknowledged an erase while degraded read-only");
+        }
+        return " -> tombstone " + id.str();
+      }
+      const auto metadata = r.store().find(id)->item.metadata();
+      oracle_.note_latest(r.update(id, metadata, {'u'}));
+      if (was_degraded) {
+        fail(index, "degraded-read-only",
+             "r" + std::to_string(event.actor) +
+                 " acknowledged an update while degraded read-only");
+      }
+      return " -> update " + id.str();
+    } catch (const ReadOnlyError& err) {
+      return refused_mutation(index, event.actor, err);
+    } catch (const StorageError& fault) {
+      // Write-ahead ordering: the erase/update was refused before any
+      // in-memory change, so there is nothing to track — note_latest is
+      // NOT called and the stored item still carries its old version.
+      return note_disk_fault(index, event.actor, fault);
     }
-    const auto metadata = r.store().find(id)->item.metadata();
-    oracle_.note_latest(r.update(id, metadata, {'u'}));
-    return " -> update " + id.str();
   }
 
-  std::string apply_set_filter(const Event& event) {
+  std::string apply_set_filter(std::size_t index, const Event& event) {
     repl::Replica& r = replicas_[event.actor];
-    r.set_filter(
-        filter_from_bits(event.selector, scenario_.config.addresses));
-    // The rebuild may forget arbitrary events; reset the ledger.
-    oracle_.forgive_all(event.actor);
-    return " -> " + r.filter().str();
+    try {
+      r.set_filter(
+          filter_from_bits(event.selector, scenario_.config.addresses));
+      // The rebuild may forget arbitrary events; reset the ledger.
+      oracle_.forgive_all(event.actor);
+      return " -> " + r.filter().str();
+    } catch (const ReadOnlyError& err) {
+      return refused_mutation(index, event.actor, err);
+    } catch (const StorageError& fault) {
+      // Write-ahead ordering: the fault refused the change before the
+      // filter was adopted or knowledge rebuilt, so the ledger stands.
+      // (If the record's bytes survive, a restart replays the change —
+      // filters are read live by the probes and the restart forgives
+      // the ledger, so no bookkeeping is needed here.)
+      return note_disk_fault(index, event.actor, fault);
+    }
   }
 
-  std::string apply_discard(const Event& event) {
+  std::string apply_discard(std::size_t index, const Event& event) {
     repl::Replica& r = replicas_[event.actor];
     std::vector<ItemId> ids;
     r.store().for_each([&](const repl::ItemStore::Entry& entry) {
@@ -256,9 +400,19 @@ class Engine {
     if (ids.empty()) return " -> no-op (no relay copies)";
     const ItemId id = ids[event.selector % ids.size()];
     const repl::Item copy = r.store().find(id)->item;
-    r.discard_relay(id);
-    oracle_.forgive(event.actor, {copy});
-    return " -> dropped " + id.str();
+    try {
+      r.discard_relay(id);
+      oracle_.forgive(event.actor, {copy});
+      return " -> dropped " + id.str();
+    } catch (const ReadOnlyError& err) {
+      return refused_mutation(index, event.actor, err);
+    } catch (const StorageError& fault) {
+      // Write-ahead ordering: the copy is still stored (the discard was
+      // refused before removal), so nothing needs forgiving. If the
+      // record's bytes survive, the restart replays the discard — and
+      // forgives the whole ledger anyway.
+      return note_disk_fault(index, event.actor, fault);
+    }
   }
 
   std::string apply_sync(std::size_t index, const Event& event) {
@@ -281,34 +435,91 @@ class Engine {
     repl::Replica& source = replicas_[event.peer];
     const SimTime now(static_cast<std::int64_t>(index));
     ++result_.stats.syncs;
+    // Snapshots for the fault probes: a StorageError may only escape a
+    // sync if it degraded one of the participants on the way out, and
+    // an already-degraded target must refuse rather than apply.
+    const bool actor_was_degraded = degraded(event.actor);
+    const bool peer_was_degraded = degraded(event.peer);
 
     std::string note;
-    if (event.encounter) {
-      const auto outcome = net::encounter_over_loopback(
-          target, source, &policy_, &policy_, now, options, faults);
-      audit_receives(index, event.actor, outcome.a_pulled.result);
-      audit_receives(index, event.peer, outcome.b_applied.result);
-      if (outcome.a_pulled.transport_failed ||
-          outcome.b_applied.transport_failed) {
-        ++result_.stats.cuts;
+    try {
+      if (event.encounter) {
+        const auto outcome = net::encounter_over_loopback(
+            target, source, &policy_, &policy_, now, options, faults);
+        audit_receives(index, event.actor, outcome.a_pulled.result);
+        audit_receives(index, event.peer, outcome.b_applied.result);
+        if (outcome.a_pulled.transport_failed ||
+            outcome.b_applied.transport_failed) {
+          ++result_.stats.cuts;
+        }
+        if (outcome.a_pulled.refused) ++result_.stats.refused;
+        if (outcome.b_applied.refused) ++result_.stats.refused;
+        check_degraded_leg(index, event.actor, actor_was_degraded,
+                           outcome.a_pulled);
+        check_degraded_leg(index, event.peer, peer_was_degraded,
+                           outcome.b_applied);
+        result_.stats.bytes += outcome.bytes_delivered;
+        note = " | pull: " +
+               sync_result_str(outcome.a_pulled.result.stats,
+                               outcome.a_pulled.transport_failed) +
+               (outcome.a_pulled.refused ? " REFUSED" : "") +
+               " | push: " +
+               sync_result_str(outcome.b_applied.result.stats,
+                               outcome.b_applied.transport_failed) +
+               (outcome.b_applied.refused ? " REFUSED" : "");
+      } else {
+        const auto outcome = net::sync_over_loopback(
+            source, target, &policy_, &policy_, now, options, faults);
+        audit_receives(index, event.actor, outcome.client.result);
+        if (outcome.client.transport_failed) ++result_.stats.cuts;
+        if (outcome.client.refused) ++result_.stats.refused;
+        check_degraded_leg(index, event.actor, actor_was_degraded,
+                           outcome.client);
+        result_.stats.bytes += outcome.bytes_delivered;
+        note = " | " + sync_result_str(outcome.client.result.stats,
+                                       outcome.client.transport_failed) +
+               (outcome.client.refused ? " REFUSED" : "");
       }
-      result_.stats.bytes += outcome.bytes_delivered;
-      note = " | pull: " +
-             sync_result_str(outcome.a_pulled.result.stats,
-                             outcome.a_pulled.transport_failed) +
-             " | push: " +
-             sync_result_str(outcome.b_applied.result.stats,
-                             outcome.b_applied.transport_failed);
-    } else {
-      const auto outcome = net::sync_over_loopback(
-          source, target, &policy_, &policy_, now, options, faults);
-      audit_receives(index, event.actor, outcome.client.result);
-      if (outcome.client.transport_failed) ++result_.stats.cuts;
-      result_.stats.bytes += outcome.bytes_delivered;
-      note = " | " + sync_result_str(outcome.client.result.stats,
-                                     outcome.client.transport_failed);
+    } catch (const StorageError& fault) {
+      // A hard disk fault surfaced mid-contact (target mid-apply or
+      // source mid-serve) and killed it — modeled as a dead contact.
+      // The outcome died with the exception, so whatever either side
+      // applied or evicted before the fault was never audited: forgive
+      // both ledgers wholesale (an unforgiven eviction would turn a
+      // legitimate later re-receive into a false at-most-once hit).
+      // Every applied item is still genuine fleet state — its author
+      // acknowledged it — so no note_latest bookkeeping is owed.
+      oracle_.forgive_all(event.actor);
+      oracle_.forgive_all(event.peer);
+      ++result_.stats.cuts;
+      const bool actor_newly =
+          degraded(event.actor) && !actor_was_degraded;
+      const bool peer_newly = degraded(event.peer) && !peer_was_degraded;
+      ++result_.stats.disk_faults;
+      if (!actor_newly && !peer_newly) {
+        fail(index, "degrade-on-fault",
+             "a storage fault escaped the sync r" +
+                 std::to_string(event.actor) + " <- r" +
+                 std::to_string(event.peer) +
+                 " without degrading either side: " + fault.what());
+      }
+      note = std::string(" | DISK FAULT (") + fault.what() + ")";
     }
     return note;
+  }
+
+  /// A target that was already degraded read-only when the contact
+  /// opened must have refused its pull leg: applying items would
+  /// acknowledge state its durability layer cannot keep.
+  void check_degraded_leg(std::size_t index, std::size_t target,
+                          bool was_degraded,
+                          const net::NetSyncResult& leg) {
+    if (!was_degraded || leg.refused) return;
+    if (leg.result.stats.items_new > 0) {
+      fail(index, "degraded-read-only",
+           "degraded r" + std::to_string(target) +
+               " applied items from a sync instead of refusing");
+    }
   }
 
   /// One scripted hostile peer attacks the actor's serve_session over
@@ -337,18 +548,25 @@ class Engine {
         net::run_chaos_attack(link.a(), attack, chaos);
 
     bool rejected = false;
+    bool refused = false;
     std::string reason;
     try {
       const auto outcome = net::serve_session(
           link.b(), replicas_[event.actor], &policy_,
           SimTime(static_cast<std::int64_t>(index)), {}, limits);
       if (outcome.transport_failed) reason = outcome.error;
+      // A degraded read-only victim refuses the mutating session up
+      // front (Error frame, clean finish): the hostile payload is
+      // never parsed, which contains the attack as thoroughly as a
+      // rejection would.
+      refused = outcome.applied.refused;
+      if (refused) ++result_.stats.refused;
     } catch (const ContractViolation& violation) {
       rejected = true;
       reason = violation.what();
     }
 
-    if (net::chaos_attack_is_violation(attack) && !rejected) {
+    if (net::chaos_attack_is_violation(attack) && !rejected && !refused) {
       fail(index, "adversary-containment",
            std::string("attack ") + net::chaos_attack_name(attack) +
                " on r" + std::to_string(event.actor) +
@@ -370,7 +588,10 @@ class Engine {
                std::to_string(elapsed) + "s of simulated time, past the " +
                std::to_string(kAdversaryDeadlineSeconds) + "s deadline");
     }
-    return " -> " + std::string(rejected ? "rejected" : "absorbed") +
+    return " -> " +
+           std::string(rejected ? "rejected"
+                       : refused ? "refused (read-only)"
+                                 : "absorbed") +
            " bytes_in=" + std::to_string(sent.bytes_sent) +
            " t=" + std::to_string(elapsed);
   }
@@ -381,19 +602,24 @@ class Engine {
   /// it and the digest probe still demands exact state equality.
   void inject_torn_tail(persist::MemEnv& env, const Event& event) {
     if (event.crash_torn_mode == kTornNone) return;
+    // Under generations the live log is the newest manifest epoch's
+    // segment (the pre-generation harness tore the legacy "wal.log").
+    const std::vector<std::uint64_t> epochs =
+        persist::decode_manifest(env.read_file(persist::kManifestFile));
+    const std::string wal = persist::wal_file(epochs.back());
     Rng rng(scenario_.seed ^ event.selector ^ 0x746f726eULL);
     std::vector<std::uint8_t> payload(1 + rng.below(40));
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
     switch (event.crash_torn_mode) {
       case kTornGarbage: {
-        env.corrupt_append(persist::kWalFile, payload);
+        env.corrupt_append(wal, payload);
         break;
       }
       case kTornShortRecord: {
         std::vector<std::uint8_t> record =
             persist::encode_wal_record(payload);
         record.resize(1 + rng.below(record.size() - 1));
-        env.corrupt_append(persist::kWalFile, record);
+        env.corrupt_append(wal, record);
         break;
       }
       case kTornBitFlip:
@@ -402,7 +628,7 @@ class Engine {
             persist::encode_wal_record(payload);
         const std::size_t bit = rng.below(record.size() * 8);
         record[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-        env.corrupt_append(persist::kWalFile, record);
+        env.corrupt_append(wal, record);
         break;
       }
     }
@@ -410,7 +636,12 @@ class Engine {
 
   std::string apply_crash(std::size_t index, const Event& event) {
     const std::size_t who = event.actor;
+    const bool was_degraded = degraded(who);
     const std::uint64_t pre = persist::state_digest(replicas_[who]);
+    // The restart comes with a repaired disk: no fault draws while the
+    // layer detaches, recovers, and re-attaches (the operator replaced
+    // the medium). Re-armed at the end.
+    if (fault_envs_[who]) fault_envs_[who]->set_fault_rate(0.0);
     durabilities_[who]->detach();
     persist::MemEnv& env = *envs_[who];
     env.crash();
@@ -418,7 +649,7 @@ class Engine {
 
     std::optional<persist::RecoveredReplica> recovered;
     try {
-      recovered = persist::recover(env);
+      recovered = persist::recover(env_of(who));
     } catch (const ContractViolation& e) {
       fail(index, "crash-recovery",
            "recovery threw at r" + std::to_string(who) + ": " + e.what());
@@ -431,9 +662,16 @@ class Engine {
     }
     // The acknowledgement contract: every hook returned with its record
     // fsynced, so recovery must reproduce the pre-crash state exactly —
-    // anything less is silently forgotten acknowledged state.
+    // anything less is silently forgotten acknowledged state. A
+    // degraded replica is the one excused case: policy transients are
+    // soft state whose records are dropped while degraded (the
+    // pull-serving path keeps mutating them in memory), so its digest
+    // may legitimately run ahead of the disk. Hard state cannot —
+    // write-ahead ordering refused every unlogged mutation before it
+    // touched memory. The ack-before-fsync mutant acknowledges without
+    // degrading, so it faces the exact probe — and fails it.
     const std::uint64_t post = persist::state_digest(recovered->replica);
-    if (post != pre) {
+    if (!was_degraded && post != pre) {
       fail(index, "durability",
            "recovery forgot acknowledged state at r" +
                std::to_string(who) + " (digest " + std::to_string(pre) +
@@ -443,20 +681,85 @@ class Engine {
       return " -> STATE LOST";
     }
     const std::string note =
-        " -> recovered (replayed=" +
+        std::string(" -> recovered (replayed=") +
         std::to_string(recovered->stats.wal_records_replayed) +
         " torn_bytes=" +
-        std::to_string(recovered->stats.wal_bytes_truncated) + ")";
+        std::to_string(recovered->stats.wal_bytes_truncated) +
+        (was_degraded ? " healed" : "") + ")";
     replicas_[who] = std::move(recovered->replica);
     durabilities_[who] =
-        std::make_unique<persist::Durability>(env, dur_options_);
+        std::make_unique<persist::Durability>(env_of(who), dur_options_);
     durabilities_[who]->attach(replicas_[who]);
+    if (was_degraded) {
+      // The crash truncated any visible-but-unsynced tail (refused
+      // mutations died with it, as they may) and the degraded window
+      // logged nothing: excuse re-receptions of whatever was forgotten.
+      oracle_.forgive_all(who);
+    }
+    if (fault_envs_[who]) {
+      fault_envs_[who]->set_fault_rate(scenario_.config.disk_fault_rate);
+    }
     return note;
+  }
+
+  /// The operator fixes every disk before quiescence: fault injection
+  /// stops, and each degraded replica is restarted off its (now
+  /// healthy) disk — recovery, a fresh durability layer, and a clean
+  /// attach that clears the degraded state. Restarting is the only way
+  /// out of read-only mode by design, and convergence below demands
+  /// the restarted fleet still reach exactly the oracle's ground truth.
+  void heal_disks() {
+    if (scenario_.config.disk_fault_rate <= 0) return;
+    for (const auto& fault_env : fault_envs_) {
+      if (fault_env) {
+        fault_env->set_fault_rate(0.0);
+        fault_env->clear_enospc_budget();
+      }
+    }
+    const std::size_t index = scenario_.events.size();
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!degraded(i)) continue;
+      durabilities_[i]->detach();
+      std::optional<persist::RecoveredReplica> recovered;
+      try {
+        recovered = persist::recover(env_of(i));
+      } catch (const ContractViolation& e) {
+        fail(index, "crash-recovery",
+             "post-fault restart recovery threw at r" +
+                 std::to_string(i) + ": " + e.what());
+        return;
+      }
+      if (!recovered) {
+        fail(index, "crash-recovery",
+             "no checkpoint found at degraded r" + std::to_string(i) +
+                 "'s restart");
+        return;
+      }
+      replicas_[i] = std::move(recovered->replica);
+      durabilities_[i] = std::make_unique<persist::Durability>(
+          env_of(i), dur_options_);
+      durabilities_[i]->attach(replicas_[i]);
+      // The resumed segment may end in records whose fsync faulted:
+      // recovery replayed their visible bytes, so make them durable
+      // now (the disk is healthy) — a later crash must not un-replay
+      // state this restart has re-acknowledged.
+      durabilities_[i]->flush();
+      oracle_.forgive_all(i);
+      adopt_survivors(i);
+      if (keep_log_) {
+        result_.log.push_back(
+            "heal: r" + std::to_string(i) +
+            " restarted off the repaired disk (replayed=" +
+            std::to_string(recovered->stats.wal_records_replayed) + ")");
+      }
+    }
   }
 
   /// Fault-free, connected all-pairs gossip, then the convergence
   /// probe. Null policies: the substrate alone must converge.
   void quiesce() {
+    heal_disks();
+    if (result_.violation) return;
     const std::size_t n = replicas_.size();
     for (std::size_t round = 0;
          round < scenario_.config.quiescence_rounds; ++round) {
@@ -578,6 +881,10 @@ class Engine {
   // destructors while the replicas are still alive.
   persist::DurabilityOptions dur_options_;
   std::vector<std::unique_ptr<persist::MemEnv>> envs_;
+  /// Non-null per replica when disk_fault_rate > 0; wraps the MemEnv.
+  /// Declared after envs_ (wraps them), before durabilities_ (which
+  /// write through them).
+  std::vector<std::unique_ptr<persist::FaultInjectingEnv>> fault_envs_;
   std::vector<std::unique_ptr<persist::Durability>> durabilities_;
 };
 

@@ -22,6 +22,8 @@ const char* frame_type_name(std::uint8_t type) {
       return "SummaryMatch";
     case repl::SyncFrame::SummaryMiss:
       return "SummaryMiss";
+    case repl::SyncFrame::Error:
+      return "Error";
   }
   return "unknown";
 }
@@ -43,6 +45,8 @@ std::uint32_t ResourceLimits::frame_payload_cap(std::uint8_t type) const {
     case repl::SyncFrame::SummaryMatch:
     case repl::SyncFrame::SummaryMiss:
       return max_summary_reply_bytes;
+    case repl::SyncFrame::Error:
+      return max_error_bytes;
   }
   throw ContractViolation("unknown frame type " + std::to_string(type));
 }
@@ -56,6 +60,7 @@ ResourceLimits ResourceLimits::unlimited() {
   limits.max_batch_end_bytes = kMaxFramePayload;
   limits.max_summary_bytes = kMaxFramePayload;
   limits.max_summary_reply_bytes = kMaxFramePayload;
+  limits.max_error_bytes = kMaxFramePayload;
   limits.max_batch_items = std::numeric_limits<std::uint64_t>::max();
   limits.max_knowledge_entries = std::numeric_limits<std::size_t>::max();
   limits.max_policy_blob_bytes = std::numeric_limits<std::size_t>::max();

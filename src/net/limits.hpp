@@ -57,6 +57,8 @@ struct ResourceLimits {
   std::uint32_t max_summary_bytes = 1u << 20;
   /// SummaryMatch / SummaryMiss carry only the source id.
   std::uint32_t max_summary_reply_bytes = 64;
+  /// Error: a code byte plus a short human-readable refusal message.
+  std::uint32_t max_error_bytes = 512;
 
   /// Cap on BatchBegin's announced item count, checked before the item
   /// loop starts.

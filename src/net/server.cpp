@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "util/require.hpp"
+#include "util/storage_error.hpp"
 
 namespace pfrdtn::net {
 
@@ -180,6 +181,14 @@ bool SyncServer::Served::process_frames() {
       std::lock_guard<std::mutex> lock(server.state_mutex_);
       machine.on_frame(*frame, sink);
     }
+  } catch (const StorageError& fault) {
+    // OUR disk failed, not the peer: StorageError derives from
+    // ContractViolation (fail-closed), so it must be caught first or
+    // the peer would be struck for a fault entirely on this side. The
+    // durability layer has already degraded to read-only; this session
+    // ends as a local failure and later peers are refused politely.
+    return fail_transport(std::string("local storage fault: ") +
+                          fault.what());
   } catch (const ContractViolation& violation) {
     return fail_violation(violation);
   }

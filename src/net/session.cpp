@@ -1,5 +1,7 @@
 #include "net/session.hpp"
 
+#include "util/storage_error.hpp"
+
 namespace pfrdtn::net {
 
 namespace {
@@ -144,8 +146,24 @@ void SourceSession::on_frame(const Frame& frame, FrameSink& sink) {
     return;
   }
 
-  // Idle: the opener. With summaries off this side speaks the legacy
-  // protocol exactly: only a Request opener is admitted.
+  // Idle: the opener. A peer that cannot run its own pull (degraded
+  // read-only after a storage fault) opens with an Error frame instead
+  // of a request: a structured, transient refusal this role ends on
+  // gracefully — never a protocol violation, never a strike.
+  if (frame.type == repl::SyncFrame::Error) {
+    const repl::SyncErrorInfo info =
+        repl::decode_error_frame(frame.payload);
+    outcome_.stats.request_bytes += frame.wire_bytes;
+    outcome_.stats.complete = false;
+    outcome_.refused = true;
+    outcome_.error = "peer refused sync: " + info.message;
+    state_ = State::Done;
+    return;
+  }
+
+  // With summaries off this side speaks the legacy protocol exactly:
+  // only a Request opener is admitted (the Error frame above is new
+  // but strictly additive — a legacy peer never sends one).
   const bool summaries = options_.summary_mode != repl::SummaryMode::Off;
   if (!summaries) PFRDTN_REQUIRE(frame.type == repl::SyncFrame::Request);
   outcome_.stats.request_bytes += frame.wire_bytes;
@@ -192,13 +210,9 @@ void SourceSession::serve_opener(Connection& connection) {
   SessionBudget& b = budget();
   ConnectionFrameSink sink(connection, b);
   try {
-    // With summaries off this side speaks the legacy protocol exactly:
-    // only a Request opener is admitted.
-    const bool summaries =
-        options_.summary_mode != repl::SummaryMode::Off;
-    const Frame opener =
-        summaries ? read_frame(connection, b)
-                  : expect_frame(connection, repl::SyncFrame::Request, b);
+    // Read any frame and let on_frame() validate it: with summaries
+    // off it still admits only Request — or the Error refusal.
+    const Frame opener = read_frame(connection, b);
     on_frame(opener, sink);
   } catch (const TransportError& failure) {
     fail(failure);
@@ -242,6 +256,23 @@ void TargetSession::start(FrameSink& sink, ReplicaId source_id,
                           SimTime now) {
   PFRDTN_REQUIRE(state_ == State::Idle);
   try {
+    if (target_->read_only()) {
+      // A pull mutates this replica, and degraded read-only mode
+      // refuses every mutation up front — before the peer builds a
+      // batch it would have streamed for nothing. The Error frame is
+      // the structured form of that refusal; the peer classifies it
+      // as transient and simply retries at a later contact.
+      error_ = "replica " + target_->id().str() +
+               " is degraded read-only after a storage fault";
+      request_bytes_ = sink.send(
+          repl::SyncFrame::Error,
+          repl::encode_error_frame(repl::kSyncErrorReadOnly, error_));
+      refused_ = true;
+      result_.emplace();
+      result_->stats.complete = false;
+      state_ = State::Done;
+      return;
+    }
     if (options_.summary_mode != repl::SummaryMode::Off) {
       const repl::SummaryRequestInfo request = repl::make_summary_request(
           *target_, policy_, source_id, now, options_.summary);
@@ -383,6 +414,8 @@ NetSyncResult TargetSession::take_result() {
     outcome.result = std::move(*result_);
     result_.reset();
   }
+  outcome.refused = refused_;
+  if (refused_) outcome.error = error_;
   outcome.result.stats.request_bytes = request_bytes_;
   outcome.result.stats.batch_bytes =
       pre_receive_failure_ ? 0 : batch_bytes_;
@@ -390,7 +423,9 @@ NetSyncResult TargetSession::take_result() {
 }
 
 NetSyncResult TargetSession::receive(Connection& connection) {
-  if (state_ == State::Failed) return take_result();
+  // Already finished before the receive phase: a failed opening write,
+  // or a read-only refusal that ended the session at start().
+  if (finished()) return take_result();
   PFRDTN_REQUIRE(wants_frame());
   ConnectionFrameSink sink(connection, budget());
   try {
@@ -409,8 +444,11 @@ NetSyncResult TargetSession::receive(Connection& connection) {
 namespace {
 
 [[nodiscard]] bool opener_sent(const TargetSession& session) {
+  // A read-only refusal counts: the Error frame is on the link and the
+  // source side must read it to end its role gracefully.
   return session.state() == TargetSession::State::RequestSent ||
-         session.state() == TargetSession::State::SummarySent;
+         session.state() == TargetSession::State::SummarySent ||
+         session.refused();
 }
 
 /// Interleave the source role with an opener-sent target on a
@@ -705,6 +743,12 @@ ServerSessionOutcome serve_session(Connection& connection,
       const Frame frame = read_frame(connection, machine.budget());
       machine.on_frame(frame, sink);
     }
+  } catch (const StorageError& fault) {
+    // A local disk fault, not peer misbehaviour: caught before the
+    // ContractViolation base so the caller never quarantines the peer
+    // over it. The session ends as this side's failure.
+    machine.on_transport_error(std::string("local storage fault: ") +
+                               fault.what());
   } catch (const TransportError& failure) {
     machine.on_transport_error(failure.what());
   }

@@ -74,6 +74,10 @@ HelloInfo decode_hello(const std::vector<std::uint8_t>& payload);
 struct NetSyncResult {
   repl::SyncResult result;
   bool transport_failed = false;  ///< the link died during this sync
+  /// The sync never ran because this (degraded read-only) replica
+  /// refused the mutation up front: an Error frame was sent instead of
+  /// the opening request. Not a failure of the link or the peer.
+  bool refused = false;
   std::string error;              ///< TransportError message, if any
 };
 
@@ -83,6 +87,10 @@ struct SourceStats {
   /// items_sent counts items whose frames were fully written.
   repl::SyncStats stats;
   bool transport_failed = false;
+  /// The peer answered with an Error frame instead of its opening
+  /// request: a structured, transient refusal (e.g. the peer is
+  /// degraded read-only). Never a protocol violation — no strike.
+  bool refused = false;
   std::string error;
 };
 
@@ -131,7 +139,10 @@ class SourceSession {
   /// From Idle the frame is the opener: an exact Request streams the
   /// batch; a SummaryRequest (rejected while options.summary_mode is
   /// Off — the legacy protocol admits only Request) is answered with
-  /// SummaryMatch, a direct batch, or SummaryMiss (-> AwaitExact).
+  /// SummaryMatch, a direct batch, or SummaryMiss (-> AwaitExact); an
+  /// Error frame (the peer refused its own pull, e.g. it is degraded
+  /// read-only) ends the role Done with `refused` set — a graceful,
+  /// transient outcome, never a violation, never a strike.
   /// From AwaitExact the frame must be the exact fallback Request; the
   /// routing state was already processed with the summary, so the
   /// fallback skips the policy's process_request. Protocol breaches
@@ -203,7 +214,10 @@ class TargetSession {
   /// Step 1, machine form: build this replica's request and emit it
   /// through `sink` (a SummaryRequest with summaries on, the exact
   /// Request otherwise). A sink TransportError is absorbed: the
-  /// session ends Failed and take_result() reports it.
+  /// session ends Failed and take_result() reports it. A degraded
+  /// read-only replica refuses up front: a pull mutates this side, so
+  /// an Error frame is sent in place of the request and the session
+  /// ends Done with `refused` set and nothing applied.
   void start(FrameSink& sink, ReplicaId source_id, SimTime now);
 
   /// True while the machine needs another source frame.
@@ -248,6 +262,9 @@ class TargetSession {
   NetSyncResult receive(Connection& connection);
 
   [[nodiscard]] State state() const { return state_; }
+  /// True when start() refused the sync because this replica is
+  /// degraded read-only (an Error frame was sent instead).
+  [[nodiscard]] bool refused() const { return refused_; }
 
  private:
   [[nodiscard]] SessionBudget& budget() {
@@ -280,6 +297,8 @@ class TargetSession {
   /// driver-run fallback failed): consumed-byte stats stay zero, as
   /// the blocking path always reported for those failures.
   bool pre_receive_failure_ = false;
+  /// start() refused the sync: this replica is degraded read-only.
+  bool refused_ = false;
   std::string error_;
 };
 
@@ -383,7 +402,10 @@ class ServerSessionMachine {
   /// breaches (malformed frames, step violations, resource-limit
   /// breaches) throw ContractViolation for the host to contain — and
   /// quarantine the peer over. Sink TransportErrors are absorbed into
-  /// the outcome, like every link failure.
+  /// the outcome, like every link failure. A *local* disk fault inside
+  /// the replica funnel propagates as StorageError — a
+  /// ContractViolation subclass the host must catch FIRST and treat as
+  /// its own failure: close the session, never strike the peer.
   void on_frame(const Frame& frame, FrameSink& sink);
 
   /// The link died (read side): absorb into the outcome as an

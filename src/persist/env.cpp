@@ -9,15 +9,30 @@
 #include <cstring>
 
 #include "util/require.hpp"
+#include "util/storage_error.hpp"
 
 namespace pfrdtn::persist {
 
 namespace {
 
+/// Every syscall failure becomes a StorageError carrying the errno
+/// captured *at the failure point*. Call sites that must close a
+/// descriptor before throwing capture errno first and pass it
+/// explicitly — close() may clobber it.
 [[noreturn]] void io_fail(const std::string& what,
-                          const std::string& path) {
-  throw ContractViolation(what + " failed for " + path + ": " +
-                          std::strerror(errno));
+                          const std::string& path,
+                          int captured_errno) {
+  throw StorageError(what, path, captured_errno);
+}
+
+/// open(2) with EINTR retry. Interrupted opens are retried like reads
+/// and writes; fsync is the one call that must never be retried (a
+/// failed fsync may have dropped the dirty pages — see sync()).
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
 }
 
 void make_dirs(const std::string& dir) {
@@ -30,7 +45,7 @@ void make_dirs(const std::string& dir) {
     pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
     if (prefix.empty()) continue;
     if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
-      io_fail("mkdir", prefix);
+      io_fail("mkdir", prefix, errno);
   }
 }
 
@@ -42,18 +57,20 @@ FsEnv::FsEnv(std::string dir) : dir_(std::move(dir)) {
   PFRDTN_REQUIRE(!dir_.empty());
   make_dirs(dir_);
   const std::string lock_path = dir_ + "/LOCK";
-  lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (lock_fd_ < 0) io_fail("open", lock_path);
+  lock_fd_ =
+      open_retry(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) io_fail("open", lock_path, errno);
   if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;  // before close() can clobber it
     ::close(lock_fd_);
     lock_fd_ = -1;
-    if (errno == EWOULDBLOCK) {
+    if (err == EWOULDBLOCK) {
       throw ContractViolation(
           "state directory " + dir_ +
           " is locked by another process (is another pfrdtn running"
           " against it?)");
     }
-    io_fail("flock", lock_path);
+    io_fail("flock", lock_path, err);
   }
 }
 
@@ -83,16 +100,17 @@ std::size_t FsEnv::file_size(const std::string& name) const {
 std::vector<std::uint8_t> FsEnv::read_file(
     const std::string& name) const {
   const std::string p = path(name);
-  const int fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) io_fail("open", p);
+  const int fd = open_retry(p.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) io_fail("open", p, errno);
   std::vector<std::uint8_t> out;
   std::uint8_t buf[1 << 16];
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       ::close(fd);
-      io_fail("read", p);
+      io_fail("read", p, err);
     }
     if (n == 0) break;
     out.insert(out.end(), buf, buf + n);
@@ -105,9 +123,9 @@ int FsEnv::append_fd(const std::string& name) {
   const auto it = fds_.find(name);
   if (it != fds_.end()) return it->second;
   const std::string p = path(name);
-  const int fd =
-      ::open(p.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) io_fail("open", p);
+  const int fd = open_retry(
+      p.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail("open", p, errno);
   fds_[name] = fd;
   return fd;
 }
@@ -127,24 +145,35 @@ void FsEnv::append(const std::string& name, const std::uint8_t* data,
     const ssize_t n = ::write(fd, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      io_fail("write", path(name));
+      io_fail("write", path(name), errno);
     }
     written += static_cast<std::size_t>(n);
   }
 }
 
 void FsEnv::sync(const std::string& name) {
-  if (::fsync(append_fd(name)) != 0) io_fail("fsync", path(name));
+  // fsync is never retried: after a failed fsync the kernel may have
+  // dropped the dirty pages and cleared the error, so a retry that
+  // "succeeds" proves nothing (fsyncgate). Drop the cached descriptor
+  // too — durability claims through it are void, and a fresh open must
+  // not inherit the poisoned state.
+  if (::fsync(append_fd(name)) != 0) {
+    const int err = errno;
+    close_fd(name);
+    io_fail("fsync", path(name), err);
+  }
 }
 
 void FsEnv::sync_dir() const {
-  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) io_fail("open", dir_);
+  const int fd =
+      open_retry(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) io_fail("open", dir_, errno);
   // Directory fsync makes the rename/create durable; some filesystems
   // reject it (EINVAL) and guarantee the ordering anyway.
   if (::fsync(fd) != 0 && errno != EINVAL) {
+    const int err = errno;
     ::close(fd);
-    io_fail("fsync", dir_);
+    io_fail("fsync", dir_, err);
   }
   ::close(fd);
 }
@@ -153,28 +182,30 @@ void FsEnv::write_file_durable(const std::string& name,
                                const std::vector<std::uint8_t>& bytes) {
   const std::string tmp_name = name + ".tmp";
   const std::string tmp = path(tmp_name);
-  const int fd = ::open(tmp.c_str(),
-                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) io_fail("open", tmp);
+  const int fd = open_retry(
+      tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail("open", tmp, errno);
   std::size_t written = 0;
   while (written < bytes.size()) {
     const ssize_t n =
         ::write(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       ::close(fd);
-      io_fail("write", tmp);
+      io_fail("write", tmp, err);
     }
     written += static_cast<std::size_t>(n);
   }
   if (::fsync(fd) != 0) {
+    const int err = errno;
     ::close(fd);
-    io_fail("fsync", tmp);
+    io_fail("fsync", tmp, err);
   }
   ::close(fd);
   close_fd(name);  // any cached append fd now points at the old inode
   if (::rename(tmp.c_str(), path(name).c_str()) != 0)
-    io_fail("rename", tmp);
+    io_fail("rename", tmp, errno);
   sync_dir();
 }
 
@@ -183,13 +214,13 @@ void FsEnv::truncate(const std::string& name, std::size_t size) {
   close_fd(name);
   if (::truncate(path(name).c_str(),
                  static_cast<off_t>(size)) != 0)
-    io_fail("truncate", path(name));
+    io_fail("truncate", path(name), errno);
 }
 
 void FsEnv::remove(const std::string& name) {
   close_fd(name);
   if (::unlink(path(name).c_str()) != 0 && errno != ENOENT)
-    io_fail("unlink", path(name));
+    io_fail("unlink", path(name), errno);
 }
 
 // ---- MemEnv ----------------------------------------------------------

@@ -1,0 +1,114 @@
+#include "persist/fault_env.hpp"
+
+#include <cerrno>
+
+#include "util/storage_error.hpp"
+
+namespace pfrdtn::persist {
+
+bool FaultInjectingEnv::roll() {
+  // Zero-rate wrappers draw nothing: a FaultInjectingEnv with
+  // fault_rate 0 is operation-for-operation identical to the inner
+  // env, so enabling the wrapper unconditionally cannot perturb
+  // fault-free schedules.
+  if (plan_.fault_rate <= 0.0) return false;
+  return rng_.chance(plan_.fault_rate);
+}
+
+void FaultInjectingEnv::fail(const char* op, const std::string& name,
+                             int error_code) {
+  ++faults_injected_;
+  throw StorageError(op, name, error_code);
+}
+
+void FaultInjectingEnv::charge_bytes(const char* op,
+                                     const std::string& name,
+                                     std::size_t size) {
+  if (plan_.enospc_after_bytes != 0 &&
+      bytes_written_ + size > plan_.enospc_after_bytes) {
+    fail(op, name, ENOSPC);
+  }
+  bytes_written_ += size;
+}
+
+std::vector<std::uint8_t> FaultInjectingEnv::read_file(
+    const std::string& name) const {
+  // const_cast confined here: fault draws mutate the RNG, but the
+  // decorated read is still logically const for callers.
+  auto& self = const_cast<FaultInjectingEnv&>(*this);
+  if (plan_.fail_reads && self.roll()) self.fail("read", name, EIO);
+  return inner_.read_file(name);
+}
+
+void FaultInjectingEnv::append(const std::string& name,
+                               const std::uint8_t* data,
+                               std::size_t size) {
+  charge_bytes("write", name, size);
+  if (plan_.fail_appends && roll()) {
+    // Three ways an append dies, drawn uniformly: full EIO, full
+    // ENOSPC, or a short write — a prefix reaches the medium before
+    // the error, the torn shape scan_wal's valid-prefix rule exists
+    // for.
+    switch (rng_.below(3)) {
+      case 0:
+        fail("write", name, EIO);
+      case 1:
+        fail("write", name, ENOSPC);
+      default: {
+        const std::size_t partial =
+            size == 0 ? 0 : static_cast<std::size_t>(rng_.below(size));
+        inner_.append(name, data, partial);
+        fail("write", name, EIO);
+      }
+    }
+  }
+  inner_.append(name, data, size);
+}
+
+void FaultInjectingEnv::sync(const std::string& name) {
+  if (plan_.enospc_after_bytes != 0 &&
+      bytes_written_ > plan_.enospc_after_bytes) {
+    fail("fsync", name, ENOSPC);
+  }
+  if (plan_.fail_syncs && roll()) {
+    // The inner sync is NOT attempted: the dirty pages stay dirty and
+    // a crash loses them. Callers must treat this as fail-stop for
+    // durability claims — never retry-and-assume-durable.
+    fail("fsync", name, EIO);
+  }
+  inner_.sync(name);
+}
+
+void FaultInjectingEnv::write_file_durable(
+    const std::string& name, const std::vector<std::uint8_t>& bytes) {
+  charge_bytes("write", name, bytes.size());
+  if (plan_.fail_durable_writes && roll()) {
+    // The atomic temp-write-rename never starts: the target keeps its
+    // old content, exactly what write_file_durable guarantees for a
+    // crash mid-replacement.
+    switch (rng_.below(3)) {
+      case 0:
+        fail("write", name + ".tmp", EIO);
+      case 1:
+        fail("write", name + ".tmp", ENOSPC);
+      default:
+        fail("open", name + ".tmp", EACCES);
+    }
+  }
+  inner_.write_file_durable(name, bytes);
+}
+
+void FaultInjectingEnv::truncate(const std::string& name,
+                                 std::size_t size) {
+  if (plan_.fail_truncates && roll()) fail("truncate", name, EIO);
+  inner_.truncate(name, size);
+}
+
+void FaultInjectingEnv::remove(const std::string& name) {
+  // unlink faults are not in the model: the durability layer only
+  // removes files during generation pruning, where a failed unlink is
+  // already tolerated as an orphan.
+  inner_.remove(name);
+}
+
+}  // namespace pfrdtn::persist

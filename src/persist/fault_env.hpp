@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file fault_env.hpp
+/// A StorageEnv decorator that injects seeded, schedulable storage
+/// faults — the disk the persistence layer must survive, made
+/// deterministic. Wraps any inner env (MemEnv in the check harness,
+/// FsEnv under the CLI) and, per operation, draws from its own RNG
+/// whether to fail with EIO, ENOSPC, a short write, a failed fsync, or
+/// a failed open. All faults throw StorageError carrying the
+/// operation, file, and errno.
+///
+/// Fault semantics mirror the real kernel behaviors the durability
+/// layer must handle:
+///
+///   - append: fails wholesale (EIO/ENOSPC, nothing reaches the inner
+///     env) or as a *short write* (a random prefix reaches the inner
+///     env, then EIO) — the torn-append case;
+///   - sync: throws EIO *without* syncing the inner env. The dirty
+///     pages are lost: a later crash rolls back past the unsynced
+///     bytes. Retrying fsync and assuming durability after a failed
+///     one is the classic fsyncgate bug — the fault model makes it
+///     observable;
+///   - write_file_durable: fails with EIO/ENOSPC/open-failure before
+///     the inner atomic write runs, so the target keeps its old
+///     content (what a crashed temp-file write leaves behind);
+///   - truncate: EIO, inner file untouched;
+///   - read_file: EIO (disabled by default — the harness bands target
+///     the write path, where the acknowledgement contract lives).
+///
+/// A deterministic ENOSPC budget (`enospc_after_bytes`) models a disk
+/// filling under load: once the cumulative bytes written through this
+/// env cross the budget, every further append/sync/durable-write fails
+/// with ENOSPC regardless of the rate draw — the diskfault e2e uses
+/// this for a reproducible "disk full" without filling a real disk.
+///
+/// Determinism: faults are drawn from a private xoshiro stream seeded
+/// at construction, one draw per fault-eligible operation. Given the
+/// same operation sequence, the same faults fire — which is exactly
+/// what the check harness's replay contract needs, since its schedules
+/// make the operation sequence itself deterministic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/env.hpp"
+#include "util/rng.hpp"
+
+namespace pfrdtn::persist {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-operation probability of injecting a fault (0 = passthrough;
+  /// no RNG draws at all, so a zero-rate wrapper is exactly the inner
+  /// env).
+  double fault_rate = 0.0;
+  bool fail_appends = true;
+  bool fail_syncs = true;
+  bool fail_durable_writes = true;
+  bool fail_truncates = true;
+  /// Read faults are off by default: the write-path bands are where
+  /// the acknowledgement contract lives. Recovery-time read faults are
+  /// exercised directly by the generation-fallback tests.
+  bool fail_reads = false;
+  /// Deterministic disk-full: once this many bytes have been written
+  /// through the wrapper (appends + durable writes), every further
+  /// append/sync/durable write fails ENOSPC. 0 disables the budget.
+  std::uint64_t enospc_after_bytes = 0;
+};
+
+class FaultInjectingEnv final : public StorageEnv {
+ public:
+  FaultInjectingEnv(StorageEnv& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+  [[nodiscard]] StorageEnv& inner() { return inner_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Stop injecting (the operator cleared space / replaced the disk).
+  /// Existing RNG state is kept so re-arming stays deterministic.
+  void set_fault_rate(double rate) { plan_.fault_rate = rate; }
+  void clear_enospc_budget() { plan_.enospc_after_bytes = 0; }
+
+  /// Total faults this wrapper has injected (all kinds).
+  [[nodiscard]] std::size_t faults_injected() const {
+    return faults_injected_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    return bytes_written_;
+  }
+
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return inner_.exists(name);
+  }
+  [[nodiscard]] std::size_t file_size(
+      const std::string& name) const override {
+    return inner_.file_size(name);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> read_file(
+      const std::string& name) const override;
+
+  void append(const std::string& name, const std::uint8_t* data,
+              std::size_t size) override;
+  void sync(const std::string& name) override;
+  void write_file_durable(
+      const std::string& name,
+      const std::vector<std::uint8_t>& bytes) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  void remove(const std::string& name) override;
+
+ private:
+  /// One Bernoulli draw against fault_rate (no draw when rate is 0).
+  bool roll();
+  [[noreturn]] void fail(const char* op, const std::string& name,
+                         int error_code);
+  void charge_bytes(const char* op, const std::string& name,
+                    std::size_t size);
+
+  StorageEnv& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t bytes_written_ = 0;
+  std::size_t faults_injected_ = 0;
+};
+
+}  // namespace pfrdtn::persist

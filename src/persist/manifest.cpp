@@ -1,0 +1,89 @@
+#include "persist/manifest.hpp"
+
+#include "util/crc32.hpp"
+#include "util/require.hpp"
+
+namespace pfrdtn::persist {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string checkpoint_file(std::uint64_t epoch) {
+  return "checkpoint." + std::to_string(epoch) + ".bin";
+}
+
+std::string wal_file(std::uint64_t epoch) {
+  return "wal." + std::to_string(epoch) + ".log";
+}
+
+std::vector<std::uint8_t> encode_manifest(
+    const std::vector<std::uint64_t>& epochs) {
+  PFRDTN_REQUIRE(!epochs.empty());
+  PFRDTN_REQUIRE(epochs.size() <= kMaxManifestEpochs);
+  for (std::size_t i = 1; i < epochs.size(); ++i)
+    PFRDTN_REQUIRE(epochs[i - 1] < epochs[i]);
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 4 + 8 * epochs.size() + 4);
+  put_u32(out, kManifestMagic);
+  out.push_back(kManifestVersion);
+  put_u32(out, static_cast<std::uint32_t>(epochs.size()));
+  for (const std::uint64_t epoch : epochs) put_u64(out, epoch);
+  put_u32(out, crc32(out));
+  return out;
+}
+
+std::vector<std::uint64_t> decode_manifest(
+    const std::vector<std::uint8_t>& bytes) {
+  constexpr std::size_t kFixed = 4 + 1 + 4;  // magic + version + count
+  if (bytes.size() < kFixed + 4)
+    throw ContractViolation("manifest truncated");
+  if (get_u32(bytes.data()) != kManifestMagic)
+    throw ContractViolation("manifest bad magic");
+  if (bytes[4] != kManifestVersion)
+    throw ContractViolation("manifest unknown version");
+  const std::uint32_t count = get_u32(bytes.data() + 5);
+  if (count == 0 || count > kMaxManifestEpochs)
+    throw ContractViolation("manifest bad epoch count");
+  const std::size_t expect = kFixed + 8 * std::size_t{count} + 4;
+  if (bytes.size() != expect)
+    throw ContractViolation("manifest size mismatch");
+  if (crc32(bytes.data(), bytes.size() - 4) !=
+      get_u32(bytes.data() + bytes.size() - 4))
+    throw ContractViolation("manifest CRC mismatch");
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t epoch = get_u64(bytes.data() + kFixed + 8 * i);
+    if (!epochs.empty() && epoch <= epochs.back())
+      throw ContractViolation("manifest epochs not ascending");
+    epochs.push_back(epoch);
+  }
+  return epochs;
+}
+
+}  // namespace pfrdtn::persist

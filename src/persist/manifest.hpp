@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file manifest.hpp
+/// The checkpoint-generation manifest: a CRC'd list of the checkpoint
+/// epochs currently retained in a state directory. With generations,
+/// the directory holds
+///
+///   MANIFEST                     this file
+///   checkpoint.<epoch>.bin       one full-state checkpoint per epoch
+///   wal.<epoch>.log              the WAL segment written *after* that
+///                                checkpoint (and folded into the next)
+///
+/// for each retained epoch, newest last. The manifest is the directory
+/// listing the StorageEnv interface does not provide: recovery reads
+/// it to learn which generations exist, tries them newest-first, and
+/// ignores any generation files the manifest does not mention (orphans
+/// from a crash mid-prune are dead weight, never input).
+///
+/// Written only via StorageEnv::write_file_durable, so readers see the
+/// old list or the new list, never a mixture. Pruning rewrites the
+/// manifest *without* the doomed epochs before unlinking their files:
+/// a crash between the two leaves unreferenced files, not dangling
+/// references.
+///
+/// File layout:
+///
+///   magic   u32 LE 0x464D4650 ("PFMF")
+///   version u8
+///   count   u32 LE
+///   epochs  count × u64 LE, strictly ascending
+///   crc     u32 LE — CRC-32 of every preceding byte
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfrdtn::persist {
+
+inline constexpr const char* kManifestFile = "MANIFEST";
+inline constexpr std::uint32_t kManifestMagic = 0x464D4650u;  // "PFMF"
+inline constexpr std::uint8_t kManifestVersion = 1;
+/// More generations than this is a corrupt count, not a manifest.
+inline constexpr std::uint32_t kMaxManifestEpochs = 4096;
+
+/// File names for one generation's checkpoint and WAL segment.
+std::string checkpoint_file(std::uint64_t epoch);
+std::string wal_file(std::uint64_t epoch);
+
+/// Serialize a manifest for the given retained epochs (must be
+/// non-empty and strictly ascending).
+std::vector<std::uint8_t> encode_manifest(
+    const std::vector<std::uint64_t>& epochs);
+
+/// Parse + validate manifest bytes. Throws ContractViolation on any
+/// corruption (bad magic/version/count, CRC mismatch, unordered
+/// epochs) — a corrupt manifest is rejected, never guessed at.
+std::vector<std::uint64_t> decode_manifest(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace pfrdtn::persist

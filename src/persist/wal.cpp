@@ -2,6 +2,7 @@
 
 #include "util/crc32.hpp"
 #include "util/require.hpp"
+#include "util/storage_error.hpp"
 
 namespace pfrdtn::persist {
 
@@ -87,6 +88,12 @@ WalScan scan_wal_file(const StorageEnv& env, const std::string& name) {
   return scan_wal(env.read_file(name));
 }
 
+void WalWriter::set_file(std::string name) {
+  name_ = std::move(name);
+  log_bytes_ = 0;
+  pending_ = 0;
+}
+
 void WalWriter::resume(const WalScan& scan) {
   PFRDTN_REQUIRE(scan.valid_header);
   env_->truncate(name_, scan.valid_bytes);
@@ -98,7 +105,7 @@ void WalWriter::reset(std::uint64_t epoch) {
   env_->truncate(name_, 0);
   const auto header = encode_wal_header(epoch);
   env_->append(name_, header.data(), header.size());
-  if (!unsafe_skip_fsync_) env_->sync(name_);
+  if (!unsafe_skip_fsync_) sync_now();
   log_bytes_ = header.size();
   pending_ = 0;
 }
@@ -107,6 +114,7 @@ void WalWriter::append(const std::vector<std::uint8_t>& payload) {
   const auto record = encode_wal_record(payload);
   env_->append(name_, record.data(), record.size());
   log_bytes_ += record.size();
+  bytes_appended_ += record.size();
   ++records_appended_;
   if (++pending_ >= sync_every_records_) flush();
 }
@@ -117,8 +125,27 @@ void WalWriter::flush() {
   // records are acknowledged without ever being made durable, so a
   // crash forgets them — the exact failure the check harness's
   // crash probe must catch (--inject-bug skip-fsync).
-  if (!unsafe_skip_fsync_) env_->sync(name_);
+  if (!unsafe_skip_fsync_) sync_now();
   pending_ = 0;
+}
+
+void WalWriter::sync_now() {
+  // unsafe_ack_before_fsync is the storage-fault sibling of
+  // skip-fsync: the fsync *is* attempted, but a failure is swallowed
+  // and the records acknowledged anyway — retry-fsync-and-assume-
+  // durable, the fsyncgate bug. Under disk-fault injection the
+  // durability probe must catch it (--inject-bug ack-before-fsync).
+  if (unsafe_ack_before_fsync_) {
+    try {
+      env_->sync(name_);
+      ++syncs_;
+    } catch (const StorageError&) {
+      // acknowledged anyway — the bug under test
+    }
+    return;
+  }
+  env_->sync(name_);
+  ++syncs_;
 }
 
 }  // namespace pfrdtn::persist

@@ -64,13 +64,21 @@ WalScan scan_wal_file(const StorageEnv& env, const std::string& name);
 class WalWriter {
  public:
   WalWriter(StorageEnv& env, std::string name,
-            std::size_t sync_every_records, bool unsafe_skip_fsync)
+            std::size_t sync_every_records, bool unsafe_skip_fsync,
+            bool unsafe_ack_before_fsync = false)
       : env_(&env),
         name_(std::move(name)),
         sync_every_records_(sync_every_records == 0
                                 ? 1
                                 : sync_every_records),
-        unsafe_skip_fsync_(unsafe_skip_fsync) {}
+        unsafe_skip_fsync_(unsafe_skip_fsync),
+        unsafe_ack_before_fsync_(unsafe_ack_before_fsync) {}
+
+  /// Retarget the writer at another log file (checkpoint generations
+  /// keep one WAL segment per epoch). Pending state is discarded; call
+  /// reset()/resume() next.
+  void set_file(std::string name);
+  [[nodiscard]] const std::string& file() const { return name_; }
 
   /// Truncate any torn tail and position after `scan`'s valid prefix.
   void resume(const WalScan& scan);
@@ -88,16 +96,26 @@ class WalWriter {
   [[nodiscard]] std::size_t records_appended() const {
     return records_appended_;
   }
+  [[nodiscard]] std::size_t bytes_appended() const {
+    return bytes_appended_;
+  }
   [[nodiscard]] std::size_t pending_records() const { return pending_; }
+  /// fsyncs actually issued against the env (durability counter).
+  [[nodiscard]] std::size_t syncs() const { return syncs_; }
 
  private:
+  void sync_now();
+
   StorageEnv* env_;
   std::string name_;
   std::size_t sync_every_records_;
   bool unsafe_skip_fsync_;
+  bool unsafe_ack_before_fsync_;
   std::size_t log_bytes_ = 0;
   std::size_t records_appended_ = 0;
+  std::size_t bytes_appended_ = 0;
   std::size_t pending_ = 0;
+  std::size_t syncs_ = 0;
 };
 
 }  // namespace pfrdtn::persist

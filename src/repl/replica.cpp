@@ -1,65 +1,92 @@
 #include "repl/replica.hpp"
 
 #include "util/logging.hpp"
+#include "util/storage_error.hpp"
 
 namespace pfrdtn::repl {
 
+void Replica::require_writable(const char* op) const {
+  if (read_only_) {
+    throw ReadOnlyError("replica " + id_.str() + " is read-only (" +
+                        op + " refused after a storage fault)");
+  }
+}
+
 const Item& Replica::create(std::map<std::string, std::string> metadata,
                             std::vector<std::uint8_t> body) {
+  require_writable("create");
   PFRDTN_REQUIRE(next_item_seq_ < (std::uint64_t{1} << 32));
-  const ItemId id((id_.value() << 32) | next_item_seq_++);
-  const Version version{id_, ++next_counter_, /*revision=*/1};
+  const ItemId id((id_.value() << 32) | next_item_seq_);
+  const Version version{id_, next_counter_ + 1, /*revision=*/1};
   Item item(id, version, std::move(metadata), std::move(body));
+  // Write-ahead: the durable record precedes every in-memory change. If
+  // the sink throws (a storage fault refusing the mutation), nothing —
+  // not even the counters — has moved, so the refused version never
+  // existed anywhere: it cannot be served to a peer, and reusing the
+  // (author, counter) pair after a restart is safe. If the record *did*
+  // reach the disk before the fault, recovery replays it and
+  // replay_local_put advances the counters past it — no reuse either
+  // way.
+  if (sink_ != nullptr) sink_->on_local_put(item);
+  ++next_item_seq_;
+  ++next_counter_;
   knowledge_.add_exact(version);
   const bool in_filter = filter_.matches(item);
   auto evicted = store_.put(std::move(item), in_filter,
                             /*local_origin=*/true);
   PFRDTN_ENSURE(evicted.empty());  // local items are never evictable
-  const Item& stored = store_.find(id)->item;
-  if (sink_ != nullptr) sink_->on_local_put(stored);
-  return stored;
+  return store_.find(id)->item;
 }
 
 const Item& Replica::update(ItemId id,
                             std::map<std::string, std::string> metadata,
                             std::vector<std::uint8_t> body) {
+  require_writable("update");
   const auto* entry = store_.find(id);
   PFRDTN_REQUIRE(entry != nullptr);
   PFRDTN_REQUIRE(!entry->item.deleted());
-  const Version version{id_, ++next_counter_,
+  const Version version{id_, next_counter_ + 1,
                         entry->item.version().revision + 1};
-  knowledge_.add_exact(version);
   auto payload = Item::Payload::make(id, version, std::move(metadata),
                                      std::move(body), /*deleted=*/false);
   const bool in_filter = filter_.matches(Item(payload));
+  // Write-ahead: log before mutating (see create() for the rationale).
+  if (sink_ != nullptr) sink_->on_local_put(Item(payload));
+  ++next_counter_;
+  knowledge_.add_exact(version);
   // An update authored here pins the copy against eviction, exactly
   // like a creation would.
   store_.supersede(id, std::move(payload), in_filter,
                    /*make_local_origin=*/true);
-  const Item& stored = store_.find(id)->item;
-  if (sink_ != nullptr) sink_->on_local_put(stored);
-  return stored;
+  return store_.find(id)->item;
 }
 
 const Item& Replica::erase(ItemId id) {
+  require_writable("erase");
   const auto* entry = store_.find(id);
   PFRDTN_REQUIRE(entry != nullptr);
-  const Version version{id_, ++next_counter_,
+  const Version version{id_, next_counter_ + 1,
                         entry->item.version().revision + 1};
-  knowledge_.add_exact(version);
   // Tombstones keep the metadata so filters still select them and the
   // deletion propagates to every interested replica.
   auto payload = Item::Payload::make(id, version, entry->item.metadata(),
                                      {}, /*deleted=*/true);
   const bool in_filter = filter_.matches(Item(payload));
+  // Write-ahead: log before mutating (see create() for the rationale).
+  if (sink_ != nullptr) sink_->on_local_put(Item(payload));
+  ++next_counter_;
+  knowledge_.add_exact(version);
   store_.supersede(id, std::move(payload), in_filter,
                    /*make_local_origin=*/true);
-  const Item& stored = store_.find(id)->item;
-  if (sink_ != nullptr) sink_->on_local_put(stored);
-  return stored;
+  return store_.find(id)->item;
 }
 
 std::vector<Item> Replica::set_filter(Filter filter) {
+  require_writable("set_filter");
+  // Write-ahead: a storage fault refuses the change before the filter
+  // is adopted, so memory and the acknowledged log never disagree about
+  // which filter is in force.
+  if (sink_ != nullptr) sink_->on_set_filter(filter);
   filter_ = std::move(filter);
   std::vector<Item> evicted;
   auto newly_matching = store_.refilter(
@@ -73,7 +100,6 @@ std::vector<Item> Replica::set_filter(Filter filter) {
   // eventual filter consistency (this is the substrate's analogue of
   // Cimbiosys's move-in handling).
   rebuild_knowledge();
-  if (sink_ != nullptr) sink_->on_set_filter(filter_);
   return newly_matching;
 }
 
@@ -93,11 +119,15 @@ void Replica::rebuild_knowledge() {
 
 ApplyOutcome Replica::apply_remote(const Item& incoming,
                                    std::vector<Item>& evicted) {
-  const ApplyOutcome outcome = apply_remote_impl(incoming, evicted);
-  // Logged after the mutation so a checkpoint triggered inside the
-  // sink snapshots the applied state (and clears this record with it).
+  require_writable("apply_remote");
+  PFRDTN_REQUIRE(incoming.version().valid());
+  // Write-ahead: log before mutating, so a faulted receipt leaves no
+  // trace in memory — a copy the disk refused must never be served to
+  // another peer, or it outlives a crash that the log does not record.
+  // (The durability layer defers checkpoint rolls out of this hook, so
+  // a snapshot never splits the record from its mutation.)
   if (sink_ != nullptr) sink_->on_apply_remote(incoming);
-  return outcome;
+  return apply_remote_impl(incoming, evicted);
 }
 
 ApplyOutcome Replica::apply_remote_impl(const Item& incoming,
@@ -154,13 +184,15 @@ ApplyOutcome Replica::apply_remote_impl(const Item& incoming,
 }
 
 bool Replica::discard_relay(ItemId id) {
+  require_writable("discard_relay");
   const auto* entry = store_.find(id);
   if (entry == nullptr || entry->in_filter || entry->local_origin)
     return false;
   const Item item = entry->item;
+  // Write-ahead: log before mutating (see create() for the rationale).
+  if (sink_ != nullptr) sink_->on_discard_relay(id);
   store_.remove(id);
   forget_evicted({item});
-  if (sink_ != nullptr) sink_->on_discard_relay(id);
   return true;
 }
 

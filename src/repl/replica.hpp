@@ -105,9 +105,22 @@ class Replica {
   /// Record knowledge learned from a sync partner after a *complete*
   /// sync, scoped to this replica's filter.
   void learn(const Knowledge& source_knowledge) {
-    knowledge_.merge_scoped(source_knowledge, filter_);
+    require_writable("learn");
+    // Write-ahead: log before merging so a refused learn leaves the
+    // knowledge untouched (see Replica::create for the rationale).
     if (sink_ != nullptr) sink_->on_learn(source_knowledge);
+    knowledge_.merge_scoped(source_knowledge, filter_);
   }
+
+  // ---- degraded (read-only) mode ----
+
+  /// Mark the replica read-only. Set by the durability layer after a
+  /// storage fault: the in-memory state is still good (pull syncs and
+  /// reads keep working) but no further mutation can be made durable,
+  /// so every mutation entry point refuses *before* touching memory —
+  /// a degraded replica never acknowledges what it cannot persist.
+  void set_read_only(bool read_only) { read_only_ = read_only; }
+  [[nodiscard]] bool read_only() const { return read_only_; }
 
   // ---- durability hooks (src/persist/) ----
 
@@ -156,6 +169,12 @@ class Replica {
   [[nodiscard]] std::string check_invariants() const;
 
  private:
+  /// Throws ReadOnlyError when the replica is degraded. Guards every
+  /// mutation entry point; note_policy_state stays unguarded (policy
+  /// transients are soft state rewritten on the pull-serving path,
+  /// which must keep working while degraded).
+  void require_writable(const char* op) const;
+
   ApplyOutcome apply_remote_impl(const Item& incoming,
                                  std::vector<Item>& evicted);
 
@@ -173,6 +192,7 @@ class Replica {
   std::uint64_t next_counter_ = 0;
   std::uint64_t next_item_seq_ = 0;
   ReplicaMutationSink* sink_ = nullptr;
+  bool read_only_ = false;
 };
 
 }  // namespace pfrdtn::repl

@@ -344,6 +344,26 @@ ReplicaId decode_summary_reply(const std::vector<std::uint8_t>& payload) {
   return source;
 }
 
+std::vector<std::uint8_t> encode_error_frame(std::uint8_t code,
+                                             const std::string& message) {
+  // One code byte, then the message as the rest of the payload — no
+  // length prefix, so the frame length bounds the message exactly.
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + message.size());
+  payload.push_back(code);
+  payload.insert(payload.end(), message.begin(), message.end());
+  return payload;
+}
+
+SyncErrorInfo decode_error_frame(
+    const std::vector<std::uint8_t>& payload) {
+  PFRDTN_REQUIRE(!payload.empty());
+  SyncErrorInfo info;
+  info.code = payload[0];
+  info.message.assign(payload.begin() + 1, payload.end());
+  return info;
+}
+
 std::size_t wire_size(const SyncRequest& request) {
   ByteWriter w;
   request.serialize(w);

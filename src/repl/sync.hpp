@@ -257,7 +257,34 @@ enum class SyncFrame : std::uint8_t {
   SummaryRequest = 6,  ///< serialized SummaryRequestInfo
   SummaryMatch = 7,    ///< source id: converged, session over
   SummaryMiss = 8,     ///< source id: send the exact Request
+  /// Structured refusal: a peer that cannot run this sync says so
+  /// instead of its opening request (a degraded read-only replica
+  /// refuses anything that would mutate it). The payload carries a
+  /// code byte plus a human-readable message; the receiving side ends
+  /// its role as a graceful, *transient* refusal — never a protocol
+  /// violation, never a quarantine strike.
+  Error = 9,
 };
+
+/// Error-frame code: the sender is degraded read-only after a storage
+/// fault. Transient by definition — a restart on a healthy disk clears
+/// it, so the peer should simply retry at the next contact.
+inline constexpr std::uint8_t kSyncErrorReadOnly = 1;
+
+/// Decoded payload of an Error frame.
+struct SyncErrorInfo {
+  std::uint8_t code = 0;
+  std::string message;
+  /// Whether the refusal is known-transient (retry at the next
+  /// contact). Unknown codes from newer peers default to transient:
+  /// refusing politely is strictly better behaviour than anything a
+  /// hostile peer could gain from the frame.
+  [[nodiscard]] bool transient() const { return true; }
+};
+
+std::vector<std::uint8_t> encode_error_frame(std::uint8_t code,
+                                             const std::string& message);
+SyncErrorInfo decode_error_frame(const std::vector<std::uint8_t>& payload);
 
 /// Header fields of a streamed batch (the BatchBegin payload).
 struct BatchBeginInfo {

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file storage_error.hpp
+/// Exception types for storage faults and the degraded read-only mode
+/// they trigger. They live in util (not persist) because three layers
+/// must agree on them without depending on each other:
+///
+///   - persist throws StorageError from failing StorageEnv operations
+///     (EIO, ENOSPC, a failed fsync, ...), carrying the operation, file
+///     and errno so callers can log one structured line;
+///   - repl throws ReadOnlyError from the mutation funnel once the
+///     replica has been degraded to read-only (a StorageError with
+///     errno EROFS);
+///   - net catches StorageError *before* ContractViolation at the
+///     session boundary: a local disk fault mid-session is our problem,
+///     not the peer's, so it must never earn the peer a quarantine
+///     strike the way a protocol violation does.
+///
+/// StorageError derives from ContractViolation so code that predates
+/// the fault model still fails closed (catch blocks for
+/// ContractViolation see it), while fault-aware code can order a more
+/// specific catch first.
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace pfrdtn {
+
+/// A storage operation failed. `op` is the syscall-level operation
+/// ("write", "fsync", "open", ...), `file` the file it targeted, and
+/// `error_code` the errno captured at the failure point (0 when the
+/// fault is logical rather than a syscall, e.g. a read-only refusal).
+class StorageError : public ContractViolation {
+ public:
+  StorageError(std::string op, std::string file, int error_code)
+      : ContractViolation(format(op, file, error_code)),
+        op_(std::move(op)),
+        file_(std::move(file)),
+        error_code_(error_code) {}
+
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] int error_code() const { return error_code_; }
+
+ private:
+  static std::string format(const std::string& op,
+                            const std::string& file, int error_code) {
+    std::string out = op + " failed for " + file;
+    if (error_code != 0) {
+      out += ": errno=" + std::to_string(error_code) + " (" +
+             std::strerror(error_code) + ")";
+    }
+    return out;
+  }
+
+  std::string op_;
+  std::string file_;
+  int error_code_;
+};
+
+/// A mutation was refused because the replica is degraded to read-only
+/// (its durability layer can no longer acknowledge writes). Thrown
+/// *before* any in-memory state changes, so a refused mutation leaves
+/// the replica exactly as it was. Peers classify this as transient —
+/// retry after the operator clears the disk fault — never as a
+/// protocol violation.
+class ReadOnlyError : public StorageError {
+ public:
+  explicit ReadOnlyError(const std::string& what)
+      : StorageError("mutate", what, EROFS) {}
+};
+
+}  // namespace pfrdtn

@@ -233,6 +233,107 @@ TEST(CheckScenario, SummarySkipFallbackBugIsCaughtAndShrunk) {
   EXPECT_EQ(replay.violation->message, report.violation->message);
 }
 
+TEST(CheckScenario, CleanSeedsWithDiskFaultsSatisfyAllInvariants) {
+  // Under injected storage faults the correct stack degrades to
+  // read-only, refuses what it can no longer acknowledge, and after
+  // the heal-and-restart phase still converges on exactly the oracle's
+  // ground truth — no clean seed may trip any probe.
+  ScenarioConfig config;
+  config.disk_fault_rate = 0.02;
+  config.crash_rate = 0.15;
+  RunStats total;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RunResult result = run_scenario(make_scenario(config, seed));
+    EXPECT_FALSE(result.violation.has_value())
+        << "seed " << seed << ": [" << result.violation->probe << "] "
+        << result.violation->message;
+    total.disk_faults += result.stats.disk_faults;
+    total.refused += result.stats.refused;
+  }
+  // The fault plan must actually bite, and bitten replicas must have
+  // refused follow-up work — otherwise the clean runs prove nothing.
+  EXPECT_GT(total.disk_faults, 0u);
+  EXPECT_GT(total.refused, 0u);
+}
+
+TEST(CheckScenario, DiskFaultRunsAreDeterministic) {
+  ScenarioConfig config;
+  config.disk_fault_rate = 0.03;
+  config.crash_rate = 0.2;
+  config.steps = 80;
+  const Scenario scenario = make_scenario(config, 17);
+  const RunResult one = run_scenario(scenario, /*keep_log=*/true);
+  const RunResult two = run_scenario(scenario, /*keep_log=*/true);
+  EXPECT_EQ(one.log, two.log);
+}
+
+TEST(CheckScenario, DiskFaultRateConsumesNoScheduleDraws) {
+  // Fault draws happen at run time inside FaultInjectingEnv, never at
+  // generation time: a disk-fault config must produce bit-identical
+  // schedules to the default config, so old replay seeds still
+  // reproduce.
+  ScenarioConfig with_faults;
+  with_faults.disk_fault_rate = 0.5;
+  const Scenario faulty = make_scenario(with_faults, 1);
+  const Scenario baseline = make_scenario(ScenarioConfig{}, 1);
+  ASSERT_EQ(faulty.events.size(), baseline.events.size());
+  for (std::size_t i = 0; i < faulty.events.size(); ++i) {
+    EXPECT_EQ(format_event(i, faulty.events[i]),
+              format_event(i, baseline.events[i]));
+  }
+}
+
+TEST(CheckScenario, TornTailsLandOnTheGenerationWal) {
+  // Regression: the torn-tail injector used to append to the legacy
+  // "wal.log", which the generation layout never reads — every torn
+  // mode was a silent no-op. The crash notes report the truncated
+  // bytes, so some crash across these seeds must observe a nonzero
+  // torn tail.
+  ScenarioConfig config;
+  config.crash_rate = 0.3;
+  bool torn_observed = false;
+  for (std::uint64_t seed = 1; seed <= 6 && !torn_observed; ++seed) {
+    const RunResult result =
+        run_scenario(make_scenario(config, seed), /*keep_log=*/true);
+    ASSERT_FALSE(result.violation.has_value());
+    for (const std::string& line : result.log) {
+      const auto pos = line.find("torn_bytes=");
+      if (pos != std::string::npos && line[pos + 11] != '0') {
+        torn_observed = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(torn_observed)
+      << "no crash recovery ever truncated injected torn bytes";
+}
+
+TEST(CheckScenario, AckBeforeFsyncBugIsCaughtAndShrunk) {
+  // The fsyncgate oracle: a stack that swallows fsync failures and
+  // acknowledges anyway never degrades, so it faces the exact-digest
+  // crash probe with records a failed fsync silently dropped — the
+  // harness must catch the loss within a few seeds and shrink it to a
+  // near-minimal mutate/fault/crash schedule.
+  CheckOptions options;
+  options.config.disk_fault_rate = 0.05;
+  options.config.crash_rate = 0.3;
+  options.config.inject_ack_before_fsync = true;
+  options.seed = 1;
+  options.runs = 10;
+  const CheckReport report = run_check(options);
+  ASSERT_FALSE(report.passed)
+      << "acking before fsync must lose acknowledged state within 10 seeds";
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_TRUE(report.violation->probe == "durability" ||
+              report.violation->probe == "crash-recovery")
+      << report.violation->probe;
+  EXPECT_LE(report.shrunk.events.size(), 20u);
+  // The shrunk scenario re-fails identically on a fresh engine.
+  const RunResult replay = run_scenario(report.shrunk);
+  ASSERT_TRUE(replay.violation.has_value());
+  EXPECT_EQ(replay.violation->message, report.violation->message);
+}
+
 TEST(CheckScenario, ShrinkingIsDeterministic) {
   CheckOptions options;
   options.config.inject_learn_truncated = true;

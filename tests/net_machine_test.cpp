@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <optional>
 #include <vector>
 
 #include "net/limits.hpp"
+#include "util/storage_error.hpp"
 
 namespace pfrdtn::net {
 namespace {
@@ -118,6 +120,17 @@ struct ClientDriver {
           target.emplace(self, policy, options, &budget);
           target->start(sink, server_id, SimTime(0));
           phase = Phase::Pull;
+          // A read-only replica refuses its own pull inside start():
+          // the leg is already over, as run_client_session observes
+          // via receive() returning immediately.
+          if (target->finished()) {
+            pulled = target->take_result();
+            if (mode == SyncMode::Encounter) {
+              start_push();
+            } else {
+              phase = Phase::Done;
+            }
+          }
         } else {
           start_push();
         }
@@ -455,6 +468,138 @@ TEST(FrameDecoder, OversizedFrameRejectedAtHeaderTime) {
                       1u << 20, header.data());
   decoder.feed(header.data(), header.size());
   EXPECT_THROW(decoder.next(), ResourceLimitError);
+}
+
+// ---- degraded read-only refusals -------------------------------------
+
+/// A degraded read-only server refuses a push with a structured Error
+/// frame: the client's source role ends as a graceful, transient
+/// refusal — no violation, no transport failure, nothing applied.
+TEST(MachineSession, ReadOnlyServerRefusesPushGracefully) {
+  World world;
+  world.server.set_read_only(true);
+  const auto server_before = snapshot(world.server);
+
+  Shuttle shuttle(world, SyncMode::Push);
+  shuttle.run();
+  ASSERT_TRUE(shuttle.server.finished());
+  const ServerSessionOutcome outcome = shuttle.server.take_outcome();
+  EXPECT_FALSE(outcome.transport_failed);
+  EXPECT_TRUE(outcome.applied.refused);
+  EXPECT_FALSE(outcome.applied.transport_failed);
+  EXPECT_FALSE(outcome.applied.result.stats.complete);
+
+  ASSERT_TRUE(shuttle.client.pushed.has_value());
+  EXPECT_TRUE(shuttle.client.pushed->refused);
+  EXPECT_FALSE(shuttle.client.pushed->transport_failed);
+  EXPECT_EQ(shuttle.client.pushed->stats.items_sent, 0u);
+  EXPECT_NE(shuttle.client.pushed->error.find("read-only"),
+            std::string::npos);
+  EXPECT_EQ(snapshot(world.server), server_before);
+}
+
+/// A degraded server still serves pulls — only the mutating leg of an
+/// encounter is refused, and the refusal does not fail the session.
+TEST(MachineSession, ReadOnlyServerStillServesPullLegOfEncounter) {
+  World world;
+  world.server.set_read_only(true);
+
+  Shuttle shuttle(world, SyncMode::Encounter);
+  shuttle.run();
+  ASSERT_TRUE(shuttle.server.finished());
+  const ServerSessionOutcome outcome = shuttle.server.take_outcome();
+  EXPECT_FALSE(outcome.transport_failed);
+  // Pull leg served normally...
+  EXPECT_FALSE(outcome.served.transport_failed);
+  EXPECT_GT(outcome.served.stats.items_sent, 0u);
+  ASSERT_TRUE(shuttle.client.pulled.has_value());
+  EXPECT_GT(shuttle.client.pulled->result.stats.items_new, 0u);
+  // ...while the push leg was refused.
+  EXPECT_TRUE(outcome.applied.refused);
+  ASSERT_TRUE(shuttle.client.pushed.has_value());
+  EXPECT_TRUE(shuttle.client.pushed->refused);
+}
+
+/// A degraded read-only client refuses its own pull up front (a pull
+/// mutates the client), yet still pushes its acked data outward.
+TEST(MachineSession, ReadOnlyClientRefusesPullButStillPushes) {
+  World world;
+  world.client.set_read_only(true);
+
+  Shuttle shuttle(world, SyncMode::Encounter);
+  shuttle.run();
+  ASSERT_TRUE(shuttle.server.finished());
+  const ServerSessionOutcome outcome = shuttle.server.take_outcome();
+  EXPECT_FALSE(outcome.transport_failed);
+  // The server's source role saw the Error opener: graceful refusal.
+  EXPECT_TRUE(outcome.served.refused);
+  EXPECT_EQ(outcome.served.stats.items_sent, 0u);
+  ASSERT_TRUE(shuttle.client.pulled.has_value());
+  EXPECT_TRUE(shuttle.client.pulled->refused);
+  // The push leg moved the client's data anyway: pushing reads the
+  // degraded replica, it never mutates it.
+  EXPECT_FALSE(outcome.applied.refused);
+  EXPECT_GT(outcome.applied.result.stats.items_new, 0u);
+}
+
+/// The loopback drive takes the same refusal path: both sides end
+/// gracefully and the target applies nothing.
+TEST(MachineSession, ReadOnlyTargetOverLoopbackIsGracefulBothSides) {
+  World world;
+  world.client.set_read_only(true);
+  const auto outcome = sync_over_loopback(
+      world.server, world.client, &world.server_policy,
+      &world.client_policy, SimTime(0));
+  EXPECT_TRUE(outcome.client.refused);
+  EXPECT_FALSE(outcome.client.transport_failed);
+  EXPECT_TRUE(outcome.server.refused);
+  EXPECT_FALSE(outcome.server.transport_failed);
+  EXPECT_EQ(outcome.client.result.stats.items_new, 0u);
+}
+
+/// A mutation sink that fails like a full disk as soon as it is armed.
+class FaultingSink : public repl::ReplicaMutationSink {
+ public:
+  bool armed = false;
+  void on_local_put(const Item&) override { maybe_throw(); }
+  void on_apply_remote(const Item&) override { maybe_throw(); }
+  void on_set_filter(const Filter&) override { maybe_throw(); }
+  void on_discard_relay(ItemId) override { maybe_throw(); }
+  void on_learn(const repl::Knowledge&) override { maybe_throw(); }
+  void on_policy_state(
+      ItemId, const std::map<std::string, std::string>&) override {}
+
+ private:
+  void maybe_throw() {
+    if (armed) throw StorageError("write", "wal.1.log", ENOSPC);
+  }
+};
+
+/// A local disk fault mid-apply escapes the machine as StorageError
+/// (never a plain ContractViolation), and the host's containment —
+/// on_transport_error — seals the session as a local failure with the
+/// applied prefix kept. This is the contract the epoll server and
+/// serve_session rely on to avoid striking the peer for our disk.
+TEST(MachineSession, StorageFaultMidApplyIsLocalFailureNotViolation) {
+  World world;
+  FaultingSink sink;
+  world.server.set_mutation_sink(&sink);
+  sink.armed = true;
+
+  Shuttle shuttle(world, SyncMode::Push);
+  try {
+    shuttle.run();
+    FAIL() << "the faulting sink must surface its StorageError";
+  } catch (const StorageError& fault) {
+    EXPECT_EQ(fault.error_code(), ENOSPC);
+  }
+  ASSERT_FALSE(shuttle.server.finished());
+  shuttle.server.on_transport_error("local storage fault: disk full");
+  ASSERT_TRUE(shuttle.server.finished());
+  const ServerSessionOutcome outcome = shuttle.server.take_outcome();
+  EXPECT_TRUE(outcome.transport_failed);
+  EXPECT_FALSE(outcome.applied.result.stats.complete);
+  world.server.set_mutation_sink(nullptr);
 }
 
 }  // namespace

@@ -39,8 +39,9 @@ TEST(Recovery, FreshAttachWritesInitialCheckpoint) {
   Durability durability(env);
   durability.attach(replica);
   EXPECT_EQ(durability.epoch(), 1u);
-  EXPECT_TRUE(env.exists(kCheckpointFile));
-  EXPECT_TRUE(env.exists(kWalFile));
+  EXPECT_TRUE(env.exists(kManifestFile));
+  EXPECT_TRUE(env.exists(checkpoint_file(1)));
+  EXPECT_TRUE(env.exists(wal_file(1)));
 
   const auto recovered = recover(env);
   ASSERT_TRUE(recovered.has_value());
@@ -138,16 +139,33 @@ TEST(Recovery, CheckpointRotationAdvancesEpochAndResetsLog) {
   MemEnv env;
   Replica replica = make_replica(1, 5);
   DurabilityOptions options;
-  options.checkpoint_every_bytes = 1;  // roll after every mutation
+  options.checkpoint_every_bytes = 1;  // request a roll per mutation
   Durability durability(env, options);
   durability.attach(replica);
   ASSERT_EQ(durability.checkpoints_written(), 1u);
 
+  // Hooks log write-ahead (record first, mutation second), so a roll
+  // triggered by an append is deferred to the next safe point — the
+  // start of the following log() or an explicit flush() — where memory
+  // and log agree. Two creates therefore roll once (at the second
+  // create's entry), leaving the second record in the live segment.
   replica.create(to(5), {'a'});
   replica.create(to(5), {'b'});
-  EXPECT_EQ(durability.epoch(), 3u);  // initial + one roll per create
-  EXPECT_EQ(durability.checkpoints_written(), 3u);
+  EXPECT_EQ(durability.epoch(), 2u);
+  EXPECT_EQ(durability.checkpoints_written(), 2u);
+  {
+    const auto recovered = recover(env);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->stats.epoch, 2u);
+    EXPECT_EQ(recovered->stats.wal_records_replayed, 1u);
+    EXPECT_EQ(state_digest(recovered->replica), state_digest(replica));
+  }
 
+  // flush() consumes the pending roll: the deferred checkpoint lands
+  // and the fresh segment is empty.
+  durability.flush();
+  EXPECT_EQ(durability.epoch(), 3u);
+  EXPECT_EQ(durability.checkpoints_written(), 3u);
   const auto recovered = recover(env);
   ASSERT_TRUE(recovered.has_value());
   EXPECT_EQ(recovered->stats.epoch, 3u);
@@ -186,10 +204,12 @@ TEST(Recovery, StaleEpochLogIsIgnored) {
   Replica new_state =
       decode_replica_state(encode_replica_state(old_state));
   new_state.create(to(5), {'b'});
-  // Publish the epoch-2 checkpoint but "crash" before the WAL reset:
-  // the epoch-1 log with its record is still on disk.
-  env.write_file_durable(kCheckpointFile,
+  // Publish the epoch-2 checkpoint and manifest but "crash" before the
+  // epoch-2 WAL segment is created: wal.1.log with its record is still
+  // on disk, but everything in it is already folded into checkpoint 2.
+  env.write_file_durable(checkpoint_file(2),
                          encode_checkpoint(2, new_state));
+  env.write_file_durable(kManifestFile, encode_manifest({1, 2}));
 
   const auto recovered = recover(env);
   ASSERT_TRUE(recovered.has_value());
@@ -211,7 +231,7 @@ TEST(Recovery, TornTailIsTruncatedAndLoggingResumes) {
   }
   // Power cut mid-append: garbage bytes after the valid prefix.
   env.crash();
-  env.corrupt_append(kWalFile, {0x13, 0x37, 0xFF, 0x00, 0xAB});
+  env.corrupt_append(wal_file(1), {0x13, 0x37, 0xFF, 0x00, 0xAB});
 
   auto recovered = recover(env);
   ASSERT_TRUE(recovered.has_value());
@@ -301,6 +321,180 @@ TEST(Recovery, DeliveredLedgerSurvivesCheckpointRotation) {
   Durability reborn(env);
   reborn.attach(recovered->replica);
   EXPECT_EQ(reborn.delivered(), expect);
+}
+
+TEST(Recovery, CorruptNewestCheckpointFallsBackAtEveryByteOffset) {
+  // The generation guarantee, exhaustively: whatever single byte of
+  // the newest checkpoint a hostile disk flips, recovery lands on the
+  // previous generation and rebuilds the identical state by replaying
+  // the full wal.1 segment plus the wal.2 prefix.
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  Durability durability(env);
+  durability.attach(replica);
+  replica.create(to(5), {'a'});  // folded into checkpoint 2
+  durability.checkpoint_now();
+  replica.create(to(5), {'b'});  // lives in wal.2.log
+  durability.detach();
+  const std::uint64_t expect = state_digest(replica);
+
+  const std::string newest = checkpoint_file(2);
+  const std::vector<std::uint8_t> good = env.read_file(newest);
+  for (std::size_t off = 0; off < good.size(); ++off) {
+    MemEnv copy = env;
+    std::vector<std::uint8_t> bad = good;
+    bad[off] ^= 0xFF;
+    copy.write_file_durable(newest, bad);
+    const auto recovered = recover(copy);
+    ASSERT_TRUE(recovered.has_value()) << "offset " << off;
+    EXPECT_TRUE(recovered->stats.fallback) << "offset " << off;
+    EXPECT_EQ(recovered->stats.epoch, 1u) << "offset " << off;
+    EXPECT_EQ(recovered->stats.newest_epoch, 2u) << "offset " << off;
+    EXPECT_EQ(recovered->stats.generations_tried, 2u) << "offset " << off;
+    EXPECT_EQ(recovered->stats.segments_replayed, 2u) << "offset " << off;
+    ASSERT_EQ(state_digest(recovered->replica), expect)
+        << "offset " << off;
+  }
+
+  // Control: the untouched directory recovers without falling back.
+  const auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_FALSE(recovered->stats.fallback);
+  EXPECT_EQ(recovered->stats.epoch, 2u);
+  EXPECT_EQ(state_digest(recovered->replica), expect);
+}
+
+TEST(Recovery, CorruptNewestGenerationIsRepairedOnAttach) {
+  MemEnv env;
+  std::set<ItemId> expect_delivered;
+  std::uint64_t expect_digest = 0;
+  {
+    Replica replica = make_replica(1, 5);
+    Durability durability(env);
+    durability.attach(replica);
+    const Item& a = replica.create(to(5), {'a'});
+    durability.note_delivered(a.id());
+    expect_delivered.insert(a.id());
+    durability.checkpoint_now();
+    const Item& b = replica.create(to(5), {'b'});
+    durability.note_delivered(b.id());
+    expect_delivered.insert(b.id());
+    expect_digest = state_digest(replica);
+    durability.detach();
+  }
+  std::vector<std::uint8_t> bad = env.read_file(checkpoint_file(2));
+  bad[bad.size() / 2] ^= 0xFF;
+  env.write_file_durable(checkpoint_file(2), bad);
+
+  auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_TRUE(recovered->stats.fallback);
+  EXPECT_EQ(state_digest(recovered->replica), expect_digest);
+  EXPECT_EQ(recovered->delivered, expect_delivered);
+
+  // attach() repairs: a fresh checkpoint one epoch past the corrupt
+  // generation, the unreadable one dropped, the ledger recomputed.
+  Durability reborn(env);
+  reborn.attach(recovered->replica);
+  EXPECT_EQ(reborn.epoch(), 3u);
+  EXPECT_TRUE(env.exists(checkpoint_file(3)));
+  EXPECT_FALSE(env.exists(checkpoint_file(2)));
+  EXPECT_EQ(reborn.delivered(), expect_delivered);
+  EXPECT_EQ(reborn.generations(),
+            (std::vector<std::uint64_t>{1, 3}));
+
+  // The repaired directory keeps its acknowledgement contract.
+  recovered->replica.create(to(5), {'c'});
+  EXPECT_EQ(recovered_digest(env), state_digest(recovered->replica));
+}
+
+TEST(Recovery, PruneKeepsConfiguredGenerationCount) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  DurabilityOptions options;
+  options.checkpoint_generations = 2;
+  Durability durability(env, options);
+  durability.attach(replica);
+  for (int i = 0; i < 5; ++i) {
+    replica.create(to(5), {static_cast<std::uint8_t>('a' + i)});
+    durability.checkpoint_now();
+  }
+  EXPECT_EQ(durability.epoch(), 6u);
+  EXPECT_EQ(durability.generations(),
+            (std::vector<std::uint64_t>{5, 6}));
+  EXPECT_EQ(durability.counters().generations_pruned, 4u);
+  EXPECT_FALSE(env.exists(checkpoint_file(4)));
+  EXPECT_FALSE(env.exists(wal_file(4)));
+  EXPECT_TRUE(env.exists(checkpoint_file(5)));
+  EXPECT_TRUE(env.exists(checkpoint_file(6)));
+  EXPECT_EQ(recovered_digest(env), state_digest(replica));
+}
+
+TEST(Recovery, LegacyLayoutMigratesOnAttach) {
+  // A pre-generation state directory (checkpoint.bin + wal.log) must
+  // recover unchanged and convert to the manifest layout on the first
+  // attach, byte-preserving the checkpoint and the WAL's valid prefix.
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  env.write_file_durable(kCheckpointFile, encode_checkpoint(1, replica));
+  const Item& a = replica.create(to(5), {'a'});
+  std::vector<std::uint8_t> wal = encode_wal_header(1);
+  const auto record = encode_wal_record(encode_local_put(a));
+  wal.insert(wal.end(), record.begin(), record.end());
+  env.append(kWalFile, wal.data(), wal.size());
+  env.sync(kWalFile);
+
+  auto recovered = recover(env);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->stats.wal_records_replayed, 1u);
+  ASSERT_EQ(state_digest(recovered->replica), state_digest(replica));
+
+  Durability durability(env);
+  durability.attach(recovered->replica);
+  EXPECT_TRUE(env.exists(kManifestFile));
+  EXPECT_TRUE(env.exists(checkpoint_file(1)));
+  EXPECT_TRUE(env.exists(wal_file(1)));
+  EXPECT_FALSE(env.exists(kCheckpointFile));
+  EXPECT_FALSE(env.exists(kWalFile));
+
+  // Logging resumes into the migrated segment under the same contract.
+  recovered->replica.create(to(5), {'b'});
+  EXPECT_EQ(recovered_digest(env), state_digest(recovered->replica));
+}
+
+TEST(Recovery, CorruptManifestIsRejected) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  {
+    Durability durability(env);
+    durability.attach(replica);
+    replica.create(to(5), {'a'});
+    durability.detach();
+  }
+  std::vector<std::uint8_t> bad = env.read_file(kManifestFile);
+  bad.back() ^= 0xFF;  // break the CRC
+  env.write_file_durable(kManifestFile, bad);
+  EXPECT_THROW(recover(env), ContractViolation);
+}
+
+TEST(Recovery, AllGenerationsCorruptIsRejected) {
+  MemEnv env;
+  Replica replica = make_replica(1, 5);
+  {
+    Durability durability(env);
+    durability.attach(replica);
+    replica.create(to(5), {'a'});
+    durability.checkpoint_now();
+    replica.create(to(5), {'b'});
+    durability.detach();
+  }
+  for (const std::uint64_t epoch : {1u, 2u}) {
+    std::vector<std::uint8_t> bad =
+        env.read_file(checkpoint_file(epoch));
+    bad[8] ^= 0xFF;
+    env.write_file_durable(checkpoint_file(epoch), bad);
+  }
+  EXPECT_THROW(recover(env), ContractViolation);
 }
 
 TEST(Recovery, DetachStopsLogging) {

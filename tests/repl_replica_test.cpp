@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/storage_error.hpp"
+
 namespace pfrdtn::repl {
 namespace {
 
@@ -232,6 +234,36 @@ TEST(Replica, RefilterDeliveryOrderIsIdenticalAcrossTwins) {
   Replica a = make_replica(2, 1);
   Replica b = make_replica(3, 1);
   EXPECT_EQ(feed(a), feed(b));
+}
+
+TEST(Replica, ReadOnlyRefusesEveryMutationBeforeAnyStateChange) {
+  Replica r = make_replica(1, 5);
+  const Item& kept = r.create(to(5), {'a'});
+  Replica other = make_replica(2, 5);
+  const Item& incoming = other.create(to(5), {'x'});
+
+  r.set_read_only(true);
+  const Knowledge knowledge_before = r.knowledge();
+  EXPECT_THROW(r.create(to(5), {'b'}), ReadOnlyError);
+  EXPECT_THROW(r.update(kept.id(), to(5), {'c'}), ReadOnlyError);
+  EXPECT_THROW(r.erase(kept.id()), ReadOnlyError);
+  EXPECT_THROW(r.set_filter(Filter::addresses({HostId(6)})),
+               ReadOnlyError);
+  std::vector<Item> evicted;
+  EXPECT_THROW(r.apply_remote(incoming, evicted), ReadOnlyError);
+  EXPECT_THROW(r.learn(other.knowledge()), ReadOnlyError);
+  EXPECT_THROW(r.discard_relay(kept.id()), ReadOnlyError);
+  // Refusal happens before any in-memory change: the store and the
+  // knowledge are untouched.
+  EXPECT_EQ(r.store().size(), 1u);
+  EXPECT_TRUE(r.knowledge().knows(incoming, incoming.version()) ==
+              knowledge_before.knows(incoming, incoming.version()));
+  EXPECT_TRUE(r.check_invariants().empty());
+
+  // Flipping back restores full mutability.
+  r.set_read_only(false);
+  r.create(to(5), {'d'});
+  EXPECT_EQ(r.store().size(), 2u);
 }
 
 }  // namespace

@@ -9,7 +9,12 @@
 #   3. clean runs exit zero;
 #   4. with crash events enabled, the injected durability bug
 #      (--inject-bug skip-fsync) is caught by the crash probe,
-#      reproduces byte-identically, and also shrinks small.
+#      reproduces byte-identically, and also shrinks small;
+#   5. with disk faults enabled, the injected acknowledgement bug
+#      (--inject-bug ack-before-fsync: the WAL acks a mutation before
+#      it is durable) is caught by the durability probe — the oracle
+#      proof that "nothing a peer was told is durable may be lost" is
+#      actually enforced under storage faults.
 set -euo pipefail
 
 bin="$1"
@@ -65,5 +70,31 @@ fsync_events="$(sed -n 's/.*shrunk to \([0-9]*\) event(s).*/\1/p' \
   exit 1
 }
 
-echo "check-cli determinism OK (bugs shrunk to $events and" \
-  "$fsync_events events)"
+# 5. The injected ack-before-fsync bug acknowledges a mutation to the
+# replica (and thus to peers) before the record is durable; a disk
+# fault plus a crash then loses acknowledged state. The durability
+# probe must catch, reproduce, and shrink it — and the same seed must
+# pass clean without the bug (the fault schedule itself is innocent).
+"$bin" check --replay 8 --crash-rate 0.2 --disk-fault-rate 0.05 \
+  > "$tmp/ack_clean"
+grep -q "check passed" "$tmp/ack_clean"
+rc=0
+"$bin" check --replay 8 --crash-rate 0.2 --disk-fault-rate 0.05 \
+  --inject-bug ack-before-fsync --log > "$tmp/ack1" || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1, got $rc"; exit 1; }
+"$bin" check --replay 8 --crash-rate 0.2 --disk-fault-rate 0.05 \
+  --inject-bug ack-before-fsync --log > "$tmp/ack2" || true
+diff "$tmp/ack1" "$tmp/ack2"
+grep -q "INVARIANT VIOLATION" "$tmp/ack1"
+grep -Eq "probe: *(durability|crash-recovery)" "$tmp/ack1"
+grep -q "replay: pfrdtn check --crash-rate 0.2 --disk-fault-rate 0.05" \
+  "$tmp/ack1"
+ack_events="$(sed -n 's/.*shrunk to \([0-9]*\) event(s).*/\1/p' \
+  "$tmp/ack1")"
+[ -n "$ack_events" ] && [ "$ack_events" -le 20 ] || {
+  echo "ack-before-fsync shrunk schedule too large: '$ack_events' events"
+  exit 1
+}
+
+echo "check-cli determinism OK (bugs shrunk to $events," \
+  "$fsync_events, and $ack_events events)"

@@ -89,6 +89,15 @@ run_check_stage() {
     --summary-rate 0.5 --summary-collision-rate 0.2
   "$bin" check --seed "$seed" --runs "$((runs / 8))" \
     --summary-rate 0.4 --cut-rate 0.3 --crash-rate 0.1
+  # Storage-fault schedules against the degrade-to-read-only path:
+  # every injected disk fault must refuse the mutation with zero trace
+  # (nothing acknowledged is ever lost), degraded replicas keep serving
+  # reads but strike nobody, and a heal + restart converges.
+  "$bin" check --seed "$seed" --runs "$((runs / 4))" \
+    --disk-fault-rate 0.05 --crash-rate 0.15
+  "$bin" check --seed "$seed" --runs "$((runs / 8))" \
+    --disk-fault-rate 0.1 --crash-rate 0.2 --cut-rate 0.3 \
+    --summary-rate 0.2 --adversary-rate 0.1
 }
 
 # The durability oracle must actually bite: with fsync skipped, a
@@ -107,6 +116,26 @@ run_durability_oracle_proof() {
     exit 1
   fi
   echo "durability oracle caught the injected fsync skip"
+}
+
+# The acknowledgement oracle must bite under storage faults too: with
+# the WAL acking mutations before they are durable (ack-before-fsync),
+# a fixed-seed disk-fault + crash schedule has to fail the durability
+# probe and shrink small. Guards the write-ahead ordering that the
+# whole degrade-to-read-only design rests on.
+run_diskfault_oracle_proof() {
+  local name="$1"
+  local bin="$ROOT/build-ci/$name/tools/pfrdtn"
+  echo "=== [$name] check: ack-before-fsync bug is caught ==="
+  local rc=0
+  "$bin" check --seed 1 --runs 10 --crash-rate 0.2 \
+    --disk-fault-rate 0.05 --inject-bug ack-before-fsync \
+    > /dev/null || rc=$?
+  if [[ "$rc" -ne 1 ]]; then
+    echo "ack-before-fsync injection was not detected (exit $rc)" >&2
+    exit 1
+  fi
+  echo "durability oracle caught the injected early acknowledgement"
 }
 
 # The adversary probes must bite too: with limit enforcement skipped, a
@@ -168,6 +197,8 @@ run_check_stage asan-ubsan 60
 run_check_stage tsan 40
 run_durability_oracle_proof plain
 run_durability_oracle_proof asan-ubsan
+run_diskfault_oracle_proof plain
+run_diskfault_oracle_proof asan-ubsan
 run_adversary_oracle_proof plain
 run_adversary_oracle_proof asan-ubsan
 run_summary_oracle_proof plain

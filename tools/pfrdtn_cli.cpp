@@ -50,9 +50,11 @@
 #include "net/session.hpp"
 #include "net/tcp.hpp"
 #include "persist/durability.hpp"
+#include "persist/fault_env.hpp"
 #include "sim/experiment.hpp"
 #include "trace/trace_io.hpp"
 #include "util/rng.hpp"
+#include "util/storage_error.hpp"
 
 namespace {
 
@@ -76,6 +78,10 @@ using namespace pfrdtn;
       "               [--id N] [--max-sessions N] [--bandwidth N]\n"
       "               [--workers N] [--drain-ms N]\n"
       "               [--state-dir DIR] [--kill-after-records N]\n"
+      "               [--checkpoint-every-bytes N]\n"
+      "               [--checkpoint-generations N]\n"
+      "               [--disk-fault-rate X] [--disk-fault-seed S]\n"
+      "               [--disk-fault-after-bytes N]\n"
       "               [--io-timeout-ms N] [--session-deadline-ms N]\n"
       "               [--quarantine-base-ms N] [--quarantine-max-ms N]\n"
       "               [--max-request-bytes N] [--max-item-bytes N]\n"
@@ -84,6 +90,8 @@ using namespace pfrdtn;
       "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
       "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
       "               [--state-dir DIR] [--retries N] [--retry-base-ms N]\n"
+      "               [--disk-fault-rate X] [--disk-fault-seed S]\n"
+      "               [--disk-fault-after-bytes N]\n"
       "               [--summary-mode on|off|auto]\n"
       "  chaos        --host H (--port N | --port-file FILE)\n"
       "               (--attack NAME | --all | --list)\n"
@@ -95,10 +103,12 @@ using namespace pfrdtn;
       "               [--filter-rate X] [--discard-rate X] [--storage N]\n"
       "               [--crash-rate X] [--adversary-rate X] [--quiesce N]\n"
       "               [--summary-rate X] [--summary-collision-rate X]\n"
+      "               [--disk-fault-rate X]\n"
       "               [--no-shrink] [--shrink-budget N]\n"
       "               [--inject-bug learn-truncated|skip-fsync|\n"
       "                             skip-limit-check|no-deadline|\n"
-      "                             summary-skip-fallback]\n"
+      "                             summary-skip-fallback|\n"
+      "                             ack-before-fsync]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -129,6 +139,12 @@ class Args {
 
 std::uint64_t parse_u64(const char* text) {
   return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
+}
+
+double parse_rate(const char* text) {
+  const double rate = std::strtod(text, nullptr);
+  if (rate < 0.0 || rate > 1.0) usage("rates must be in [0, 1]");
+  return rate;
 }
 
 repl::SummaryMode parse_summary_mode(const std::string& name) {
@@ -335,26 +351,66 @@ void report_sync(const char* label, const repl::SyncStats& stats) {
       stats.complete ? 1 : 0, stats.request_bytes, stats.batch_bytes);
 }
 
+/// Seeded disk-fault injection for the CLI (tools/diskfault_e2e.sh):
+/// wraps the FsEnv in a persist::FaultInjectingEnv so a node can be
+/// run against a disk that fails under load without filling or
+/// breaking a real one. The rate is armed *after* attach — the disk
+/// was healthy at boot — while the ENOSPC byte budget counts from the
+/// first write (a disk that fills, fills on everything).
+struct DiskFaultFlags {
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t after_bytes = 0;  ///< 0 = no ENOSPC budget
+  [[nodiscard]] bool any() const { return rate > 0 || after_bytes > 0; }
+};
+
 /// A DtnNode plus its (optional) crash-durable state. When `state_dir`
 /// is non-empty: recover the replica if a checkpoint exists, else start
 /// fresh, and attach the WAL sink either way — every later mutation is
 /// durable before the funnel returns.
 struct DurableNode {
   std::unique_ptr<persist::FsEnv> env;
+  /// Non-null when disk faults are requested; wraps *env.
+  std::unique_ptr<persist::FaultInjectingEnv> fault_env;
   std::unique_ptr<persist::Durability> durability;
   std::optional<dtn::DtnNode> node;
+
+  [[nodiscard]] persist::StorageEnv& storage() {
+    if (fault_env) return *fault_env;
+    return *env;
+  }
 };
 
 DurableNode make_durable_node(const std::string& state_dir,
                               std::uint64_t id, bool id_explicit,
-                              persist::DurabilityOptions options = {}) {
+                              persist::DurabilityOptions options = {},
+                              const DiskFaultFlags& faults = {}) {
   DurableNode out;
   if (state_dir.empty()) {
     out.node.emplace(ReplicaId(id));
     return out;
   }
   out.env = std::make_unique<persist::FsEnv>(state_dir);
-  if (auto recovered = persist::recover(*out.env)) {
+  if (faults.any()) {
+    persist::FaultPlan plan;
+    plan.seed = faults.seed;
+    plan.fault_rate = 0.0;  // armed after attach
+    plan.enospc_after_bytes = faults.after_bytes;
+    out.fault_env = std::make_unique<persist::FaultInjectingEnv>(
+        *out.env, plan);
+  }
+  // One structured, grep-stable line the moment the layer gives up on
+  // the acknowledgement contract; everything after it is read-only.
+  if (!options.on_degrade) {
+    options.on_degrade = [](const StorageError& err) {
+      std::fprintf(stderr,
+                   "degraded: now read-only op=%s file=%s errno=%d\n",
+                   err.op().c_str(), err.file().c_str(),
+                   err.error_code());
+      std::fflush(stderr);
+    };
+  }
+  if (auto recovered = persist::recover(out.storage())) {
     std::printf(
         "recovered replica %llu from %s: epoch=%llu replayed=%zu "
         "torn_bytes=%zu%s\n",
@@ -377,8 +433,9 @@ DurableNode make_durable_node(const std::string& state_dir,
     out.node.emplace(ReplicaId(id));
   }
   out.durability =
-      std::make_unique<persist::Durability>(*out.env, options);
+      std::make_unique<persist::Durability>(out.storage(), options);
   out.durability->attach(out.node->replica());
+  if (out.fault_env) out.fault_env->set_fault_rate(faults.rate);
   // Exactly-once delivery reporting across restarts: seed the node's
   // ledger with everything already reported (attach() restored it from
   // checkpoint + WAL) and persist each new first-time delivery before
@@ -416,6 +473,7 @@ int cmd_serve(Args& args) {
   int drain_ms = 5000;
   repl::SyncOptions sync_options;
   persist::DurabilityOptions durability_options;
+  DiskFaultFlags faults;
   net::TcpOptions tcp_options;
   tcp_options.session_deadline_ms = 30000;
   net::ResourceLimits limits;
@@ -447,6 +505,20 @@ int cmd_serve(Args& args) {
     } else if (flag == "--kill-after-records") {
       durability_options.kill_after_records =
           parse_u64(args.value("--kill-after-records"));
+    } else if (flag == "--checkpoint-every-bytes") {
+      durability_options.checkpoint_every_bytes =
+          parse_u64(args.value("--checkpoint-every-bytes"));
+    } else if (flag == "--checkpoint-generations") {
+      durability_options.checkpoint_generations = static_cast<std::size_t>(
+          parse_u64(args.value("--checkpoint-generations")));
+      if (durability_options.checkpoint_generations == 0)
+        usage("--checkpoint-generations must be >= 1");
+    } else if (flag == "--disk-fault-rate") {
+      faults.rate = parse_rate(args.value("--disk-fault-rate"));
+    } else if (flag == "--disk-fault-seed") {
+      faults.seed = parse_u64(args.value("--disk-fault-seed"));
+    } else if (flag == "--disk-fault-after-bytes") {
+      faults.after_bytes = parse_u64(args.value("--disk-fault-after-bytes"));
     } else if (flag == "--io-timeout-ms") {
       tcp_options.io_timeout_ms =
           static_cast<int>(parse_u64(args.value("--io-timeout-ms")));
@@ -478,9 +550,11 @@ int cmd_serve(Args& args) {
   if (addrs.empty()) usage("serve requires at least one --addr");
   if (durability_options.kill_after_records != 0 && state_dir.empty())
     usage("--kill-after-records requires --state-dir");
+  if (faults.any() && state_dir.empty())
+    usage("--disk-fault-* flags require --state-dir");
 
-  DurableNode durable =
-      make_durable_node(state_dir, id, id_explicit, durability_options);
+  DurableNode durable = make_durable_node(state_dir, id, id_explicit,
+                                          durability_options, faults);
   dtn::DtnNode& node = *durable.node;
   // With --state-dir the delivered ledger was recovered and seeded in
   // make_durable_node, so messages already reported before a crash stay
@@ -590,6 +664,25 @@ int cmd_serve(Args& args) {
 
   const bool listener_ok = server.run();
 
+  if (durable.durability) {
+    const persist::DurabilityCounters counters =
+        durable.durability->counters();
+    std::printf(
+        "durability: epoch=%llu records=%zu fsyncs=%zu checkpoints=%zu "
+        "roll_failures=%zu generations=%zu pruned=%zu degraded=%d\n",
+        static_cast<unsigned long long>(counters.epoch),
+        counters.wal_records_logged, counters.wal_fsyncs,
+        counters.checkpoints_written, counters.checkpoint_failures,
+        counters.generations_retained, counters.generations_pruned,
+        counters.degraded ? 1 : 0);
+    if (durable.fault_env) {
+      std::printf("disk-faults: injected=%zu bytes_written=%zu\n",
+                  durable.fault_env->faults_injected(),
+                  durable.fault_env->bytes_written());
+    }
+    std::fflush(stdout);
+  }
+
   shutdown_action.sa_handler = SIG_DFL;
   ::sigaction(SIGTERM, &shutdown_action, nullptr);
   ::sigaction(SIGINT, &shutdown_action, nullptr);
@@ -644,6 +737,7 @@ int cmd_sync_with(Args& args) {
   net::SyncMode mode = net::SyncMode::Encounter;
   net::TcpOptions tcp_options;
   repl::SyncOptions sync_options;
+  DiskFaultFlags faults;
   std::vector<std::pair<std::uint64_t, std::string>> sends;
 
   while (!args.done()) {
@@ -687,6 +781,12 @@ int cmd_sync_with(Args& args) {
       const int ms = static_cast<int>(parse_u64(args.value("--timeout-ms")));
       tcp_options.connect_timeout_ms = ms;
       tcp_options.io_timeout_ms = ms;
+    } else if (flag == "--disk-fault-rate") {
+      faults.rate = parse_rate(args.value("--disk-fault-rate"));
+    } else if (flag == "--disk-fault-seed") {
+      faults.seed = parse_u64(args.value("--disk-fault-seed"));
+    } else if (flag == "--disk-fault-after-bytes") {
+      faults.after_bytes = parse_u64(args.value("--disk-fault-after-bytes"));
     } else if (flag == "--summary-mode") {
       sync_options.summary_mode =
           parse_summary_mode(args.value("--summary-mode"));
@@ -695,6 +795,8 @@ int cmd_sync_with(Args& args) {
     }
   }
   if (!addr) usage("sync-with requires --addr");
+  if (faults.any() && state_dir.empty())
+    usage("--disk-fault-* flags require --state-dir");
   if (!port_file.empty()) {
     std::ifstream in(port_file);
     unsigned from_file = 0;
@@ -704,7 +806,8 @@ int cmd_sync_with(Args& args) {
   }
   if (port == 0) usage("sync-with requires --port or --port-file");
 
-  DurableNode durable = make_durable_node(state_dir, id, id_explicit);
+  DurableNode durable =
+      make_durable_node(state_dir, id, id_explicit, {}, faults);
   dtn::DtnNode& node = *durable.node;
   node.set_addresses({HostId(*addr)}, {}, SimTime(0));
   for (const auto& [dest, body] : sends)
@@ -721,6 +824,15 @@ int cmd_sync_with(Args& args) {
     report_delivered(
         node.on_sync_delivered(outcome.pull.result.delivered, SimTime(0)));
     std::printf("store=%zu\n", node.replica().store().size());
+    if (outcome.pull.refused || outcome.push.refused) {
+      // A structured, transient refusal (e.g. the peer — or this
+      // replica — is degraded read-only), not a link or protocol
+      // failure: distinct exit code so scripts can retry elsewhere.
+      std::fprintf(stderr, "refused: %s\n",
+                   outcome.pull.refused ? outcome.pull.error.c_str()
+                                        : outcome.push.error.c_str());
+      return 3;
+    }
     if (outcome.transport_failed) {
       std::fprintf(stderr, "transport failed: %s\n",
                    outcome.error.c_str());
@@ -848,6 +960,26 @@ int cmd_state_digest(Args& args) {
               static_cast<unsigned long long>(replica.next_counter()),
               static_cast<unsigned long long>(recovered->stats.epoch),
               recovered->stats.wal_records_replayed);
+  // Recovery provenance: which checkpoint generation actually loaded,
+  // whether newer corrupt generations were skipped, and whether the
+  // previous process died degraded (read-only marker still on disk).
+  std::printf("generations: recovered_epoch=%llu newest_epoch=%llu "
+              "tried=%zu fallback=%d\n",
+              static_cast<unsigned long long>(recovered->stats.epoch),
+              static_cast<unsigned long long>(
+                  recovered->stats.newest_epoch),
+              recovered->stats.generations_tried,
+              recovered->stats.fallback ? 1 : 0);
+  std::printf("wal: segments=%zu records=%zu bytes=%zu torn_bytes=%zu "
+              "stale=%d\n",
+              recovered->stats.segments_replayed,
+              recovered->stats.wal_records_replayed,
+              recovered->stats.wal_bytes_valid,
+              recovered->stats.wal_bytes_truncated,
+              recovered->stats.wal_stale ? 1 : 0);
+  std::printf("delivered=%zu\n", recovered->delivered.size());
+  std::printf("degraded=%d\n",
+              env.exists(persist::kDegradedMarkerFile) ? 1 : 0);
   return 0;
 }
 
@@ -913,6 +1045,9 @@ int cmd_check(Args& args) {
     } else if (flag == "--summary-collision-rate") {
       options.config.summary_collision_rate = std::atof(
           config_flag(flag, args.value("--summary-collision-rate")));
+    } else if (flag == "--disk-fault-rate") {
+      options.config.disk_fault_rate =
+          std::atof(config_flag(flag, args.value("--disk-fault-rate")));
     } else if (flag == "--quiesce") {
       options.config.quiescence_rounds =
           parse_u64(config_flag(flag, args.value("--quiesce")));
@@ -932,6 +1067,8 @@ int cmd_check(Args& args) {
         options.config.inject_no_deadline = true;
       } else if (bug == "summary-skip-fallback") {
         options.config.inject_summary_skip_fallback = true;
+      } else if (bug == "ack-before-fsync") {
+        options.config.inject_ack_before_fsync = true;
       } else {
         usage("unknown --inject-bug");
       }
@@ -969,6 +1106,14 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "--help" || command == "help") usage();
     usage(("unknown command " + command).c_str());
+  } catch (const pfrdtn::StorageError& fault) {
+    // Fatal persistence failure (fsync, checkpoint roll, recovery I/O):
+    // one structured line, non-zero exit. Unwinding releases the state
+    // directory flock so a supervisor can restart immediately.
+    std::fprintf(stderr, "fatal storage error: op=%s file=%s errno=%d: %s\n",
+                 fault.op().c_str(), fault.file().c_str(),
+                 fault.error_code(), fault.what());
+    return 1;
   } catch (const pfrdtn::ContractViolation& violation) {
     std::fprintf(stderr, "error: %s\n", violation.what());
     return 1;
