@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "check/oracle.hpp"
 #include "net/chaos.hpp"
@@ -266,6 +268,34 @@ class Engine {
     return std::string(" -> DISK FAULT (") + fault.what() + ")";
   }
 
+  /// Monotone forward progress across the retry attempts of one
+  /// contact: a version that fully arrived in an earlier attempt may
+  /// arrive again only if the replica deliberately evicted it in
+  /// between. Anything else means the retry discipline restarted
+  /// instead of resuming — re-sending progress the cut attempt had
+  /// already applied. Checked before the oracle's cross-contact
+  /// at-most-once audit so a retry bug is named for what it is.
+  void check_monotone(
+      std::size_t index, std::size_t who,
+      std::set<std::pair<std::uint64_t, std::uint64_t>>& seen,
+      const repl::SyncResult& applied) {
+    for (const repl::Version& v : applied.received_events) {
+      if (!seen.insert({v.author.value(), v.counter}).second) {
+        fail(index, "monotone-progress",
+             "r" + std::to_string(who) + " re-received event (author " +
+                 v.author.str() + ", counter " +
+                 std::to_string(v.counter) +
+                 ") within one contact: a retry re-sent progress an"
+                 " earlier attempt had already applied");
+        return;
+      }
+    }
+    for (const repl::Item& item : applied.evicted) {
+      seen.erase(
+          {item.version().author.value(), item.version().counter});
+    }
+  }
+
   /// Audit one applied sync direction: at-most-once ledger first (the
   /// batch was built against knowledge that predates these evictions),
   /// then excuse the events this application forgot.
@@ -426,86 +456,141 @@ class Engine {
       options.unsafe_summary_skip_fallback =
           scenario_.config.inject_summary_skip_fallback;
     }
-    net::LoopbackFaults faults;
-    if (event.fault.cut_after_bytes)
-      faults.cut_after_bytes = *event.fault.cut_after_bytes;
-    faults.bytes_per_second = event.fault.bytes_per_second;
 
     repl::Replica& target = replicas_[event.actor];
     repl::Replica& source = replicas_[event.peer];
     const SimTime now(static_cast<std::int64_t>(index));
-    ++result_.stats.syncs;
-    // Snapshots for the fault probes: a StorageError may only escape a
-    // sync if it degraded one of the participants on the way out, and
-    // an already-degraded target must refuse rather than apply.
-    const bool actor_was_degraded = degraded(event.actor);
-    const bool peer_was_degraded = degraded(event.peer);
+
+    // Pre-contact snapshots for the retry-forgets-progress mutant: the
+    // buggy discipline discards a cut attempt's partial work and
+    // restarts from here instead of resuming.
+    std::optional<repl::Replica> actor_snapshot;
+    std::optional<repl::Replica> peer_snapshot;
+    if (!event.retry_cuts.empty() &&
+        scenario_.config.inject_retry_forgets_progress) {
+      actor_snapshot = target;
+      peer_snapshot = source;
+    }
+    // Per-contact ledgers for the monotone-progress probe: the version
+    // events each side fully received across this contact's attempts.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen_actor;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen_peer;
 
     std::string note;
-    try {
-      if (event.encounter) {
-        const auto outcome = net::encounter_over_loopback(
-            target, source, &policy_, &policy_, now, options, faults);
-        audit_receives(index, event.actor, outcome.a_pulled.result);
-        audit_receives(index, event.peer, outcome.b_applied.result);
-        if (outcome.a_pulled.transport_failed ||
-            outcome.b_applied.transport_failed) {
-          ++result_.stats.cuts;
+    for (std::size_t attempt = 0;; ++attempt) {
+      net::LoopbackFaults faults;
+      // Attempt 0 carries the event's own cut budget; re-dials consult
+      // the materialized per-retry schedule (0 = clean attempt).
+      const std::uint32_t cut_budget =
+          attempt == 0 ? event.fault.cut_after_bytes.value_or(0)
+                       : event.retry_cuts[attempt - 1];
+      if (cut_budget > 0) faults.cut_after_bytes = cut_budget;
+      faults.bytes_per_second = event.fault.bytes_per_second;
+
+      ++result_.stats.syncs;
+      if (attempt > 0) {
+        ++result_.stats.retries;
+        note += " | retry#" + std::to_string(attempt) +
+                (cut_budget > 0 ? " cut=" + std::to_string(cut_budget)
+                                : "");
+      }
+      // Snapshots for the fault probes, taken per attempt (a disk
+      // fault may degrade a side between re-dials): a StorageError may
+      // only escape a sync if it degraded one of the participants on
+      // the way out, and an already-degraded target must refuse rather
+      // than apply.
+      const bool actor_was_degraded = degraded(event.actor);
+      const bool peer_was_degraded = degraded(event.peer);
+
+      bool cut_this_attempt = false;
+      try {
+        if (event.encounter) {
+          const auto outcome = net::encounter_over_loopback(
+              target, source, &policy_, &policy_, now, options, faults);
+          check_monotone(index, event.actor, seen_actor,
+                         outcome.a_pulled.result);
+          check_monotone(index, event.peer, seen_peer,
+                         outcome.b_applied.result);
+          audit_receives(index, event.actor, outcome.a_pulled.result);
+          audit_receives(index, event.peer, outcome.b_applied.result);
+          cut_this_attempt = outcome.a_pulled.transport_failed ||
+                             outcome.b_applied.transport_failed;
+          if (cut_this_attempt) ++result_.stats.cuts;
+          if (outcome.a_pulled.refused) ++result_.stats.refused;
+          if (outcome.b_applied.refused) ++result_.stats.refused;
+          check_degraded_leg(index, event.actor, actor_was_degraded,
+                             outcome.a_pulled);
+          check_degraded_leg(index, event.peer, peer_was_degraded,
+                             outcome.b_applied);
+          result_.stats.bytes += outcome.bytes_delivered;
+          note += " | pull: " +
+                  sync_result_str(outcome.a_pulled.result.stats,
+                                  outcome.a_pulled.transport_failed) +
+                  (outcome.a_pulled.refused ? " REFUSED" : "") +
+                  " | push: " +
+                  sync_result_str(outcome.b_applied.result.stats,
+                                  outcome.b_applied.transport_failed) +
+                  (outcome.b_applied.refused ? " REFUSED" : "");
+        } else {
+          const auto outcome = net::sync_over_loopback(
+              source, target, &policy_, &policy_, now, options, faults);
+          check_monotone(index, event.actor, seen_actor,
+                         outcome.client.result);
+          audit_receives(index, event.actor, outcome.client.result);
+          cut_this_attempt = outcome.client.transport_failed;
+          if (cut_this_attempt) ++result_.stats.cuts;
+          if (outcome.client.refused) ++result_.stats.refused;
+          check_degraded_leg(index, event.actor, actor_was_degraded,
+                             outcome.client);
+          result_.stats.bytes += outcome.bytes_delivered;
+          note += " | " +
+                  sync_result_str(outcome.client.result.stats,
+                                  outcome.client.transport_failed) +
+                  (outcome.client.refused ? " REFUSED" : "");
         }
-        if (outcome.a_pulled.refused) ++result_.stats.refused;
-        if (outcome.b_applied.refused) ++result_.stats.refused;
-        check_degraded_leg(index, event.actor, actor_was_degraded,
-                           outcome.a_pulled);
-        check_degraded_leg(index, event.peer, peer_was_degraded,
-                           outcome.b_applied);
-        result_.stats.bytes += outcome.bytes_delivered;
-        note = " | pull: " +
-               sync_result_str(outcome.a_pulled.result.stats,
-                               outcome.a_pulled.transport_failed) +
-               (outcome.a_pulled.refused ? " REFUSED" : "") +
-               " | push: " +
-               sync_result_str(outcome.b_applied.result.stats,
-                               outcome.b_applied.transport_failed) +
-               (outcome.b_applied.refused ? " REFUSED" : "");
-      } else {
-        const auto outcome = net::sync_over_loopback(
-            source, target, &policy_, &policy_, now, options, faults);
-        audit_receives(index, event.actor, outcome.client.result);
-        if (outcome.client.transport_failed) ++result_.stats.cuts;
-        if (outcome.client.refused) ++result_.stats.refused;
-        check_degraded_leg(index, event.actor, actor_was_degraded,
-                           outcome.client);
-        result_.stats.bytes += outcome.bytes_delivered;
-        note = " | " + sync_result_str(outcome.client.result.stats,
-                                       outcome.client.transport_failed) +
-               (outcome.client.refused ? " REFUSED" : "");
+      } catch (const StorageError& fault) {
+        // A hard disk fault surfaced mid-contact (target mid-apply or
+        // source mid-serve) and killed it — modeled as a dead contact,
+        // and a dead *node*: no re-dial (the retry discipline is for
+        // link faults; a degraded disk refuses the next contact).
+        // The outcome died with the exception, so whatever either side
+        // applied or evicted before the fault was never audited:
+        // forgive both ledgers wholesale (an unforgiven eviction would
+        // turn a legitimate later re-receive into a false
+        // at-most-once hit). Every applied item is still genuine fleet
+        // state — its author acknowledged it — so no note_latest
+        // bookkeeping is owed.
+        oracle_.forgive_all(event.actor);
+        oracle_.forgive_all(event.peer);
+        ++result_.stats.cuts;
+        const bool actor_newly =
+            degraded(event.actor) && !actor_was_degraded;
+        const bool peer_newly =
+            degraded(event.peer) && !peer_was_degraded;
+        ++result_.stats.disk_faults;
+        if (!actor_newly && !peer_newly) {
+          fail(index, "degrade-on-fault",
+               "a storage fault escaped the sync r" +
+                   std::to_string(event.actor) + " <- r" +
+                   std::to_string(event.peer) +
+                   " without degrading either side: " + fault.what());
+        }
+        note += std::string(" | DISK FAULT (") + fault.what() + ")";
+        return note;
       }
-    } catch (const StorageError& fault) {
-      // A hard disk fault surfaced mid-contact (target mid-apply or
-      // source mid-serve) and killed it — modeled as a dead contact.
-      // The outcome died with the exception, so whatever either side
-      // applied or evicted before the fault was never audited: forgive
-      // both ledgers wholesale (an unforgiven eviction would turn a
-      // legitimate later re-receive into a false at-most-once hit).
-      // Every applied item is still genuine fleet state — its author
-      // acknowledged it — so no note_latest bookkeeping is owed.
-      oracle_.forgive_all(event.actor);
-      oracle_.forgive_all(event.peer);
-      ++result_.stats.cuts;
-      const bool actor_newly =
-          degraded(event.actor) && !actor_was_degraded;
-      const bool peer_newly = degraded(event.peer) && !peer_was_degraded;
-      ++result_.stats.disk_faults;
-      if (!actor_newly && !peer_newly) {
-        fail(index, "degrade-on-fault",
-             "a storage fault escaped the sync r" +
-                 std::to_string(event.actor) + " <- r" +
-                 std::to_string(event.peer) +
-                 " without degrading either side: " + fault.what());
+      // The retry discipline: re-dial only a contact that died
+      // mid-stream, while attempts remain and no probe has fired.
+      if (!cut_this_attempt || attempt >= event.retry_cuts.size() ||
+          result_.violation) {
+        return note;
       }
-      note = std::string(" | DISK FAULT (") + fault.what() + ")";
+      if (actor_snapshot) {
+        // The injected bug: roll both sides back to the pre-contact
+        // state, forgetting the cut attempt's applied progress.
+        replicas_[event.actor] = *actor_snapshot;
+        replicas_[event.peer] = *peer_snapshot;
+      }
     }
-    return note;
   }
 
   /// A target that was already degraded read-only when the contact
@@ -968,6 +1053,20 @@ Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed) {
           event.summary_collide = true;
         }
       }
+      // Retry schedules, gated like the bands above: only a config
+      // with a retry discipline consumes draws, and only cut contacts
+      // carry them (re-dials are consulted after a transport failure).
+      // Half the re-attempts are cut again, half run clean — so some
+      // contacts converge mid-schedule and some stay incomplete for
+      // quiescence to finish.
+      if (config.sync_retry_max > 0 && event.fault.cut_after_bytes) {
+        for (std::size_t a = 0; a < config.sync_retry_max; ++a) {
+          event.retry_cuts.push_back(
+              rng.chance(0.5)
+                  ? static_cast<std::uint32_t>(1 + rng.below(4096))
+                  : 0);
+        }
+      }
     }
     scenario.events.push_back(event);
   }
@@ -1008,7 +1107,10 @@ std::string format_event(std::size_t index, const Event& event) {
               (event.encounter ? " enc" : "") +
               (event.summary ? " summary" : "") +
               (event.summary_collide ? " collide" : "") +
-              fault_str(event.fault);
+              fault_str(event.fault) +
+              (event.retry_cuts.empty()
+                   ? ""
+                   : " retries=" + std::to_string(event.retry_cuts.size()));
       break;
     case EventKind::CrashRestart:
       line += "crash r" + std::to_string(event.actor) + " torn=" +

@@ -1,0 +1,153 @@
+#include "net/fault_link.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace pfrdtn::net {
+
+std::string link_fault_kind_name(LinkFaultKind kind) {
+  switch (kind) {
+    case LinkFaultKind::Cut:
+      return "cut";
+    case LinkFaultKind::Stall:
+      return "stall";
+    case LinkFaultKind::Reset:
+      return "reset";
+    case LinkFaultKind::Truncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+LinkFaultSchedule LinkFaultInjector::draw() {
+  LinkFaultSchedule schedule;
+  if (plan_.fault_rate <= 0.0) return schedule;  // no draws at rate 0
+  if (!rng_.chance(plan_.fault_rate)) return schedule;
+  // Kind draw among the enabled kinds; everything disabled
+  // degenerates to Cut (the most conservative fault).
+  std::vector<LinkFaultKind> kinds;
+  if (plan_.cut) kinds.push_back(LinkFaultKind::Cut);
+  if (plan_.stall) kinds.push_back(LinkFaultKind::Stall);
+  if (plan_.reset) kinds.push_back(LinkFaultKind::Reset);
+  if (plan_.truncate) kinds.push_back(LinkFaultKind::Truncate);
+  schedule.armed = true;
+  schedule.kind =
+      kinds.empty() ? LinkFaultKind::Cut : kinds[rng_.below(kinds.size())];
+  const std::uint64_t lo = plan_.min_fault_bytes;
+  const std::uint64_t hi =
+      plan_.max_fault_bytes < lo ? lo : plan_.max_fault_bytes;
+  schedule.at_bytes = lo + rng_.below(hi - lo + 1);
+  faults_scheduled_ += 1;
+  return schedule;
+}
+
+ConnectionPtr LinkFaultInjector::wrap(ConnectionPtr inner) {
+  if (plan_.fault_rate <= 0.0) return inner;  // passthrough, no draws
+  return std::make_unique<FaultInjectingConnection>(std::move(inner),
+                                                    draw(), this);
+}
+
+void LinkFaultInjector::sleep_ms(std::uint64_t ms) const {
+  if (sleep_hook_) {
+    sleep_hook_(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::size_t FaultInjectingConnection::budget_for(std::size_t size) const {
+  if (bytes_ >= schedule_.at_bytes) return 0;
+  const std::uint64_t room = schedule_.at_bytes - bytes_;
+  return room < size ? static_cast<std::size_t>(room) : size;
+}
+
+void FaultInjectingConnection::fire(const char* op) {
+  fired_ = true;
+  injector_->note_injected();
+  throw TransportError(
+      "link fault: " + link_fault_kind_name(schedule_.kind) + " after " +
+      std::to_string(bytes_) + " bytes (" + op + ")");
+}
+
+void FaultInjectingConnection::write(const std::uint8_t* data,
+                                     std::size_t size) {
+  if (fired_)
+    throw TransportError("link fault: connection already failed");
+  if (truncated_) {
+    // Bytes the kernel accepted but the dead link never delivered:
+    // claim success, deliver nothing.
+    bytes_ += size;
+    return;
+  }
+  const bool due = schedule_.armed && !stalled_ &&
+                   bytes_ + size >= schedule_.at_bytes;
+  if (!due) {
+    inner_->write(data, size);
+    bytes_ += size;
+    return;
+  }
+  switch (schedule_.kind) {
+    case LinkFaultKind::Stall:
+      stalled_ = true;
+      injector_->note_injected();
+      injector_->sleep_ms(injector_->plan().stall_ms);
+      inner_->write(data, size);
+      bytes_ += size;
+      return;
+    case LinkFaultKind::Cut: {
+      // The in-budget prefix reaches the peer — a real contact window
+      // closes mid-stream, not at a frame boundary.
+      const std::size_t budget = budget_for(size);
+      if (budget > 0) inner_->write(data, budget);
+      bytes_ += budget;
+      fire("write");
+    }
+    case LinkFaultKind::Reset:
+      // RST: buffered bytes dropped wholesale, nothing delivered.
+      fire("write");
+    case LinkFaultKind::Truncate: {
+      const std::size_t budget = budget_for(size);
+      if (budget > 0) inner_->write(data, budget);
+      bytes_ += size;
+      truncated_ = true;
+      injector_->note_injected();
+      return;
+    }
+  }
+}
+
+void FaultInjectingConnection::read(std::uint8_t* data, std::size_t size) {
+  if (fired_)
+    throw TransportError("link fault: connection already failed");
+  if (truncated_) fire("read");
+  const bool due = schedule_.armed && !stalled_ &&
+                   bytes_ + size >= schedule_.at_bytes;
+  if (!due) {
+    inner_->read(data, size);
+    bytes_ += size;
+    return;
+  }
+  switch (schedule_.kind) {
+    case LinkFaultKind::Stall:
+      stalled_ = true;
+      injector_->note_injected();
+      injector_->sleep_ms(injector_->plan().stall_ms);
+      inner_->read(data, size);
+      bytes_ += size;
+      return;
+    case LinkFaultKind::Cut:
+    case LinkFaultKind::Truncate: {
+      // The link died mid-read: whatever prefix was in flight arrives,
+      // then the stream ends.
+      const std::size_t budget = budget_for(size);
+      if (budget > 0) inner_->read(data, budget);
+      bytes_ += budget;
+      fire("read");
+    }
+    case LinkFaultKind::Reset:
+      fire("read");
+  }
+}
+
+}  // namespace pfrdtn::net

@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file fault_link.hpp
+/// Seeded link-fault injection — the flaky radio contact, made
+/// deterministic. The mirror of persist::FaultInjectingEnv for the
+/// transport: a Connection decorator that cuts, stalls, resets, or
+/// truncates a live byte stream at a scheduled cumulative byte offset.
+/// The retrying contact discipline (sync-with --retry-max) and the
+/// flaky-link e2e drive real sessions through it to prove that
+/// repeated cut attempts converge byte-identically to a fault-free
+/// control.
+///
+/// Fault semantics mirror what a dying contact actually does to a
+/// stream:
+///
+///   - Cut: the operation that crosses the scheduled offset delivers
+///     its in-budget prefix to the inner connection, then throws
+///     TransportError — the mid-stream contact-window close. Further
+///     operations throw immediately.
+///   - Reset: the crossing operation delivers *nothing* and throws —
+///     the RST case, where buffered bytes are dropped wholesale.
+///   - Stall: the crossing operation sleeps `stall_ms`, then proceeds
+///     normally — the radio fade the peer's deadline/min-progress
+///     machinery must either tolerate or cut. One stall per
+///     connection; the stream survives.
+///   - Truncate: writes past the offset are silently discarded while
+///     claiming success — bytes the kernel buffered but the link never
+///     delivered. The next read throws (the peer is gone); the frame
+///     layer on the far side sees a clean prefix and an incomplete
+///     sync.
+///
+/// Determinism: schedules are drawn from a private xoshiro stream
+/// seeded at construction — one `chance` draw per wrapped connection,
+/// plus kind/offset draws only when the connection faults. At rate 0
+/// there are NO draws at all and wrap() returns the inner connection
+/// untouched, so zero-rate runs are bit-identical to runs without the
+/// wrapper — the same replay contract FaultInjectingEnv keeps for the
+/// disk.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace pfrdtn::net {
+
+enum class LinkFaultKind : std::uint8_t {
+  Cut = 0,
+  Stall = 1,
+  Reset = 2,
+  Truncate = 3,
+};
+
+/// Log label for a fault kind ("cut", "stall", "reset", "truncate").
+std::string link_fault_kind_name(LinkFaultKind kind);
+
+struct LinkFaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-connection probability that a fault is scheduled (0 =
+  /// passthrough; no RNG draws at all, wrap() returns the inner
+  /// connection unchanged).
+  double fault_rate = 0.0;
+  /// Scheduled offsets are drawn uniformly in
+  /// [min_fault_bytes, max_fault_bytes], counted over the cumulative
+  /// bytes moved in both directions. A session whose whole exchange
+  /// fits under the drawn offset never faults — which is exactly how
+  /// retries converge: monotone progress shrinks each attempt until
+  /// one fits inside its contact window.
+  std::uint64_t min_fault_bytes = 1;
+  std::uint64_t max_fault_bytes = 4096;
+  /// How long a Stall fault freezes the stream.
+  std::uint64_t stall_ms = 50;
+  /// Which kinds the kind-draw may pick (all off degenerates to Cut).
+  bool cut = true;
+  bool stall = true;
+  bool reset = true;
+  bool truncate = true;
+};
+
+/// One drawn fault schedule for one connection.
+struct LinkFaultSchedule {
+  bool armed = false;
+  LinkFaultKind kind = LinkFaultKind::Cut;
+  std::uint64_t at_bytes = 0;
+};
+
+/// Draws per-connection schedules from one seeded stream and wraps
+/// Connections with them. Shared across the retry attempts of one
+/// contact so every re-dial sees a fresh draw — the "cuts every sync
+/// at least once" schedules of the flaky-link e2e are rate-1.0
+/// injectors whose offsets this stream walks deterministically.
+class LinkFaultInjector {
+ public:
+  explicit LinkFaultInjector(LinkFaultPlan plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  [[nodiscard]] const LinkFaultPlan& plan() const { return plan_; }
+
+  /// Draw the next connection's schedule. No draws at rate 0.
+  LinkFaultSchedule draw();
+
+  /// Draw a schedule and wrap `inner` with it. At rate 0 the inner
+  /// connection is returned untouched (no wrapper, no draws).
+  ConnectionPtr wrap(ConnectionPtr inner);
+
+  /// Connections whose draw armed a fault.
+  [[nodiscard]] std::size_t faults_scheduled() const {
+    return faults_scheduled_;
+  }
+  /// Faults that actually fired (the stream crossed its offset).
+  [[nodiscard]] std::size_t faults_injected() const {
+    return faults_injected_;
+  }
+  void note_injected() { faults_injected_ += 1; }
+
+  /// Replace the stall sleep (tests record instead of sleeping).
+  void set_sleep_hook(std::function<void(std::uint64_t)> hook) {
+    sleep_hook_ = std::move(hook);
+  }
+  void sleep_ms(std::uint64_t ms) const;
+
+ private:
+  LinkFaultPlan plan_;
+  Rng rng_;
+  std::size_t faults_scheduled_ = 0;
+  std::size_t faults_injected_ = 0;
+  std::function<void(std::uint64_t)> sleep_hook_;
+};
+
+/// The Connection decorator enforcing one drawn schedule. The byte
+/// counter covers both directions, so "cut after N bytes" means N
+/// bytes of total session traffic through this endpoint.
+class FaultInjectingConnection final : public Connection {
+ public:
+  /// `injector` must outlive the connection (it owns the stall hook
+  /// and the injected-fault counter).
+  FaultInjectingConnection(ConnectionPtr inner,
+                           LinkFaultSchedule schedule,
+                           LinkFaultInjector* injector)
+      : inner_(std::move(inner)),
+        schedule_(schedule),
+        injector_(injector) {}
+
+  void write(const std::uint8_t* data, std::size_t size) override;
+  void read(std::uint8_t* data, std::size_t size) override;
+  void close() override { inner_->close(); }
+  [[nodiscard]] std::string peer_description() const override {
+    return inner_->peer_description();
+  }
+
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_; }
+  [[nodiscard]] bool fault_fired() const {
+    return fired_ || stalled_ || truncated_;
+  }
+
+ private:
+  /// Bytes this operation may move before crossing the offset;
+  /// `size` when no fault is due.
+  [[nodiscard]] std::size_t budget_for(std::size_t size) const;
+  [[noreturn]] void fire(const char* op);
+
+  ConnectionPtr inner_;
+  LinkFaultSchedule schedule_;
+  LinkFaultInjector* injector_;
+  std::uint64_t bytes_ = 0;
+  bool fired_ = false;    ///< terminal fault fired: all further ops throw
+  bool stalled_ = false;  ///< the one stall already taken
+  /// Truncating: writes silently discarded, next read throws.
+  bool truncated_ = false;
+};
+
+}  // namespace pfrdtn::net

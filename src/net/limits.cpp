@@ -24,6 +24,8 @@ const char* frame_type_name(std::uint8_t type) {
       return "SummaryMiss";
     case repl::SyncFrame::Error:
       return "Error";
+    case repl::SyncFrame::BatchAck:
+      return "BatchAck";
   }
   return "unknown";
 }
@@ -47,6 +49,8 @@ std::uint32_t ResourceLimits::frame_payload_cap(std::uint8_t type) const {
       return max_summary_reply_bytes;
     case repl::SyncFrame::Error:
       return max_error_bytes;
+    case repl::SyncFrame::BatchAck:
+      return max_batch_ack_bytes;
   }
   throw ContractViolation("unknown frame type " + std::to_string(type));
 }
@@ -61,6 +65,7 @@ ResourceLimits ResourceLimits::unlimited() {
   limits.max_summary_bytes = kMaxFramePayload;
   limits.max_summary_reply_bytes = kMaxFramePayload;
   limits.max_error_bytes = kMaxFramePayload;
+  limits.max_batch_ack_bytes = kMaxFramePayload;
   limits.max_batch_items = std::numeric_limits<std::uint64_t>::max();
   limits.max_knowledge_entries = std::numeric_limits<std::size_t>::max();
   limits.max_policy_blob_bytes = std::numeric_limits<std::size_t>::max();

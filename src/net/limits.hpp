@@ -59,6 +59,8 @@ struct ResourceLimits {
   std::uint32_t max_summary_reply_bytes = 64;
   /// Error: a code byte plus a short human-readable refusal message.
   std::uint32_t max_error_bytes = 512;
+  /// BatchAck carries only one uvarint (the applied-copy count).
+  std::uint32_t max_batch_ack_bytes = 64;
 
   /// Cap on BatchBegin's announced item count, checked before the item
   /// loop starts.

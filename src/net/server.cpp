@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "net/framing.hpp"
 #include "util/require.hpp"
 #include "util/storage_error.hpp"
 
@@ -35,13 +37,15 @@ constexpr auto kProgressCheckInterval = std::chrono::milliseconds(250);
 /// object after a false return.
 struct SyncServer::Served {
   Served(SyncServer& server_in, Worker& worker_in, int fd_in,
-         std::size_t number_in, std::string peer_in, std::string key_in)
+         std::size_t number_in, std::string peer_in, std::string key_in,
+         LinkFaultSchedule fault_in)
       : server(server_in),
         worker(worker_in),
         fd(fd_in),
         number(number_in),
         peer(std::move(peer_in)),
         key(std::move(key_in)),
+        fault(fault_in),
         machine(*server.replica_, server.policy_, server.options_.now,
                 server.options_.sync, server.options_.limits),
         decoder(machine.budget()),
@@ -55,6 +59,7 @@ struct SyncServer::Served {
   const std::size_t number;
   const std::string peer;
   const std::string key;  ///< quarantine key (peer minus port)
+  LinkFaultSchedule fault;  ///< drawn at accept; armed only at rate > 0
   ServerSessionMachine machine;
   FrameDecoder decoder;
   std::vector<std::uint8_t> outbuf;
@@ -72,6 +77,10 @@ struct SyncServer::Served {
   bool flush();
   bool complete_if_done();
   bool on_timer();
+  /// Fire the drawn link fault once bytes_moved crosses its offset:
+  /// the session dies as a transport failure (never a strike). Returns
+  /// false when it fired and destroyed *this.
+  bool check_link_fault();
   bool fail_transport(const std::string& what);
   bool fail_violation(const ContractViolation& violation);
   void finish();
@@ -92,9 +101,10 @@ struct SyncServer::Worker {
   std::unordered_map<int, std::unique_ptr<Served>> sessions;
 
   void adopt(int fd, std::string peer, std::string key,
-             std::size_t number) {
-    auto served = std::make_unique<Served>(server, *this, fd, number,
-                                           std::move(peer), std::move(key));
+             std::size_t number, LinkFaultSchedule fault) {
+    auto served =
+        std::make_unique<Served>(server, *this, fd, number,
+                                 std::move(peer), std::move(key), fault);
     Served* raw = served.get();
     sessions.emplace(fd, std::move(served));
     loop.watch(fd, EPOLLIN, [this, fd](std::uint32_t events) {
@@ -148,6 +158,7 @@ bool SyncServer::Served::on_readable() {
     if (n > 0) {
       bytes_moved += static_cast<std::size_t>(n);
       note_progress();
+      if (!check_link_fault()) return false;
       // Bytes past the machine's last frame are junk from a peer that
       // kept talking after the session ended; ignore them, as the
       // blocking loop does by closing without reading.
@@ -203,6 +214,7 @@ bool SyncServer::Served::flush() {
       out_offset += static_cast<std::size_t>(n);
       bytes_moved += static_cast<std::size_t>(n);
       note_progress();
+      if (!check_link_fault()) return false;
       continue;
     }
     if (errno == EINTR) continue;
@@ -276,6 +288,21 @@ void SyncServer::Served::arm_writable(bool want) {
   worker.loop.modify(fd, EPOLLIN | (want ? EPOLLOUT : 0U));
 }
 
+bool SyncServer::Served::check_link_fault() {
+  if (!fault.armed || bytes_moved < fault.at_bytes) return true;
+  fault.armed = false;
+  server.link_faults_injected_.fetch_add(1);
+  if (fault.kind == LinkFaultKind::Reset) {
+    // A genuine RST: discard unsent bytes so the peer sees the reset,
+    // not a graceful close of a half-written frame.
+    struct linger hard = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  }
+  return fail_transport("link fault: " +
+                        link_fault_kind_name(fault.kind) + " after " +
+                        std::to_string(bytes_moved) + " bytes (server)");
+}
+
 bool SyncServer::Served::fail_transport(const std::string& what) {
   // A no-op if the machine already finished cleanly (e.g. the flush of
   // its last reply failed after take-off): the sealed outcome stands.
@@ -315,7 +342,7 @@ void SyncServer::Served::finish() {
   }
   if (clean) {
     std::lock_guard<std::mutex> lock(server.quarantine_mutex_);
-    server.quarantine_.reward(key);
+    server.quarantine_.reward(key, server.now_ms());
   }
   SyncServer& srv = server;
   worker.destroy(fd);  // destroys *this
@@ -332,7 +359,15 @@ SyncServer::SyncServer(repl::Replica& replica,
       callbacks_(std::move(callbacks)),
       listener_(options_.port, options_.tcp),
       started_(std::chrono::steady_clock::now()),
-      quarantine_(options_.quarantine) {
+      quarantine_(options_.quarantine),
+      link_fault_injector_([&] {
+        // The raw-fd server can cut and reset a stream; stall and
+        // truncate are client-wrapper semantics.
+        LinkFaultPlan plan = options_.link_faults;
+        plan.stall = false;
+        plan.truncate = false;
+        return plan;
+      }()) {
   PFRDTN_REQUIRE(options_.workers >= 1);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i)
@@ -416,14 +451,25 @@ void SyncServer::on_acceptable() {
       ::close(fd);
       continue;
     }
+    if (options_.max_concurrent_sessions != 0 &&
+        active_ >= options_.max_concurrent_sessions) {
+      // Over the cap: shed with a transient Busy frame instead of
+      // adopting a session that would starve into a deadline cut.
+      // Sheds count toward neither max_sessions nor quarantine.
+      shed(fd, peer);
+      continue;
+    }
     const std::size_t number = ++sessions_started_;
     ++active_;
     set_nonblocking(fd, true);
     set_tcp_nodelay(fd);
+    // Schedules come off the acceptor's seeded stream so the draw
+    // order is deterministic regardless of worker interleaving.
+    const LinkFaultSchedule fault = link_fault_injector_.draw();
     Worker* worker =
         workers_[number % workers_.size()].get();
-    worker->loop.post([worker, fd, peer, key, number] {
-      worker->adopt(fd, peer, key, number);
+    worker->loop.post([worker, fd, peer, key, number, fault] {
+      worker->adopt(fd, peer, key, number, fault);
     });
     if (options_.max_sessions != 0 &&
         sessions_started_ >= options_.max_sessions) {
@@ -432,6 +478,49 @@ void SyncServer::on_acceptable() {
       return;
     }
   }
+}
+
+void SyncServer::shed(int fd, const std::string& peer) {
+  sessions_shed_.fetch_add(1);
+  // One tiny frame on a fresh socket: the send buffer is empty, so a
+  // single non-blocking send takes it whole in practice. If it
+  // doesn't, the client just sees a cut and retries anyway.
+  const std::vector<std::uint8_t> payload = repl::encode_error_frame(
+      repl::kSyncErrorBusy, "server busy: at session cap, retry");
+  std::uint8_t header[kFrameHeaderSize];
+  encode_frame_header(static_cast<std::uint8_t>(repl::SyncFrame::Error),
+                      payload.size(), header);
+  std::vector<std::uint8_t> wire(header, header + kFrameHeaderSize);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  set_nonblocking(fd, true);
+  [[maybe_unused]] const ssize_t n =
+      ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  // Half-close, then linger (bounded) until the peer closes its end.
+  // Closing outright races the client's in-flight Hello: unread bytes
+  // at close turn the teardown into an RST, which can destroy the
+  // queued Busy frame in the peer's receive buffer before it is read —
+  // the client would see a cut instead of the structured refusal. The
+  // honest case costs one local RTT; a peer that never closes costs at
+  // most the bounded wait.
+  ::shutdown(fd, SHUT_WR);
+  const auto linger_deadline =
+      EventLoop::Clock::now() + std::chrono::milliseconds(250);
+  for (;;) {
+    std::uint8_t drain[4096];
+    const ssize_t got = ::recv(fd, drain, sizeof(drain), 0);
+    if (got == 0) break;                      // peer closed: done
+    if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR)
+      break;
+    const auto now = EventLoop::Clock::now();
+    if (now >= linger_deadline) break;
+    struct pollfd waiter = {fd, POLLIN, 0};
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        linger_deadline - now);
+    ::poll(&waiter, 1, static_cast<int>(left.count()) + 1);
+  }
+  ::close(fd);
+  if (callbacks_.on_shed) callbacks_.on_shed(peer, active_);
 }
 
 void SyncServer::stop_accepting() {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "net/event_loop.hpp"
+#include "net/fault_link.hpp"
 #include "net/quarantine.hpp"
 #include "net/session.hpp"
 #include "net/tcp.hpp"
@@ -61,6 +62,15 @@ struct SyncServerOptions {
   /// Consecutive accept failures before run() gives up (returns
   /// false). Reset every time a session runs to its end.
   std::size_t accept_failure_budget = 8;
+  /// Overload shedding: with more than this many sessions in flight a
+  /// new connection is answered with one transient Busy Error frame
+  /// and closed — no strike, the client retries with backoff — instead
+  /// of being adopted to starve into a deadline cut. 0 = no cap.
+  std::size_t max_concurrent_sessions = 0;
+  /// Seeded link-fault injection on accepted connections (cut/reset at
+  /// a scheduled byte offset; rate 0 = no faults, no RNG draws). The
+  /// server-side half of the flaky-contact test surface.
+  LinkFaultPlan link_faults;
   /// The simulated timestamp sessions run at (serve uses 0).
   SimTime now = SimTime(0);
   TcpOptions tcp;
@@ -91,6 +101,9 @@ struct SyncServerCallbacks {
                      bool giving_up)>
       on_accept_error;
   std::function<void(std::size_t active)> on_drain;
+  /// A connection was shed at the concurrency cap (acceptor thread).
+  std::function<void(const std::string& peer, std::size_t active)>
+      on_shed;
 };
 
 class SyncServer {
@@ -119,6 +132,16 @@ class SyncServer {
     return sessions_completed_.load();
   }
 
+  /// Connections refused with a Busy frame at the concurrency cap.
+  [[nodiscard]] std::size_t sessions_shed() const {
+    return sessions_shed_.load();
+  }
+
+  /// Link faults injected into served connections so far.
+  [[nodiscard]] std::size_t link_faults_injected() const {
+    return link_faults_injected_.load();
+  }
+
   /// Milliseconds since this server was constructed (the quarantine
   /// clock, as in the blocking serve loop).
   [[nodiscard]] std::uint64_t now_ms() const;
@@ -130,6 +153,9 @@ class SyncServer {
   friend struct Served;
 
   void on_acceptable();
+  /// Answer a connection with one transient Busy Error frame and close
+  /// it (best-effort; the client retries with backoff either way).
+  void shed(int fd, const std::string& peer);
   void begin_drain();
   void stop_accepting();
   void maybe_finish();
@@ -148,6 +174,9 @@ class SyncServer {
   std::mutex state_mutex_;       ///< replica + on_session/on_violation
   std::mutex quarantine_mutex_;  ///< the table below
   QuarantineTable quarantine_;
+  /// Schedules for accepted connections are drawn on the acceptor
+  /// thread only; workers just consume the drawn schedule.
+  LinkFaultInjector link_fault_injector_;
 
   // Acceptor-thread state.
   std::size_t sessions_started_ = 0;
@@ -158,6 +187,8 @@ class SyncServer {
   bool listener_failed_ = false;
 
   std::atomic<std::size_t> sessions_completed_{0};
+  std::atomic<std::size_t> sessions_shed_{0};
+  std::atomic<std::size_t> link_faults_injected_{0};
 };
 
 }  // namespace pfrdtn::net

@@ -553,23 +553,41 @@ ClientSessionOutcome run_client_session(Connection& connection,
   ClientSessionOutcome outcome;
   SessionBudget budget(limits);
   repl::SyncOptions effective = options;
+  bool await_ack = false;
   try {
+    // Always advertise the push ack; the server echoes the bit iff it
+    // supports it, so a legacy server just keeps the unacked protocol.
     const std::uint64_t features =
-        options.summary_mode != repl::SummaryMode::Off
-            ? kFeatureSummaryExchange
-            : 0;
+        kFeatureBatchAck | (options.summary_mode != repl::SummaryMode::Off
+                                ? kFeatureSummaryExchange
+                                : 0);
     outcome.overhead_bytes +=
         write_frame(connection, repl::SyncFrame::Hello,
                     encode_hello({self.id(), mode, features}), budget);
-    const Frame answer =
-        expect_frame(connection, repl::SyncFrame::Hello, budget);
+    const Frame answer = read_frame(connection, budget);
     outcome.overhead_bytes += answer.wire_bytes;
+    if (answer.type == repl::SyncFrame::Error) {
+      // The server refused the whole session in place of its Hello —
+      // an overloaded serve shedding with Busy, or one draining. A
+      // structured, transient refusal: back off and retry, never a
+      // violation.
+      const repl::SyncErrorInfo info =
+          repl::decode_error_frame(answer.payload);
+      outcome.refused = true;
+      outcome.refusal_code = info.code;
+      outcome.error = "server refused session (" +
+                      repl::sync_error_code_name(info.code) +
+                      "): " + info.message;
+      return outcome;
+    }
+    PFRDTN_REQUIRE(answer.type == repl::SyncFrame::Hello);
     const HelloInfo server_hello = decode_hello(answer.payload);
     outcome.server = server_hello.replica;
     // Auto downgrades to the exact protocol against a server that did
     // not advertise summary support; On forces the fast path.
     effective.summary_mode = resolve_summary_mode(options.summary_mode,
                                                   server_hello.features);
+    await_ack = (server_hello.features & kFeatureBatchAck) != 0;
   } catch (const TransportError& failure) {
     outcome.transport_failed = true;
     outcome.error = failure.what();
@@ -592,6 +610,22 @@ ClientSessionOutcome run_client_session(Connection& connection,
     if (outcome.push.transport_failed) {
       outcome.transport_failed = true;
       outcome.error = outcome.push.error;
+    } else if (await_ack && !outcome.push.refused) {
+      // The batch is written, but locally successful writes only prove
+      // the bytes reached a socket buffer. Block on the server's
+      // BatchAck: a link that died while the server was still reading
+      // surfaces here as a transport failure the caller can retry,
+      // instead of a silently dropped push.
+      try {
+        const Frame ack =
+            expect_frame(connection, repl::SyncFrame::BatchAck, budget);
+        outcome.overhead_bytes += ack.wire_bytes;
+        repl::decode_batch_ack(ack.payload);
+      } catch (const TransportError& failure) {
+        outcome.transport_failed = true;
+        outcome.error =
+            std::string("push not acknowledged: ") + failure.what();
+      }
     }
   }
   return outcome;
@@ -606,11 +640,14 @@ void ServerSessionMachine::on_frame(const Frame& frame, FrameSink& sink) {
       outcome_.hello = decode_hello(frame.payload);
       // Echo our features only to a client that advertised some: a
       // legacy client's decoder rejects any bytes after the mode.
-      const std::uint64_t features =
-          options_.summary_mode != repl::SummaryMode::Off &&
-                  outcome_.hello.features != 0
-              ? kFeatureSummaryExchange
-              : 0;
+      std::uint64_t features = 0;
+      if (outcome_.hello.features != 0) {
+        if (options_.summary_mode != repl::SummaryMode::Off)
+          features |= kFeatureSummaryExchange;
+        if ((outcome_.hello.features & kFeatureBatchAck) != 0)
+          features |= kFeatureBatchAck;
+      }
+      ack_negotiated_ = (features & kFeatureBatchAck) != 0;
       try {
         sink.send(
             repl::SyncFrame::Hello,
@@ -650,7 +687,7 @@ void ServerSessionMachine::on_frame(const Frame& frame, FrameSink& sink) {
       } catch (const TransportError& failure) {
         target_->on_transport_error(failure.what());
       }
-      if (target_->finished()) harvest_target();
+      if (target_->finished()) harvest_target(&sink);
       return;
     }
     case State::Done:
@@ -683,20 +720,35 @@ void ServerSessionMachine::start_target(FrameSink& sink) {
   target_.emplace(*self_, policy_, effective_, &budget_);
   target_->start(sink, outcome_.hello.replica, now_);
   // start() absorbs a sink failure into the Failed state; harvest it
-  // now so the host sees the session finished.
+  // now so the host sees the session finished. A refusal (degraded
+  // read-only) also finishes here, and never earns an ack.
   if (target_->finished()) {
-    harvest_target();
+    harvest_target(&sink);
   } else {
     state_ = State::Target;
   }
 }
 
-void ServerSessionMachine::harvest_target() {
+void ServerSessionMachine::harvest_target(FrameSink* sink) {
   outcome_.applied = target_->take_result();
   target_.reset();
   if (outcome_.applied.transport_failed) {
     outcome_.transport_failed = true;
     outcome_.error = outcome_.applied.error;
+  } else if (sink != nullptr && ack_negotiated_ &&
+             !outcome_.applied.refused) {
+    // Confirm the applied push so the source can call it delivered;
+    // received_events holds every item copy that fully arrived.
+    try {
+      sink->send(repl::SyncFrame::BatchAck,
+                 repl::encode_batch_ack(
+                     outcome_.applied.result.received_events.size()));
+    } catch (const TransportError& failure) {
+      // The batch itself landed; only the confirmation did not. The
+      // source will retry and the versioned store dedups the re-push.
+      outcome_.transport_failed = true;
+      outcome_.error = failure.what();
+    }
   }
   state_ = State::Done;
 }
@@ -716,7 +768,7 @@ void ServerSessionMachine::on_transport_error(const std::string& what) {
       return;
     case State::Target:
       target_->on_transport_error(what);
-      harvest_target();
+      harvest_target(nullptr);
       return;
     case State::Done:
       // Late notification after completion (e.g. the flush of the

@@ -28,7 +28,11 @@
 /// Hello frame carrying its replica id and the session mode; the
 /// server answers with its own Hello, then the two run one or two
 /// syncs (Pull: client is target; Push: client is source; Encounter:
-/// pull then push — the paper's two syncs per encounter).
+/// pull then push — the paper's two syncs per encounter). When both
+/// hellos advertised kFeatureBatchAck, a sync whose *server* was the
+/// target (the push leg) ends with one more frame, server -> client:
+/// a BatchAck confirming the batch was applied, which the pushing
+/// client blocks on before calling the push delivered.
 
 #include <optional>
 #include <string>
@@ -48,6 +52,15 @@ enum class SyncMode : std::uint8_t {
 
 /// Protocol feature bits carried in HelloInfo::features.
 inline constexpr std::uint64_t kFeatureSummaryExchange = 1;
+/// Push acknowledgement (repl::SyncFrame::BatchAck): after applying a
+/// pushed batch the server confirms it with an ack frame the client
+/// blocks on. TCP write success only proves bytes reached a socket
+/// buffer, so without the ack a client whose push was cut on the
+/// server side reports success over lost data — the one failure the
+/// retrying contact discipline cannot retry because it never sees it.
+/// Negotiated like summaries: the client advertises, the server
+/// echoes, a legacy peer on either side gets the unacked protocol.
+inline constexpr std::uint64_t kFeatureBatchAck = 2;
 
 /// Hello payload: who is speaking and what they want.
 struct HelloInfo {
@@ -350,6 +363,12 @@ struct ClientSessionOutcome {
   ReplicaId server{};   ///< peer id from the server's Hello
   std::size_t overhead_bytes = 0;  ///< hello frames
   bool transport_failed = false;
+  /// The server answered the Hello with a transient Error frame
+  /// instead of its own Hello — an overloaded serve shedding with
+  /// Busy, or a draining one refusing new sessions. The session never
+  /// started; retry with backoff, never a strike in either direction.
+  bool refused = false;
+  std::uint8_t refusal_code = 0;  ///< repl::kSyncErrorBusy etc.
   std::string error;
 };
 
@@ -420,7 +439,9 @@ class ServerSessionMachine {
   enum class State { AwaitHello, Source, Target, Done };
   void harvest_source(FrameSink* sink);
   void start_target(FrameSink& sink);
-  void harvest_target();
+  /// `sink` is null only when the link is already dead (transport
+  /// error paths), where the ack could not be written anyway.
+  void harvest_target(FrameSink* sink);
 
   repl::Replica* self_;
   repl::ForwardingPolicy* policy_;
@@ -428,6 +449,8 @@ class ServerSessionMachine {
   repl::SyncOptions options_;    ///< as configured
   repl::SyncOptions effective_;  ///< after hello negotiation
   SessionBudget budget_;
+  /// Both hellos advertised kFeatureBatchAck: confirm applied pushes.
+  bool ack_negotiated_ = false;
   State state_ = State::AwaitHello;
   std::optional<SourceSession> source_;
   std::optional<TargetSession> target_;

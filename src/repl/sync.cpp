@@ -344,6 +344,19 @@ ReplicaId decode_summary_reply(const std::vector<std::uint8_t>& payload) {
   return source;
 }
 
+std::vector<std::uint8_t> encode_batch_ack(std::uint64_t items_applied) {
+  ByteWriter w;
+  w.uvarint(items_applied);
+  return w.take();
+}
+
+std::uint64_t decode_batch_ack(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const std::uint64_t items_applied = r.uvarint();
+  PFRDTN_REQUIRE(r.done());
+  return items_applied;
+}
+
 std::vector<std::uint8_t> encode_error_frame(std::uint8_t code,
                                              const std::string& message) {
   // One code byte, then the message as the rest of the payload — no
@@ -362,6 +375,19 @@ SyncErrorInfo decode_error_frame(
   info.code = payload[0];
   info.message.assign(payload.begin() + 1, payload.end());
   return info;
+}
+
+std::string sync_error_code_name(std::uint8_t code) {
+  switch (code) {
+    case kSyncErrorReadOnly:
+      return "read-only";
+    case kSyncErrorBusy:
+      return "busy";
+    case kSyncErrorDraining:
+      return "draining";
+    default:
+      return "error-" + std::to_string(code);
+  }
 }
 
 std::size_t wire_size(const SyncRequest& request) {

@@ -264,23 +264,56 @@ enum class SyncFrame : std::uint8_t {
   /// its role as a graceful, *transient* refusal — never a protocol
   /// violation, never a quarantine strike.
   Error = 9,
+  /// Push acknowledgement: the target confirms it applied the streamed
+  /// batch, carrying the count of item copies that fully arrived. Sent
+  /// only when both hellos advertised net::kFeatureBatchAck. Without
+  /// it a source that finished writing cannot distinguish "the target
+  /// applied everything" from "the link died while the target was
+  /// still reading" — its last writes land in socket buffers and
+  /// succeed locally either way — so the retrying contact discipline
+  /// would silently drop pushes cut on the far side.
+  BatchAck = 10,
 };
 
-/// Error-frame code: the sender is degraded read-only after a storage
-/// fault. Transient by definition — a restart on a healthy disk clears
-/// it, so the peer should simply retry at the next contact.
+/// Error-frame codes: the retryable refusal class. Every code names a
+/// *condition of the refusing node*, not a judgement of the peer, so
+/// none of them ever strikes quarantine in either direction.
+///
+/// kSyncErrorReadOnly — the sender is degraded read-only after a
+/// storage fault; a restart on a healthy disk clears it.
+/// kSyncErrorBusy — the sender is at its concurrent-session cap and is
+/// shedding load; clears as soon as a session slot frees up.
+/// kSyncErrorDraining — the sender is shutting down gracefully and no
+/// longer admits new sessions; retry once it restarts.
 inline constexpr std::uint8_t kSyncErrorReadOnly = 1;
+inline constexpr std::uint8_t kSyncErrorBusy = 2;
+inline constexpr std::uint8_t kSyncErrorDraining = 3;
 
 /// Decoded payload of an Error frame.
 struct SyncErrorInfo {
   std::uint8_t code = 0;
   std::string message;
   /// Whether the refusal is known-transient (retry at the next
-  /// contact). Unknown codes from newer peers default to transient:
-  /// refusing politely is strictly better behaviour than anything a
-  /// hostile peer could gain from the frame.
-  [[nodiscard]] bool transient() const { return true; }
+  /// contact). Every currently assigned code is transient, and unknown
+  /// codes from newer peers default to transient too: refusing
+  /// politely is strictly better behaviour than anything a hostile
+  /// peer could gain from the frame. The switch exists so a future
+  /// permanent code has one place to land.
+  [[nodiscard]] bool transient() const {
+    switch (code) {
+      case kSyncErrorReadOnly:
+      case kSyncErrorBusy:
+      case kSyncErrorDraining:
+        return true;
+      default:
+        return true;  // unknown codes: be polite, retry later
+    }
+  }
 };
+
+/// Log/CLI label for an error-frame code ("read-only", "busy",
+/// "draining", or "error-<n>" for codes this build does not know).
+std::string sync_error_code_name(std::uint8_t code);
 
 std::vector<std::uint8_t> encode_error_frame(std::uint8_t code,
                                              const std::string& message);
@@ -299,6 +332,11 @@ BatchBeginInfo decode_batch_begin(const std::vector<std::uint8_t>& payload);
 /// Payload of a SummaryMatch / SummaryMiss frame: the source id.
 std::vector<std::uint8_t> encode_summary_reply(ReplicaId source);
 ReplicaId decode_summary_reply(const std::vector<std::uint8_t>& payload);
+
+/// Payload of a BatchAck frame: how many item copies the target fully
+/// received and applied (new or stale — an arrival either way).
+std::vector<std::uint8_t> encode_batch_ack(std::uint64_t items_applied);
+std::uint64_t decode_batch_ack(const std::vector<std::uint8_t>& payload);
 
 /// Framed bytes of the request as transmitted: one Request frame.
 std::size_t wire_size(const SyncRequest& request);

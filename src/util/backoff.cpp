@@ -1,0 +1,29 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+
+namespace pfrdtn {
+
+std::uint64_t jittered_delay_ms(std::uint64_t window_ms, Rng& rng) {
+  const std::uint64_t half = window_ms / 2;
+  return half + (half > 0 ? rng.below(half + 1) : 0);
+}
+
+std::uint64_t JitteredBackoff::window_ms(std::size_t attempts) const {
+  // min(base << attempts, max), without shifting past 63 bits.
+  std::uint64_t window = options_.base_ms;
+  const std::size_t doublings = std::min<std::size_t>(attempts, 40);
+  for (std::size_t i = 0;
+       i < doublings && window < options_.max_ms; ++i) {
+    window *= 2;
+  }
+  return std::min(window, options_.max_ms);
+}
+
+std::uint64_t JitteredBackoff::next_delay_ms() {
+  const std::uint64_t delay = jittered_delay_ms(window_ms(attempts_), rng_);
+  attempts_ += 1;
+  return delay;
+}
+
+}  // namespace pfrdtn

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file backoff.hpp
+/// The one jittered-exponential backoff used everywhere a retry delay
+/// or a penalty window is computed: the CLI's connect retries, the
+/// sync-with per-attempt contact discipline, and the peer-health
+/// monitor's ejection windows. One implementation means one tested
+/// set of semantics:
+///
+///   window(n) = min(base << n, max)          (n = completed attempts)
+///   delay(n)  = uniform in [window/2, window]
+///
+/// The half-window floor keeps the delay meaningful (a jitter draw of
+/// zero would defeat the backoff entirely); the upper half
+/// de-synchronizes retry storms — fifty clients cut by the same link
+/// fault must not re-dial in lockstep. Jitter comes from a seeded Rng
+/// so tests and the check harness replay deterministically; callers
+/// that want wall-clock unpredictability seed from the clock.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace pfrdtn {
+
+/// Jitter one precomputed window into [window/2, window]. The single
+/// draw shared by the stateful helper below and callers (the peer
+/// health monitor) that derive the window from their own state.
+std::uint64_t jittered_delay_ms(std::uint64_t window_ms, Rng& rng);
+
+struct BackoffOptions {
+  /// First delay's window; doubles per completed attempt.
+  std::uint64_t base_ms = 200;
+  /// Window cap — attempts beyond the cap stop extending the delay.
+  std::uint64_t max_ms = 10000;
+};
+
+/// Stateful per-contact backoff: next_delay_ms() yields the jittered
+/// delay to sleep before the next attempt and advances the window.
+class JitteredBackoff {
+ public:
+  JitteredBackoff(BackoffOptions options, std::uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// Delay before the next attempt; doubles the window (capped).
+  std::uint64_t next_delay_ms();
+
+  /// The window the next next_delay_ms() call will jitter within.
+  [[nodiscard]] std::uint64_t current_window_ms() const {
+    return window_ms(attempts_);
+  }
+
+  /// Completed next_delay_ms() calls so far.
+  [[nodiscard]] std::size_t attempts() const { return attempts_; }
+
+  /// A successful attempt resets the window to base (the link healed;
+  /// the next failure starts the escalation over).
+  void reset() { attempts_ = 0; }
+
+ private:
+  [[nodiscard]] std::uint64_t window_ms(std::size_t attempts) const;
+
+  BackoffOptions options_;
+  Rng rng_;
+  std::size_t attempts_ = 0;
+};
+
+}  // namespace pfrdtn

@@ -1,0 +1,230 @@
+// The seeded link-fault decorator (net/fault_link.hpp): rate 0 is a
+// true passthrough (wrap() hands the inner connection back untouched,
+// no RNG draws, no counters), schedules replay deterministically from
+// the plan seed, and each fault kind does to the byte stream exactly
+// what its real-world counterpart would — cut delivers the in-budget
+// prefix then dies, reset delivers nothing, stall sleeps once and the
+// stream survives, truncate claims writes it silently drops.
+
+#include "net/fault_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace pfrdtn::net {
+namespace {
+
+/// Inner endpoint for the decorator: reads serve a fixed script
+/// (TransportError past the end, like a link that died) and writes are
+/// recorded for inspection.
+class ScriptedConnection : public Connection {
+ public:
+  explicit ScriptedConnection(std::vector<std::uint8_t> script = {})
+      : script_(std::move(script)) {}
+
+  void write(const std::uint8_t* data, std::size_t size) override {
+    written_.insert(written_.end(), data, data + size);
+  }
+  void read(std::uint8_t* data, std::size_t size) override {
+    if (size > script_.size() - position_)
+      throw TransportError("scripted stream ended");
+    std::copy_n(script_.begin() + static_cast<std::ptrdiff_t>(position_),
+                size, data);
+    position_ += size;
+  }
+  void close() override {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>& written() const {
+    return written_;
+  }
+
+ private:
+  std::vector<std::uint8_t> script_;
+  std::size_t position_ = 0;
+  std::vector<std::uint8_t> written_;
+};
+
+LinkFaultSchedule armed(LinkFaultKind kind, std::uint64_t at_bytes) {
+  LinkFaultSchedule schedule;
+  schedule.armed = true;
+  schedule.kind = kind;
+  schedule.at_bytes = at_bytes;
+  return schedule;
+}
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t fill = 0x5A) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(LinkFault, RateZeroIsAPassthroughWithNoDraws) {
+  LinkFaultPlan plan;  // fault_rate defaults to 0
+  plan.seed = 7;
+  LinkFaultInjector injector(plan);
+  auto inner = std::make_unique<ScriptedConnection>();
+  const Connection* raw = inner.get();
+  const ConnectionPtr out = injector.wrap(std::move(inner));
+  // The exact same object comes back: no wrapper allocated, no
+  // schedule drawn — zero-rate runs are bit-identical to runs without
+  // the injector, the replay contract FaultInjectingEnv keeps for the
+  // disk.
+  EXPECT_EQ(out.get(), raw);
+  EXPECT_EQ(injector.faults_scheduled(), 0u);
+  EXPECT_EQ(injector.faults_injected(), 0u);
+  const LinkFaultSchedule schedule = injector.draw();
+  EXPECT_FALSE(schedule.armed);
+}
+
+TEST(LinkFault, SchedulesAreDeterministicFromTheSeed) {
+  LinkFaultPlan plan;
+  plan.seed = 11;
+  plan.fault_rate = 0.6;
+  LinkFaultInjector a(plan);
+  LinkFaultInjector b(plan);
+  bool any_armed = false;
+  for (int i = 0; i < 200; ++i) {
+    const LinkFaultSchedule one = a.draw();
+    const LinkFaultSchedule two = b.draw();
+    EXPECT_EQ(one.armed, two.armed);
+    EXPECT_EQ(one.kind, two.kind);
+    EXPECT_EQ(one.at_bytes, two.at_bytes);
+    any_armed = any_armed || one.armed;
+  }
+  EXPECT_TRUE(any_armed);
+  EXPECT_EQ(a.faults_scheduled(), b.faults_scheduled());
+  EXPECT_GT(a.faults_scheduled(), 0u);
+}
+
+TEST(LinkFault, OffsetsStayInsideTheConfiguredBand) {
+  LinkFaultPlan plan;
+  plan.seed = 13;
+  plan.fault_rate = 1.0;
+  plan.min_fault_bytes = 32;
+  plan.max_fault_bytes = 96;
+  LinkFaultInjector injector(plan);
+  for (int i = 0; i < 200; ++i) {
+    const LinkFaultSchedule schedule = injector.draw();
+    ASSERT_TRUE(schedule.armed);  // rate 1.0: every connection faults
+    EXPECT_GE(schedule.at_bytes, 32u);
+    EXPECT_LE(schedule.at_bytes, 96u);
+  }
+  EXPECT_EQ(injector.faults_scheduled(), 200u);
+}
+
+TEST(LinkFault, CutDeliversThePrefixThenDies) {
+  LinkFaultPlan plan;
+  LinkFaultInjector injector(plan);
+  auto inner = std::make_unique<ScriptedConnection>();
+  const ScriptedConnection* peer_view = inner.get();
+  FaultInjectingConnection link(std::move(inner),
+                                armed(LinkFaultKind::Cut, 4), &injector);
+  const auto data = bytes(8);
+  EXPECT_THROW(link.write(data.data(), data.size()), TransportError);
+  // The peer got exactly the in-budget prefix — a contact window
+  // closes mid-stream, not at a frame boundary.
+  EXPECT_EQ(peer_view->written().size(), 4u);
+  EXPECT_EQ(link.bytes_moved(), 4u);
+  EXPECT_TRUE(link.fault_fired());
+  EXPECT_EQ(injector.faults_injected(), 1u);
+  // The connection is dead from here on, both directions.
+  EXPECT_THROW(link.write(data.data(), 1), TransportError);
+  std::uint8_t byte = 0;
+  EXPECT_THROW(link.read(&byte, 1), TransportError);
+}
+
+TEST(LinkFault, ResetDeliversNothing) {
+  LinkFaultPlan plan;
+  LinkFaultInjector injector(plan);
+  auto inner = std::make_unique<ScriptedConnection>();
+  const ScriptedConnection* peer_view = inner.get();
+  FaultInjectingConnection link(std::move(inner),
+                                armed(LinkFaultKind::Reset, 4), &injector);
+  const auto data = bytes(8);
+  EXPECT_THROW(link.write(data.data(), data.size()), TransportError);
+  // RST semantics: buffered bytes dropped wholesale.
+  EXPECT_TRUE(peer_view->written().empty());
+  EXPECT_TRUE(link.fault_fired());
+  EXPECT_EQ(injector.faults_injected(), 1u);
+}
+
+TEST(LinkFault, StallSleepsOnceAndTheStreamSurvives) {
+  LinkFaultPlan plan;
+  plan.stall_ms = 75;
+  LinkFaultInjector injector(plan);
+  std::vector<std::uint64_t> sleeps;
+  injector.set_sleep_hook(
+      [&sleeps](std::uint64_t ms) { sleeps.push_back(ms); });
+  auto inner = std::make_unique<ScriptedConnection>();
+  const ScriptedConnection* peer_view = inner.get();
+  FaultInjectingConnection link(std::move(inner),
+                                armed(LinkFaultKind::Stall, 4), &injector);
+  const auto data = bytes(8);
+  link.write(data.data(), data.size());  // crosses the offset: stalls
+  link.write(data.data(), data.size());  // past it: no second stall
+  EXPECT_EQ(peer_view->written().size(), 16u);
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_EQ(sleeps[0], 75u);
+  EXPECT_TRUE(link.fault_fired());
+  EXPECT_EQ(injector.faults_injected(), 1u);
+}
+
+TEST(LinkFault, TruncateClaimsWritesItSilentlyDrops) {
+  LinkFaultPlan plan;
+  LinkFaultInjector injector(plan);
+  auto inner = std::make_unique<ScriptedConnection>();
+  const ScriptedConnection* peer_view = inner.get();
+  FaultInjectingConnection link(std::move(inner),
+                                armed(LinkFaultKind::Truncate, 4),
+                                &injector);
+  const auto data = bytes(8);
+  // The crossing write "succeeds" but only the in-budget prefix ever
+  // reaches the peer — bytes the kernel buffered and the dead link
+  // never delivered.
+  link.write(data.data(), data.size());
+  EXPECT_EQ(peer_view->written().size(), 4u);
+  link.write(data.data(), data.size());  // claimed, delivered nowhere
+  EXPECT_EQ(peer_view->written().size(), 4u);
+  EXPECT_EQ(link.bytes_moved(), 16u);  // the caller believes all 16 moved
+  // The peer is gone: the next read surfaces the death.
+  std::uint8_t byte = 0;
+  EXPECT_THROW(link.read(&byte, 1), TransportError);
+  EXPECT_TRUE(link.fault_fired());
+}
+
+TEST(LinkFault, CutOnReadDeliversTheInFlightPrefix) {
+  LinkFaultPlan plan;
+  LinkFaultInjector injector(plan);
+  auto inner = std::make_unique<ScriptedConnection>(bytes(8, 0xC3));
+  FaultInjectingConnection link(std::move(inner),
+                                armed(LinkFaultKind::Cut, 4), &injector);
+  std::uint8_t buffer[8] = {};
+  link.read(buffer, 3);  // under the offset: clean
+  EXPECT_EQ(buffer[2], 0xC3);
+  // The crossing read pulls the last in-budget byte, then the link
+  // dies mid-read.
+  EXPECT_THROW(link.read(buffer, 3), TransportError);
+  EXPECT_EQ(link.bytes_moved(), 4u);
+  EXPECT_TRUE(link.fault_fired());
+}
+
+TEST(LinkFault, UnarmedScheduleNeverInterferes) {
+  LinkFaultPlan plan;
+  LinkFaultInjector injector(plan);
+  auto inner = std::make_unique<ScriptedConnection>(bytes(64));
+  const ScriptedConnection* peer_view = inner.get();
+  FaultInjectingConnection link(std::move(inner), LinkFaultSchedule{},
+                                &injector);
+  const auto data = bytes(64);
+  link.write(data.data(), data.size());
+  std::uint8_t buffer[64];
+  link.read(buffer, sizeof(buffer));
+  EXPECT_EQ(peer_view->written().size(), 64u);
+  EXPECT_EQ(link.bytes_moved(), 128u);
+  EXPECT_FALSE(link.fault_fired());
+  EXPECT_EQ(injector.faults_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace pfrdtn::net

@@ -150,6 +150,153 @@ TEST(NetFuzz, OversizeSummaryFrameRejectedBeforeAllocation) {
   EXPECT_THROW((void)read_frame(connection, budget), ResourceLimitError);
 }
 
+TEST(NetFuzz, ErrorFrameDecoderNeverCrashes) {
+  Rng rng(28);
+  for (int trial = 0; trial < 500; ++trial) {
+    must_parse_or_throw(
+        [&] { (void)repl::decode_error_frame(random_bytes(rng, 96)); });
+  }
+}
+
+TEST(NetFuzz, ErrorFrameSurvivesTruncationAndBitFlips) {
+  // A real transient refusal, attacked every way a dying or hostile
+  // link can mangle it. Parseable corruptions must stay transient or
+  // become unknown codes — which decode as transient too, so a
+  // confused refusal can never strike quarantine.
+  const std::vector<std::uint8_t> payload = repl::encode_error_frame(
+      repl::kSyncErrorBusy, "server busy: at session cap, retry");
+  for (std::size_t cut = 0; cut <= payload.size(); ++cut) {
+    must_parse_or_throw([&] {
+      const auto info = repl::decode_error_frame(
+          {payload.begin(),
+           payload.begin() + static_cast<std::ptrdiff_t>(cut)});
+      EXPECT_TRUE(info.transient());
+    });
+  }
+  Rng rng(29);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = payload;
+    corrupted[rng.below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    must_parse_or_throw([&] {
+      const auto info = repl::decode_error_frame(corrupted);
+      EXPECT_TRUE(info.transient());
+      // Whatever the flipped code, it maps to *some* stable label.
+      EXPECT_FALSE(repl::sync_error_code_name(info.code).empty());
+    });
+  }
+}
+
+TEST(NetFuzz, OversizeErrorFrameRejectedBeforeAllocation) {
+  // Same admission-before-allocation contract as summary frames: a
+  // header claiming an over-cap Error payload dies at the budget, not
+  // after a read or allocation (the script holds only the header).
+  std::uint8_t header[kFrameHeaderSize];
+  encode_frame_header(static_cast<std::uint8_t>(repl::SyncFrame::Error),
+                      ResourceLimits{}.max_error_bytes + 1, header);
+  ScriptedConnection connection({header, header + kFrameHeaderSize});
+  SessionBudget budget{ResourceLimits{}};
+  EXPECT_THROW((void)read_frame(connection, budget), ResourceLimitError);
+}
+
+TEST(NetFuzz, BatchAckDecoderNeverCrashes) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    must_parse_or_throw(
+        [&] { (void)repl::decode_batch_ack(random_bytes(rng, 16)); });
+  }
+  // The well-formed payload round-trips exactly.
+  EXPECT_EQ(repl::decode_batch_ack(repl::encode_batch_ack(12345)), 12345u);
+}
+
+TEST(NetFuzz, PushedBatchNeedsTheServersAck) {
+  // The at-most-once hole the BatchAck closes: a pushing client whose
+  // writes all succeed locally must still refuse to call the push
+  // delivered until the server confirms it applied the batch. The
+  // script plays an ack-negotiating server that sends its Hello and
+  // pull Request and then dies — exactly what a link cut on the server
+  // side looks like from here.
+  Replica server_view(ReplicaId(9), Filter::all());
+  const repl::SyncRequest request =
+      repl::make_request(server_view, nullptr, ReplicaId(50), SimTime(0));
+  ByteWriter request_bytes;
+  request.serialize(request_bytes);
+
+  ScriptedConnection unacked_script;
+  write_frame(unacked_script, repl::SyncFrame::Hello,
+              encode_hello({ReplicaId(9), SyncMode::Push,
+                            kFeatureBatchAck}));
+  write_frame(unacked_script, repl::SyncFrame::Request,
+              request_bytes.bytes());
+
+  Replica self(ReplicaId(50), Filter::addresses({HostId(7)}));
+  self.create({{repl::meta::kDest, "5"}}, {'x'});
+  {
+    ScriptedConnection connection(unacked_script.written());
+    const auto outcome = run_client_session(connection, self, nullptr,
+                                            SyncMode::Push, SimTime(0));
+    EXPECT_TRUE(outcome.transport_failed);
+    EXPECT_NE(outcome.error.find("push not acknowledged"),
+              std::string::npos)
+        << outcome.error;
+  }
+  // Same session with the ack appended: the push is delivered.
+  {
+    ScriptedConnection acked_script;
+    write_frame(acked_script, repl::SyncFrame::Hello,
+                encode_hello({ReplicaId(9), SyncMode::Push,
+                              kFeatureBatchAck}));
+    write_frame(acked_script, repl::SyncFrame::Request,
+                request_bytes.bytes());
+    write_frame(acked_script, repl::SyncFrame::BatchAck,
+                repl::encode_batch_ack(1));
+    ScriptedConnection connection(acked_script.written());
+    const auto outcome = run_client_session(connection, self, nullptr,
+                                            SyncMode::Push, SimTime(0));
+    EXPECT_FALSE(outcome.transport_failed) << outcome.error;
+    EXPECT_TRUE(outcome.push.stats.complete);
+  }
+  // A server that never advertised the feature is trusted the legacy
+  // way: no ack awaited, the push completes when the writes do.
+  {
+    ScriptedConnection legacy_script;
+    write_frame(legacy_script, repl::SyncFrame::Hello,
+                encode_hello({ReplicaId(9), SyncMode::Push, 0}));
+    write_frame(legacy_script, repl::SyncFrame::Request,
+                request_bytes.bytes());
+    ScriptedConnection connection(legacy_script.written());
+    const auto outcome = run_client_session(connection, self, nullptr,
+                                            SyncMode::Push, SimTime(0));
+    EXPECT_FALSE(outcome.transport_failed) << outcome.error;
+  }
+}
+
+TEST(NetFuzz, ClientSessionSurvivesArbitraryHelloReplies) {
+  // The client's first read is the server's Hello — or, since this PR,
+  // possibly a transient Error refusal. Replay every kind of framed
+  // garbage in that slot: the client must end refused, failed, or
+  // clean, never crash, and never mutate its replica on garbage.
+  Rng rng(30);
+  for (int trial = 0; trial < 300; ++trial) {
+    Replica self(ReplicaId(50), Filter::addresses({HostId(7)}));
+    ScriptedConnection sink;
+    const auto type = static_cast<repl::SyncFrame>(rng.below(16));
+    const auto payload = random_bytes(rng, 48);
+    must_parse_or_throw([&] { write_frame(sink, type, payload); });
+    ScriptedConnection connection(sink.written());
+    must_parse_or_throw([&] {
+      const auto outcome = run_client_session(
+          connection, self, nullptr, SyncMode::Push, SimTime(0));
+      if (outcome.refused) {
+        // Refusals carry a code and never report transport failure.
+        EXPECT_FALSE(outcome.transport_failed);
+      }
+    });
+    EXPECT_EQ(self.check_invariants(), "");
+    EXPECT_TRUE(self.knowledge().fragments().empty());
+  }
+}
+
 TEST(NetFuzz, SummaryTargetSessionNeverCrashesOnRandomStreams) {
   Rng rng(24);
   repl::SyncOptions summary_on;

@@ -232,6 +232,134 @@ TEST(SyncServer, GracefulDrainForceClosesStragglers) {
   EXPECT_NE(error.find("draining"), std::string::npos) << error;
 }
 
+TEST(SyncServer, OverCapConnectionsAreShedWithBusyNotStruck) {
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  ForwardAll server_policy;
+
+  SyncServerOptions options;
+  options.workers = 2;
+  options.max_concurrent_sessions = 1;
+  std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> rejections{0};
+  SyncServerCallbacks callbacks;
+  callbacks.on_shed = [&shed](const std::string&, std::size_t active) {
+    EXPECT_GE(active, 1u);
+    shed.fetch_add(1);
+  };
+  callbacks.on_reject = [&rejections](const std::string&,
+                                      const AdmitDecision&) {
+    rejections.fetch_add(1);
+  };
+  SyncServer server(server_replica, &server_policy, options, callbacks);
+  const std::uint16_t port = server.port();
+  std::thread serving([&] { server.run(); });
+
+  Replica self(ReplicaId(50), Filter::addresses({HostId(50)}));
+  self.create(to(9), {0x42});
+  ForwardAll policy;
+
+  {
+    // One idle connection occupies the only session slot.
+    ConnectionPtr occupier = tcp_connect("127.0.0.1", port);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // The next client is not starved into a deadline cut: it gets a
+    // structured transient Busy refusal — and NO strike, so the shed
+    // peer (same 127.0.0.1 as every client here) stays admitted.
+    ConnectionPtr connection = tcp_connect("127.0.0.1", port);
+    const auto outcome = run_client_session(
+        *connection, self, &policy, SyncMode::Push, SimTime(0));
+    EXPECT_TRUE(outcome.refused);
+    EXPECT_FALSE(outcome.transport_failed);
+    EXPECT_EQ(outcome.refusal_code, repl::kSyncErrorBusy);
+    EXPECT_NE(outcome.error.find("busy"), std::string::npos)
+        << outcome.error;
+    EXPECT_EQ(self.store().size(), 1u);  // nothing pushed
+    occupier->close();
+  }
+
+  // The slot frees as the occupier's session ends; a retry (the
+  // backoff loop of sync-with, compressed) then succeeds.
+  ASSERT_TRUE(wait_for([&] {
+    try {
+      ConnectionPtr retry = tcp_connect("127.0.0.1", port);
+      const auto outcome = run_client_session(
+          *retry, self, &policy, SyncMode::Push, SimTime(0));
+      return !outcome.transport_failed && !outcome.refused &&
+             outcome.push.stats.complete;
+    } catch (const TransportError&) {
+      return false;
+    }
+  }));
+
+  server.shutdown();
+  serving.join();
+  EXPECT_GE(shed.load(), 1u);
+  EXPECT_GE(server.sessions_shed(), 1u);
+  // Shedding is overload control, not peer health: zero quarantine
+  // rejections ever happened.
+  EXPECT_EQ(rejections.load(), 0u);
+  EXPECT_EQ(server_replica.store().size(), 1u);
+  EXPECT_EQ(server_replica.check_invariants(), "");
+}
+
+/// Client-side read throttle: slows its socket drain so the server's
+/// reply backlog overflows the kernel buffers and its event-loop write
+/// path has to take the partial-write / EAGAIN / EPOLLOUT-resume route.
+class ThrottledConnection final : public Connection {
+ public:
+  explicit ThrottledConnection(ConnectionPtr inner)
+      : inner_(std::move(inner)) {}
+  void write(const std::uint8_t* data, std::size_t size) override {
+    inner_->write(data, size);
+  }
+  void read(std::uint8_t* data, std::size_t size) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    inner_->read(data, size);
+  }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnectionPtr inner_;
+};
+
+TEST(SyncServer, LargePullSurvivesPartialWrites) {
+  // A pull an order of magnitude past any socket buffer: the server
+  // must stage its reply in the per-connection out-buffer, hit EAGAIN,
+  // arm EPOLLOUT, and resume flushing as the throttled client drains —
+  // delivering every byte of every item despite never once completing
+  // a write in one call.
+  constexpr std::size_t kItems = 96;
+  constexpr std::size_t kItemBytes = 128 * 1024;  // ~12 MiB total
+  Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
+  for (std::size_t i = 0; i < kItems; ++i) {
+    std::vector<std::uint8_t> payload(kItemBytes,
+                                      static_cast<std::uint8_t>(i));
+    server_replica.create(to(7), payload);
+  }
+  ForwardAll server_policy;
+
+  SyncServerOptions options;
+  options.max_sessions = 1;
+  options.tcp.session_deadline_ms = 30000;
+  SyncServer server(server_replica, &server_policy, options);
+  const std::uint16_t port = server.port();
+  std::thread serving([&] { server.run(); });
+
+  Replica self(ReplicaId(50), Filter::addresses({HostId(7)}));
+  ForwardAll policy;
+  ThrottledConnection connection(tcp_connect("127.0.0.1", port));
+  const auto outcome = run_client_session(connection, self, &policy,
+                                          SyncMode::Pull, SimTime(0));
+  serving.join();
+
+  ASSERT_FALSE(outcome.transport_failed) << outcome.error;
+  EXPECT_TRUE(outcome.pull.result.stats.complete);
+  EXPECT_EQ(self.store().size(), kItems);
+  EXPECT_EQ(self.check_invariants(), "");
+  EXPECT_EQ(server.sessions_completed(), 1u);
+}
+
 TEST(SyncServer, ShutdownWithNothingInFlightReturnsImmediately) {
   Replica server_replica(ReplicaId(1), Filter::addresses({HostId(9)}));
   ForwardAll server_policy;

@@ -1,0 +1,116 @@
+// The one jittered-exponential backoff shared by the CLI's connect
+// retries, sync-with's contact re-dials, and the peer-health monitor's
+// ejection windows: delays stay in [window/2, window], the window
+// doubles per attempt up to the cap, same seed means same schedule,
+// and differently seeded clients cut by the same fault spread out
+// instead of re-dialing in lockstep.
+
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pfrdtn {
+namespace {
+
+TEST(Backoff, JitteredDelayStaysInTheUpperHalfWindow) {
+  Rng rng(1);
+  for (const std::uint64_t window : {1u, 2u, 3u, 100u, 4096u}) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t delay = jittered_delay_ms(window, rng);
+      EXPECT_GE(delay, window / 2) << "window " << window;
+      EXPECT_LE(delay, window) << "window " << window;
+    }
+  }
+}
+
+TEST(Backoff, JitteredDelayMatchesTheLegacyQuarantineDraw) {
+  // The helper replaced an inline `half + rng.below(half + 1)` in the
+  // quarantine table; drawing byte-identically is what keeps every
+  // pre-existing seed and e2e expectation replaying unchanged.
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t window = 1000ull << (i % 5);
+    const std::uint64_t half = window / 2;
+    EXPECT_EQ(jittered_delay_ms(window, a), half + b.below(half + 1));
+  }
+}
+
+TEST(Backoff, WindowDoublesPerAttemptAndCaps) {
+  JitteredBackoff backoff(BackoffOptions{100, 800}, 7);
+  EXPECT_EQ(backoff.current_window_ms(), 100u);
+  (void)backoff.next_delay_ms();
+  EXPECT_EQ(backoff.current_window_ms(), 200u);
+  (void)backoff.next_delay_ms();
+  EXPECT_EQ(backoff.current_window_ms(), 400u);
+  (void)backoff.next_delay_ms();
+  EXPECT_EQ(backoff.current_window_ms(), 800u);
+  // Far past any sane attempt count (and past the 40-doubling shift
+  // guard): the window pins to the cap and delays stay bounded.
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t delay = backoff.next_delay_ms();
+    EXPECT_GE(delay, 400u);
+    EXPECT_LE(delay, 800u);
+  }
+  EXPECT_EQ(backoff.current_window_ms(), 800u);
+}
+
+TEST(Backoff, DelaysComeFromTheCurrentWindow) {
+  JitteredBackoff backoff(BackoffOptions{200, 10000}, 3);
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t window = backoff.current_window_ms();
+    const std::uint64_t delay = backoff.next_delay_ms();
+    EXPECT_GE(delay, window / 2);
+    EXPECT_LE(delay, window);
+  }
+}
+
+TEST(Backoff, ResetRestartsTheEscalation) {
+  JitteredBackoff backoff(BackoffOptions{100, 10000}, 7);
+  (void)backoff.next_delay_ms();
+  (void)backoff.next_delay_ms();
+  EXPECT_EQ(backoff.attempts(), 2u);
+  EXPECT_EQ(backoff.current_window_ms(), 400u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(backoff.current_window_ms(), 100u);
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  JitteredBackoff a(BackoffOptions{200, 10000}, 99);
+  JitteredBackoff b(BackoffOptions{200, 10000}, 99);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(a.next_delay_ms(), b.next_delay_ms());
+}
+
+TEST(Backoff, SeededJitterDesynchronizesARetryStorm) {
+  // Fifty clients cut by the same link fault at the same instant, each
+  // seeded differently (in the CLI: from its own clock reading). If
+  // jitter did its job their first re-dial delays spread across the
+  // [100, 200] band instead of thundering back in lockstep.
+  constexpr std::size_t kClients = 50;
+  std::vector<std::uint64_t> delays;
+  std::set<std::uint64_t> distinct;
+  delays.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    JitteredBackoff backoff(BackoffOptions{200, 10000}, 1000 + c);
+    delays.push_back(backoff.next_delay_ms());
+    distinct.insert(delays.back());
+  }
+  for (const std::uint64_t delay : delays) {
+    EXPECT_GE(delay, 100u);
+    EXPECT_LE(delay, 200u);
+  }
+  // Uniform draws over 101 values: ~40 distinct expected; 20 is a
+  // conservative floor that still rules out lockstep decisively.
+  EXPECT_GE(distinct.size(), 20u);
+  const auto [lo, hi] = std::minmax_element(delays.begin(), delays.end());
+  EXPECT_GE(*hi - *lo, 50u) << "delays clustered in a narrow band";
+}
+
+}  // namespace
+}  // namespace pfrdtn

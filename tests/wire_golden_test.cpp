@@ -183,6 +183,29 @@ TEST(WireGolden, FramesAreByteIdentical) {
                      hex64(fnv1a64(encode_summary_reply(ReplicaId(9)))),
                      "af63c44c8601c3c4"});
 
+  // Transient Error refusals (PR 10): the structured read-only / busy
+  // / draining frames the retry discipline keys off. The payload is
+  // one code byte plus the raw message, so these also pin the message
+  // strings the e2e greps for.
+  goldens.push_back(
+      {"error_frame_read_only",
+       hex64(fnv1a64(encode_error_frame(
+           kSyncErrorReadOnly, "replica is degraded read-only"))),
+       "226fa6c09604cf1f"});
+  goldens.push_back(
+      {"error_frame_busy",
+       hex64(fnv1a64(encode_error_frame(
+           kSyncErrorBusy, "server busy: at session cap, retry"))),
+       "bd4912964410db3e"});
+  goldens.push_back({"error_frame_draining",
+                     hex64(fnv1a64(encode_error_frame(
+                         kSyncErrorDraining, "server draining"))),
+                     "ad687237a4f8fcc1"});
+  // The push acknowledgement (PR 10): one uvarint of applied copies.
+  goldens.push_back({"batch_ack_frame",
+                     hex64(fnv1a64(encode_batch_ack(3))),
+                     "af63be4c8601b992"});
+
   for (const Golden& golden : goldens) {
     EXPECT_EQ(golden.actual, golden.expected)
         << "wire format drifted for corpus entry '" << golden.name << "'";

@@ -89,6 +89,15 @@ run_check_stage() {
     --summary-rate 0.5 --summary-collision-rate 0.2
   "$bin" check --seed "$seed" --runs "$((runs / 8))" \
     --summary-rate 0.4 --cut-rate 0.3 --crash-rate 0.1
+  # Flaky-contact schedules against the retrying contact discipline:
+  # every cut sync earns re-dial attempts that must make monotone
+  # forward progress, deliver nothing twice (the at-most-once probe
+  # audits received events), and strike nobody over a link fault.
+  "$bin" check --seed "$seed" --runs "$((runs / 4))" \
+    --retry-max 3 --cut-rate 0.6
+  "$bin" check --seed "$seed" --runs "$((runs / 8))" \
+    --retry-max 3 --cut-rate 0.4 --crash-rate 0.15 \
+    --summary-rate 0.3 --adversary-rate 0.1
   # Storage-fault schedules against the degrade-to-read-only path:
   # every injected disk fault must refuse the mutation with zero trace
   # (nothing acknowledged is ever lost), degraded replicas keep serving
@@ -180,6 +189,25 @@ run_summary_oracle_proof() {
   echo "summary oracle caught the injected fallback skip"
 }
 
+# The retry-band oracle must bite: with retries forgetting the
+# progress already applied (each re-dial re-counts the whole batch as
+# new arrivals), a fixed-seed cut schedule has to fail the monotone-
+# progress / at-most-once probes and shrink to a small reproduction.
+# Guards against the flaky-contact band silently degrading to a no-op.
+run_retry_oracle_proof() {
+  local name="$1"
+  local bin="$ROOT/build-ci/$name/tools/pfrdtn"
+  echo "=== [$name] check: retry-forgets-progress bug is caught ==="
+  local rc=0
+  "$bin" check --seed 1876 --runs 10 --retry-max 3 --cut-rate 0.6 \
+    --inject-bug retry-forgets-progress > /dev/null || rc=$?
+  if [[ "$rc" -ne 1 ]]; then
+    echo "retry-forgets-progress injection was not detected (exit $rc)" >&2
+    exit 1
+  fi
+  echo "retry oracle caught the injected progress reset"
+}
+
 run_suite plain
 run_suite asan-ubsan -DPFRDTN_SANITIZE=address,undefined
 run_suite tsan -DPFRDTN_SANITIZE=thread
@@ -203,5 +231,7 @@ run_adversary_oracle_proof plain
 run_adversary_oracle_proof asan-ubsan
 run_summary_oracle_proof plain
 run_summary_oracle_proof asan-ubsan
+run_retry_oracle_proof plain
+run_retry_oracle_proof asan-ubsan
 
 echo "CI OK"

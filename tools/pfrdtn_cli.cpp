@@ -45,6 +45,7 @@
 #include "check/harness.hpp"
 #include "dtn/registry.hpp"
 #include "net/chaos.hpp"
+#include "net/fault_link.hpp"
 #include "net/quarantine.hpp"
 #include "net/server.hpp"
 #include "net/session.hpp"
@@ -53,6 +54,7 @@
 #include "persist/fault_env.hpp"
 #include "sim/experiment.hpp"
 #include "trace/trace_io.hpp"
+#include "util/backoff.hpp"
 #include "util/rng.hpp"
 #include "util/storage_error.hpp"
 
@@ -84,12 +86,18 @@ using namespace pfrdtn;
       "               [--disk-fault-after-bytes N]\n"
       "               [--io-timeout-ms N] [--session-deadline-ms N]\n"
       "               [--quarantine-base-ms N] [--quarantine-max-ms N]\n"
+      "               [--max-concurrent-sessions N]\n"
+      "               [--link-fault-rate X] [--link-fault-seed S]\n"
+      "               [--link-fault-max-bytes N]\n"
       "               [--max-request-bytes N] [--max-item-bytes N]\n"
       "               [--max-batch-items N] [--summary-mode on|off|auto]\n"
       "  sync-with    --host H --port N [--port-file FILE] --addr A\n"
       "               [--send DEST=BODY]... [--mode pull|push|encounter]\n"
       "               [--id N] [--bandwidth N] [--timeout-ms N]\n"
       "               [--state-dir DIR] [--retries N] [--retry-base-ms N]\n"
+      "               [--retry-max N] [--retry-budget-ms N]\n"
+      "               [--link-fault-rate X] [--link-fault-seed S]\n"
+      "               [--link-fault-max-bytes N]\n"
       "               [--disk-fault-rate X] [--disk-fault-seed S]\n"
       "               [--disk-fault-after-bytes N]\n"
       "               [--summary-mode on|off|auto]\n"
@@ -103,12 +111,13 @@ using namespace pfrdtn;
       "               [--filter-rate X] [--discard-rate X] [--storage N]\n"
       "               [--crash-rate X] [--adversary-rate X] [--quiesce N]\n"
       "               [--summary-rate X] [--summary-collision-rate X]\n"
-      "               [--disk-fault-rate X]\n"
+      "               [--disk-fault-rate X] [--retry-max N]\n"
       "               [--no-shrink] [--shrink-budget N]\n"
       "               [--inject-bug learn-truncated|skip-fsync|\n"
       "                             skip-limit-check|no-deadline|\n"
       "                             summary-skip-fallback|\n"
-      "                             ack-before-fsync]\n"
+      "                             ack-before-fsync|\n"
+      "                             retry-forgets-progress]\n"
       "\n"
       "policies: cimbiosys prophet spray epidemic maxprop\n"
       "          first-contact two-hop p-epidemic\n",
@@ -478,6 +487,8 @@ int cmd_serve(Args& args) {
   tcp_options.session_deadline_ms = 30000;
   net::ResourceLimits limits;
   net::QuarantineOptions quarantine_options;
+  std::size_t max_concurrent = 0;
+  net::LinkFaultPlan link_faults;
 
   while (!args.done()) {
     const std::string flag = args.next();
@@ -531,6 +542,16 @@ int cmd_serve(Args& args) {
     } else if (flag == "--quarantine-max-ms") {
       quarantine_options.max_backoff_ms =
           parse_u64(args.value("--quarantine-max-ms"));
+    } else if (flag == "--max-concurrent-sessions") {
+      max_concurrent =
+          parse_u64(args.value("--max-concurrent-sessions"));
+    } else if (flag == "--link-fault-rate") {
+      link_faults.fault_rate = parse_rate(args.value("--link-fault-rate"));
+    } else if (flag == "--link-fault-seed") {
+      link_faults.seed = parse_u64(args.value("--link-fault-seed"));
+    } else if (flag == "--link-fault-max-bytes") {
+      link_faults.max_fault_bytes =
+          parse_u64(args.value("--link-fault-max-bytes"));
     } else if (flag == "--max-request-bytes") {
       limits.max_request_bytes = static_cast<std::uint32_t>(
           parse_u64(args.value("--max-request-bytes")));
@@ -583,6 +604,8 @@ int cmd_serve(Args& args) {
   server_options.sync = sync_options;
   server_options.limits = limits;
   server_options.quarantine = quarantine_options;
+  server_options.max_concurrent_sessions = max_concurrent;
+  server_options.link_faults = link_faults;
 
   net::SyncServerCallbacks callbacks;
   // Runs on a worker thread with the server's state mutex held, so the
@@ -649,6 +672,13 @@ int cmd_serve(Args& args) {
   callbacks.on_drain = [](std::size_t active) {
     std::fprintf(stderr, "draining: %zu sessions in flight\n", active);
   };
+  // Shedding is load management, not punishment: one structured line
+  // per refused connection, no strike — the client retries with
+  // backoff once a slot frees up.
+  callbacks.on_shed = [](const std::string& peer, std::size_t active) {
+    std::fprintf(stderr, "shed [%s]: busy active=%zu\n", peer.c_str(),
+                 active);
+  };
 
   net::SyncServer server(node.replica(), node.policy(), server_options,
                          callbacks);
@@ -663,6 +693,12 @@ int cmd_serve(Args& args) {
   }
 
   const bool listener_ok = server.run();
+
+  if (max_concurrent != 0 || link_faults.fault_rate > 0) {
+    std::printf("flaky-link: shed=%zu link_faults_injected=%zu\n",
+                server.sessions_shed(), server.link_faults_injected());
+    std::fflush(stdout);
+  }
 
   if (durable.durability) {
     const persist::DurabilityCounters counters =
@@ -697,29 +733,27 @@ int cmd_serve(Args& args) {
 /// Connect with a bounded retry budget and jittered exponential
 /// backoff: in a DTN encounter the peer's listener may come up moments
 /// after we notice the contact, so ECONNREFUSED must not abort the
-/// whole encounter. Jitter desynchronizes nodes retrying after the
-/// same contact event.
+/// whole encounter. The backoff schedule is the caller's — sync-with
+/// shares one JitteredBackoff between connect retries and session
+/// re-dials so every failure in the encounter escalates together, and
+/// its jitter desynchronizes nodes retrying after the same contact
+/// event.
 net::ConnectionPtr connect_with_retries(const std::string& host,
                                         std::uint16_t port,
                                         const net::TcpOptions& options,
                                         std::size_t retries,
-                                        std::uint64_t base_ms) {
-  Rng jitter(static_cast<std::uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count()));
-  std::uint64_t delay_ms = base_ms == 0 ? 1 : base_ms;
+                                        JitteredBackoff& backoff) {
   for (std::size_t attempt = 0;; ++attempt) {
     try {
       return net::tcp_connect(host, port, options);
     } catch (const net::TransportError& failure) {
       if (attempt >= retries) throw;
-      const std::uint64_t sleep_ms =
-          delay_ms / 2 + jitter.below(delay_ms / 2 + 1);
+      const std::uint64_t sleep_ms = backoff.next_delay_ms();
       std::fprintf(stderr,
                    "connect attempt %zu failed: %s; retrying in %llums\n",
                    attempt + 1, failure.what(),
                    static_cast<unsigned long long>(sleep_ms));
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-      delay_ms *= 2;
     }
   }
 }
@@ -734,6 +768,9 @@ int cmd_sync_with(Args& args) {
   bool id_explicit = false;
   std::size_t retries = 4;
   std::uint64_t retry_base_ms = 100;
+  std::size_t retry_max = 0;
+  std::uint64_t retry_budget_ms = 0;
+  net::LinkFaultPlan link_plan;
   net::SyncMode mode = net::SyncMode::Encounter;
   net::TcpOptions tcp_options;
   repl::SyncOptions sync_options;
@@ -759,6 +796,17 @@ int cmd_sync_with(Args& args) {
       retries = parse_u64(args.value("--retries"));
     } else if (flag == "--retry-base-ms") {
       retry_base_ms = parse_u64(args.value("--retry-base-ms"));
+    } else if (flag == "--retry-max") {
+      retry_max = parse_u64(args.value("--retry-max"));
+    } else if (flag == "--retry-budget-ms") {
+      retry_budget_ms = parse_u64(args.value("--retry-budget-ms"));
+    } else if (flag == "--link-fault-rate") {
+      link_plan.fault_rate = parse_rate(args.value("--link-fault-rate"));
+    } else if (flag == "--link-fault-seed") {
+      link_plan.seed = parse_u64(args.value("--link-fault-seed"));
+    } else if (flag == "--link-fault-max-bytes") {
+      link_plan.max_fault_bytes =
+          parse_u64(args.value("--link-fault-max-bytes"));
     } else if (flag == "--send") {
       const std::string kv = args.value("--send");
       const auto eq = kv.find('=');
@@ -813,36 +861,83 @@ int cmd_sync_with(Args& args) {
   for (const auto& [dest, body] : sends)
     node.send(HostId(*addr), {HostId(dest)}, body, SimTime(0));
 
-  try {
-    const auto connection = connect_with_retries(
-        host, port, tcp_options, retries, retry_base_ms);
-    const auto outcome = net::run_client_session(
-        *connection, node.replica(), node.policy(), mode, SimTime(0),
-        sync_options);
-    report_sync("pulled", outcome.pull.result.stats);
-    report_sync("pushed", outcome.push.stats);
-    report_delivered(
-        node.on_sync_delivered(outcome.pull.result.delivered, SimTime(0)));
-    std::printf("store=%zu\n", node.replica().store().size());
-    if (outcome.pull.refused || outcome.push.refused) {
-      // A structured, transient refusal (e.g. the peer — or this
-      // replica — is degraded read-only), not a link or protocol
-      // failure: distinct exit code so scripts can retry elsewhere.
-      std::fprintf(stderr, "refused: %s\n",
-                   outcome.pull.refused ? outcome.pull.error.c_str()
-                                        : outcome.push.error.c_str());
-      return 3;
+  // Link-fault injection (tools/flakylink_e2e.sh): one seeded injector
+  // shared across every retry attempt, so re-dials walk one
+  // deterministic schedule stream. Rate 0 = passthrough, no RNG draws.
+  net::LinkFaultInjector link_faults(link_plan);
+
+  // One jittered-exponential schedule for the whole encounter: connect
+  // retries and session re-dials escalate it together.
+  JitteredBackoff backoff(
+      BackoffOptions{retry_base_ms == 0 ? 1 : retry_base_ms, 10000},
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()));
+  const auto contact_started = std::chrono::steady_clock::now();
+  const auto budget_exhausted = [&] {
+    if (retry_budget_ms == 0) return false;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - contact_started);
+    return static_cast<std::uint64_t>(elapsed.count()) >= retry_budget_ms;
+  };
+
+  // The retrying contact discipline: a cut or shed attempt is re-dialed
+  // with backoff, up to --retry-max extra attempts within
+  // --retry-budget-ms. Partial progress persists in the replica between
+  // attempts (incomplete-sync semantics), so every retry resumes where
+  // the cut stopped — acknowledged data is never re-sent — and the
+  // delivery ledger keeps reporting exactly-once.
+  for (std::size_t attempt = 0;; ++attempt) {
+    std::string failure;
+    bool refusal = false;
+    try {
+      const auto connection = link_faults.wrap(connect_with_retries(
+          host, port, tcp_options, retries, backoff));
+      const auto outcome = net::run_client_session(
+          *connection, node.replica(), node.policy(), mode, SimTime(0),
+          sync_options);
+      if (outcome.refused) {
+        // The server answered Hello with a transient Error (an
+        // overloaded serve shedding Busy, a draining one): the session
+        // never started, no strike in either direction — retry.
+        failure = outcome.error;
+        refusal = true;
+      } else {
+        report_sync("pulled", outcome.pull.result.stats);
+        report_sync("pushed", outcome.push.stats);
+        report_delivered(node.on_sync_delivered(
+            outcome.pull.result.delivered, SimTime(0)));
+        std::printf("store=%zu\n", node.replica().store().size());
+        if (outcome.pull.refused || outcome.push.refused) {
+          // A structured, transient refusal (e.g. the peer — or this
+          // replica — is degraded read-only), not a link or protocol
+          // failure: distinct exit code so scripts can retry elsewhere.
+          std::fprintf(stderr, "refused: %s\n",
+                       outcome.pull.refused ? outcome.pull.error.c_str()
+                                            : outcome.push.error.c_str());
+          return 3;
+        }
+        if (!outcome.transport_failed) return 0;
+        failure = outcome.error;
+      }
+    } catch (const net::TransportError& error) {
+      failure = error.what();
     }
-    if (outcome.transport_failed) {
-      std::fprintf(stderr, "transport failed: %s\n",
-                   outcome.error.c_str());
+    if (attempt >= retry_max || budget_exhausted()) {
+      if (refusal) {
+        std::fprintf(stderr, "refused: %s\n", failure.c_str());
+        return 3;
+      }
+      std::fprintf(stderr, "transport failed: %s\n", failure.c_str());
       return 1;
     }
-  } catch (const net::TransportError& failure) {
-    std::fprintf(stderr, "error: %s\n", failure.what());
-    return 1;
+    const std::uint64_t sleep_ms = backoff.next_delay_ms();
+    std::fprintf(stderr,
+                 "sync attempt %zu failed (%s); retrying in %llums\n",
+                 attempt + 1, failure.c_str(),
+                 static_cast<unsigned long long>(sleep_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
-  return 0;
 }
 
 /// Drive scripted hostile-peer attacks against a live `serve` (the
@@ -1048,6 +1143,9 @@ int cmd_check(Args& args) {
     } else if (flag == "--disk-fault-rate") {
       options.config.disk_fault_rate =
           std::atof(config_flag(flag, args.value("--disk-fault-rate")));
+    } else if (flag == "--retry-max") {
+      options.config.sync_retry_max =
+          parse_u64(config_flag(flag, args.value("--retry-max")));
     } else if (flag == "--quiesce") {
       options.config.quiescence_rounds =
           parse_u64(config_flag(flag, args.value("--quiesce")));
@@ -1069,6 +1167,8 @@ int cmd_check(Args& args) {
         options.config.inject_summary_skip_fallback = true;
       } else if (bug == "ack-before-fsync") {
         options.config.inject_ack_before_fsync = true;
+      } else if (bug == "retry-forgets-progress") {
+        options.config.inject_retry_forgets_progress = true;
       } else {
         usage("unknown --inject-bug");
       }
